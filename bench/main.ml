@@ -1,0 +1,170 @@
+(* Benchmark harness.
+
+   Two modes:
+
+   - `dune exec bench/main.exe` (or with artefact names such as
+     `fig7 table2`): regenerates the paper's evaluation artefacts —
+     every table and figure of §VI — via Mfsa_core.Experiments and
+     prints them in paper order.
+
+   - `dune exec bench/main.exe -- bechamel`: runs one Bechamel
+     micro-benchmark per table/figure family, measuring the kernel
+     each artefact stresses (INDEL metric, FSA construction, merging,
+     full compilation, iMFAnt execution, active-set instrumentation,
+     scheduler projection). *)
+
+module E = Mfsa_core.Experiments
+module Pipeline = Mfsa_core.Pipeline
+module Datasets = Mfsa_datasets.Datasets
+module Stream_gen = Mfsa_datasets.Stream_gen
+module Merge = Mfsa_model.Merge
+module Imfant = Mfsa_engine.Imfant
+module Infant = Mfsa_engine.Infant
+module Schedule = Mfsa_engine.Schedule
+module Indel = Mfsa_util.Indel
+
+(* ------------------------------------------------------- Bechamel *)
+
+open Bechamel
+open Toolkit
+
+(* Shared fixtures, built once: a small BRO-like ruleset, its FSAs,
+   its MFSA and a stream — enough to exercise every kernel without
+   making the micro-benchmark suite run for minutes. *)
+let fixture =
+  lazy
+    (let ds = Datasets.bro217 ~scale:0.15 () in
+     let fsas = Result.get_ok (Pipeline.build_fsas ds.Datasets.rules) in
+     let z = Merge.merge fsas in
+     let imfant = Imfant.compile z in
+     let infants = Array.map Infant.compile fsas in
+     let stream = Stream_gen.generate ~seed:3 ~size:16384 ds.Datasets.rules in
+     (ds, fsas, z, imfant, infants, stream))
+
+let tests () =
+  let ds, fsas, z, imfant, infants, stream = Lazy.force fixture in
+  [
+    (* Fig. 1 measures morphological similarity: the INDEL kernel. *)
+    Test.make ~name:"fig1-indel-similarity"
+      (Staged.stage (fun () ->
+           ignore
+             (Indel.average_pairwise_similarity ~sample:64 ds.Datasets.rules)));
+    (* Table I characterises rulesets: the per-rule middle-end. *)
+    Test.make ~name:"table1-build-fsas"
+      (Staged.stage (fun () ->
+           ignore (Result.get_ok (Pipeline.build_fsas ds.Datasets.rules))));
+    (* Fig. 7 is the merging algorithm itself. *)
+    Test.make ~name:"fig7-merge-all"
+      (Staged.stage (fun () -> ignore (Merge.merge fsas)));
+    (* Fig. 8 is the full five-stage pipeline. *)
+    Test.make ~name:"fig8-full-pipeline"
+      (Staged.stage (fun () ->
+           ignore (Pipeline.compile_exn ~m:0 ds.Datasets.rules)));
+    (* Table II adds the active-set instrumentation to execution. *)
+    Test.make ~name:"table2-imfant-with-stats"
+      (Staged.stage (fun () -> ignore (Imfant.run_with_stats imfant stream)));
+    (* Fig. 9 compares iMFAnt on the MFSA with iNFAnt on the FSAs. *)
+    Test.make ~name:"fig9-imfant-mfsa"
+      (Staged.stage (fun () -> ignore (Imfant.count imfant stream)));
+    Test.make ~name:"fig9-infant-baseline"
+      (Staged.stage (fun () ->
+           Array.iter (fun eng -> ignore (Infant.count eng stream)) infants));
+    (* Baseline engines contrasted in the baselines experiment. *)
+    Test.make ~name:"baseline-dfa-per-rule"
+      (Staged.stage
+         (let engines =
+            Array.map (fun a -> Mfsa_engine.Dfa_engine.compile a) fsas
+          in
+          fun () ->
+            Array.iter
+              (fun e -> ignore (Mfsa_engine.Dfa_engine.count e stream))
+              engines));
+    Test.make ~name:"baseline-decomposed"
+      (Staged.stage
+         (let t = Mfsa_engine.Decomposed.compile fsas in
+          fun () -> ignore (Mfsa_engine.Decomposed.count t stream)));
+    Test.make ~name:"anml-homogeneous-ste"
+      (Staged.stage
+         (let h = Mfsa_anml.Homogeneous.of_mfsa z in
+          fun () -> ignore (Mfsa_anml.Homogeneous.count h stream)));
+    (* Fig. 10 replays the greedy scheduler over measured times. *)
+    Test.make ~name:"fig10-schedule-projection"
+      (Staged.stage
+         (let times = Array.init 300 (fun i -> float_of_int (1 + (i mod 17))) in
+          fun () ->
+            List.iter
+              (fun t -> ignore (Schedule.project ~threads:t times))
+              [ 1; 2; 4; 8; 16; 32; 64; 128 ]));
+  ]
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+  in
+  Printf.printf "Bechamel micro-benchmarks (one per table/figure family)\n";
+  Printf.printf "%-28s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 46 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+              let pretty =
+                if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+                else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+                else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+                else Printf.sprintf "%.0f ns" ns
+              in
+              Printf.printf "%-28s %16s\n%!" name pretty
+          | _ -> Printf.printf "%-28s %16s\n%!" name "n/a")
+        results)
+    (tests ())
+
+(* ---------------------------------------------------- Entry point *)
+
+let experiments =
+  [
+    ("fig1", E.fig1); ("table1", E.table1); ("fig7", E.fig7); ("fig8", E.fig8);
+    ("table2", E.table2); ("fig9", E.fig9); ("fig10", E.fig10);
+    ("ablation-ccsplit", E.ablation_ccsplit);
+    ("ablation-cluster", E.ablation_cluster);
+    ("ablation-strategy", E.ablation_strategy);
+    ("ablation-bisim", E.ablation_bisim); ("baselines", E.baselines);
+    ("complexity", E.complexity);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "bechamel" ] -> run_bechamel ()
+  | [] ->
+      let cfg = E.default () in
+      Printf.printf
+        "MFSA evaluation harness (scale %.2f, stream %d KiB, %d reps)\n\
+         Set MFSA_SCALE / MFSA_STREAM_KB / MFSA_REPS or use bin/mfsa_report\n\
+         --paper-scale for the paper's full configuration.\n\n"
+        cfg.E.scale cfg.E.stream_kb cfg.E.reps;
+      print_string (E.run_all cfg);
+      print_newline ();
+      run_bechamel ()
+  | names ->
+      let cfg = E.default () in
+      List.iter
+        (fun name ->
+          match List.assoc_opt (String.lowercase_ascii name) experiments with
+          | Some f ->
+              print_string (f cfg);
+              print_newline ()
+          | None ->
+              Printf.eprintf
+                "unknown artefact %S (expected bechamel, %s)\n" name
+                (String.concat ", " (List.map fst experiments));
+              exit 1)
+        names

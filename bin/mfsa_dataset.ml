@@ -1,0 +1,75 @@
+(* mfsa-dataset: dump the synthetic benchmark rulesets and streams to
+   files, for use with mfsa-compile / mfsa-match or external tools. *)
+
+module Datasets = Mfsa_datasets.Datasets
+module Stream_gen = Mfsa_datasets.Stream_gen
+
+let run abbr scale rules_out stream_out stream_kb =
+  match Datasets.find ~scale abbr with
+  | None ->
+      Printf.eprintf
+        "mfsa-dataset: unknown dataset %S (expected BRO, DS9, PEN, PRO, RG1 or TCP)\n"
+        abbr;
+      1
+  | Some d ->
+      (match rules_out with
+      | None -> Array.iter print_endline d.Datasets.rules
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              Array.iter (fun r -> output_string oc (r ^ "\n")) d.Datasets.rules));
+      (match stream_out with
+      | None -> ()
+      | Some path ->
+          let stream =
+            Stream_gen.generate ~seed:d.Datasets.seed
+              ~payload:d.Datasets.payload ~size:(stream_kb * 1024)
+              d.Datasets.rules
+          in
+          let oc = open_out_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc stream));
+      0
+
+open Cmdliner
+
+let abbr =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ABBR" ~doc:"Dataset abbreviation (BRO, DS9, PEN, PRO, RG1, TCP).")
+
+let scale =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"S" ~doc:"Ruleset size multiplier (1.0 = paper size).")
+
+let rules_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "r"; "rules" ] ~docv:"FILE"
+        ~doc:"Write the rules to $(docv) (default: stdout).")
+
+let stream_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "stream" ] ~docv:"FILE"
+        ~doc:"Also generate the dataset's input stream into $(docv).")
+
+let stream_kb =
+  Arg.(
+    value & opt int 1024
+    & info [ "stream-kb" ] ~docv:"KB" ~doc:"Stream size in KiB (default 1024, the paper's 1 MiB).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mfsa-dataset" ~version:"1.0.0"
+       ~doc:"Dump the synthetic benchmark rulesets and input streams")
+    Term.(const run $ abbr $ scale $ rules_out $ stream_out $ stream_kb)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,61 @@
+(* Merging-factor sweep: how compression and execution trade off as M
+   grows — the knob at the centre of the paper's evaluation (§VI).
+
+   For one synthetic dataset the example sweeps M over the paper's
+   values, reporting states, transitions, compression percentages,
+   compile time and single-thread execution time, and showing where
+   the compression plateau (paper §VI-A) sets in.
+
+   Run with: dune exec examples/compression_sweep.exe [-- ABBR] *)
+
+module Pipeline = Mfsa_core.Pipeline
+module Report = Mfsa_core.Report
+module Merge = Mfsa_model.Merge
+module Imfant = Mfsa_engine.Imfant
+module Datasets = Mfsa_datasets.Datasets
+module Stream_gen = Mfsa_datasets.Stream_gen
+
+let () =
+  let abbr = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BRO" in
+  let ds =
+    match Datasets.find ~scale:0.3 abbr with
+    | Some ds -> ds
+    | None ->
+        Printf.eprintf "unknown dataset %s (BRO, DS9, PEN, PRO, RG1, TCP)\n" abbr;
+        exit 1
+  in
+  let fsas = Result.get_ok (Pipeline.build_fsas ds.Datasets.rules) in
+  let before = Report.fsa_totals fsas in
+  let stream = Stream_gen.generate ~seed:ds.Datasets.seed ~size:65_536 ds.Datasets.rules in
+  Printf.printf
+    "Dataset %s: %d rules, %d states / %d transitions as separate FSAs.\n\n"
+    ds.Datasets.abbr (Array.length fsas) before.Report.states
+    before.Report.transitions;
+  Printf.printf "%5s %8s %8s %9s %9s %12s %12s\n" "M" "states" "trans"
+    "states%" "trans%" "merge time" "exec time";
+  Printf.printf "%s\n" (String.make 70 '-');
+  List.iter
+    (fun m ->
+      let t0 = Unix.gettimeofday () in
+      let zs = Merge.merge_groups ~m fsas in
+      let merge_time = Unix.gettimeofday () -. t0 in
+      let after = Report.mfsa_totals zs in
+      let cs, ct = Report.compression ~before ~after in
+      let engines = List.map Imfant.compile zs in
+      let t1 = Unix.gettimeofday () in
+      let matches =
+        List.fold_left (fun acc e -> acc + Imfant.count e stream) 0 engines
+      in
+      let exec_time = Unix.gettimeofday () -. t1 in
+      ignore matches;
+      Printf.printf "%5s %8d %8d %8.1f%% %8.1f%% %12s %12s\n"
+        (if m = 0 then "all" else string_of_int m)
+        after.Report.states after.Report.transitions cs ct
+        (Report.fmt_time merge_time) (Report.fmt_time exec_time))
+    [ 1; 2; 5; 10; 20; 50; 0 ];
+  print_newline ();
+  print_endline
+    "Reading the table: states%/trans% grow with M and plateau once the\n\
+     alphabet is saturated (paper §VI-A); execution time falls as one\n\
+     merged pass replaces many — until activation-set bookkeeping (paper\n\
+     Table II) starts to push back on some datasets."

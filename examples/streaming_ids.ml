@@ -1,0 +1,67 @@
+(* Streaming intrusion detection: the deployment model behind the
+   paper's DPI motivation — traffic arrives packet by packet, matches
+   must be found even when a signature spans a packet boundary, and
+   the detector cannot buffer the whole stream.
+
+   The example compiles a signature ruleset once, then feeds synthetic
+   "packets" of irregular sizes through an iMFAnt session, reporting
+   alerts as they complete; a whole-stream run confirms nothing was
+   missed at the boundaries.
+
+   Run with: dune exec examples/streaming_ids.exe *)
+
+module Pipeline = Mfsa_core.Pipeline
+module Imfant = Mfsa_engine.Imfant
+module Merge = Mfsa_model.Merge
+module Mfsa = Mfsa_model.Mfsa
+module Prng = Mfsa_util.Prng
+
+let signatures =
+  [| "wget http://"; "/etc/shadow"; "eval\\(base64"; "nc -l -p [0-9]+"; "rm -rf /" |]
+
+let () =
+  let compiled = Pipeline.compile_exn ~m:0 signatures in
+  let z = List.hd compiled.Pipeline.mfsas in
+  let engine = Imfant.compile z in
+
+  (* Synthetic traffic with signatures planted across packet cuts. *)
+  let traffic =
+    "GET /index.html HTTP/1.1 ... cmd=wget%20http://evil cat /etc/shadow \
+     payload eval(base64 data nc -l -p 4444 cleanup rm -rf / done"
+  in
+  let g = Prng.create 11 in
+  let packets =
+    (* Split the traffic at random points into 6-20 byte packets. *)
+    let rec cut i acc =
+      if i >= String.length traffic then List.rev acc
+      else
+        let len = min (Prng.int_in g 6 20) (String.length traffic - i) in
+        cut (i + len) (String.sub traffic i len :: acc)
+    in
+    cut 0 []
+  in
+  Printf.printf "Monitoring %d signatures over %d packets (%d bytes total)\n\n"
+    (Array.length signatures) (List.length packets) (String.length traffic);
+
+  let session = Imfant.session engine in
+  let alerts = ref 0 in
+  List.iteri
+    (fun pkt_index packet ->
+      let events = Imfant.feed session packet in
+      List.iter
+        (fun { Imfant.fsa; end_pos } ->
+          incr alerts;
+          Printf.printf "ALERT in packet %2d at stream offset %3d: %s\n"
+            pkt_index end_pos z.Mfsa.patterns.(fsa))
+        events)
+    packets;
+  let flushed = Imfant.finish session in
+  alerts := !alerts + List.length flushed;
+
+  (* Cross-check against a whole-stream run. *)
+  let expected = Imfant.count engine traffic in
+  Printf.printf "\n%d alerts streamed; whole-stream run finds %d. %s\n" !alerts
+    expected
+    (if !alerts = expected then "No boundary losses."
+     else "MISMATCH — boundary handling broken!");
+  assert (!alerts = expected)

@@ -1,0 +1,206 @@
+module Mfsa = Mfsa_model.Mfsa
+module Charclass = Mfsa_charset.Charclass
+module Bitset = Mfsa_util.Bitset
+
+let symbols_to_string cls =
+  Charclass.to_ranges cls
+  |> List.map (fun (lo, hi) ->
+         if lo = hi then Printf.sprintf "%02x" (Char.code lo)
+         else Printf.sprintf "%02x-%02x" (Char.code lo) (Char.code hi))
+  |> String.concat ","
+
+let symbols_of_string s =
+  let parse_byte part =
+    if String.length part <> 2 then
+      invalid_arg ("Anml.symbols_of_string: bad byte " ^ part)
+    else
+      match int_of_string_opt ("0x" ^ part) with
+      | Some v when v >= 0 && v <= 255 -> Char.chr v
+      | _ -> invalid_arg ("Anml.symbols_of_string: bad byte " ^ part)
+  in
+  if String.trim s = "" then
+    invalid_arg "Anml.symbols_of_string: empty symbol set"
+  else
+    String.split_on_char ',' s
+    |> List.map (fun part ->
+           match String.index_opt part '-' with
+           | Some i ->
+               let lo = parse_byte (String.sub part 0 i) in
+               let hi =
+                 parse_byte (String.sub part (i + 1) (String.length part - i - 1))
+               in
+               if hi < lo then
+                 invalid_arg ("Anml.symbols_of_string: reversed range " ^ part);
+               (lo, hi)
+           | None ->
+               let b = parse_byte part in
+               (b, b))
+    |> Charclass.of_ranges
+
+let ids_to_string set = String.concat " " (List.map string_of_int (Bitset.to_list set))
+
+let ids_of_string ~n s =
+  String.split_on_char ' ' (String.trim s)
+  |> List.filter (fun x -> x <> "")
+  |> List.map (fun x ->
+         match int_of_string_opt x with
+         | Some v -> v
+         | None -> invalid_arg ("Anml: bad identifier " ^ x))
+  |> Bitset.of_list n
+
+let mfsa_to_xml (z : Mfsa.t) =
+  let fsas =
+    List.init z.Mfsa.n_fsas (fun j ->
+        Xml.Element
+          ( "fsa",
+            [
+              ("id", string_of_int j);
+              ("initial", string_of_int z.Mfsa.init_of.(j));
+              ("pattern", z.Mfsa.patterns.(j));
+              ("anchored-start", string_of_bool z.Mfsa.anchored_start.(j));
+              ("anchored-end", string_of_bool z.Mfsa.anchored_end.(j));
+            ],
+            [] ))
+  in
+  let finals =
+    List.filter_map
+      (fun q ->
+        if Bitset.is_empty z.Mfsa.final_sets.(q) then None
+        else
+          Some
+            (Xml.Element
+               ( "final",
+                 [
+                   ("state", string_of_int q);
+                   ("fsas", ids_to_string z.Mfsa.final_sets.(q));
+                 ],
+                 [] )))
+      (List.init z.Mfsa.n_states Fun.id)
+  in
+  let transitions =
+    List.init (Mfsa.n_transitions z) (fun t ->
+        Xml.Element
+          ( "transition",
+            [
+              ("from", string_of_int z.Mfsa.row.(t));
+              ("to", string_of_int z.Mfsa.col.(t));
+              ("symbols", symbols_to_string z.Mfsa.idx.(t));
+              ("belongs", ids_to_string z.Mfsa.bel.(t));
+            ],
+            [] ))
+  in
+  Xml.Element
+    ( "mfsa",
+      [
+        ("states", string_of_int z.Mfsa.n_states);
+        ("fsas", string_of_int z.Mfsa.n_fsas);
+      ],
+      fsas @ finals @ transitions )
+
+let attr_or_fail el key ctx =
+  match Xml.attr el key with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Anml: missing %s on <%s>" key ctx)
+
+let int_attr el key ctx =
+  match int_of_string_opt (attr_or_fail el key ctx) with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Anml: non-integer %s on <%s>" key ctx)
+
+let bool_attr el key ctx =
+  match bool_of_string_opt (attr_or_fail el key ctx) with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Anml: non-boolean %s on <%s>" key ctx)
+
+let mfsa_of_xml_exn el =
+  (match Xml.tag el with
+  | Some "mfsa" -> ()
+  | _ -> invalid_arg "Anml: expected an <mfsa> element");
+  let n_states = int_attr el "states" "mfsa" in
+  let n_fsas = int_attr el "fsas" "mfsa" in
+  let init_of = Array.make (max n_fsas 1) (-1) in
+  let anchored_start = Array.make (max n_fsas 1) false in
+  let anchored_end = Array.make (max n_fsas 1) false in
+  let patterns = Array.make (max n_fsas 1) "" in
+  List.iter
+    (fun f ->
+      let j = int_attr f "id" "fsa" in
+      if j < 0 || j >= n_fsas then invalid_arg "Anml: fsa id out of range";
+      init_of.(j) <- int_attr f "initial" "fsa";
+      patterns.(j) <- attr_or_fail f "pattern" "fsa";
+      anchored_start.(j) <- bool_attr f "anchored-start" "fsa";
+      anchored_end.(j) <- bool_attr f "anchored-end" "fsa")
+    (Xml.find_all el "fsa");
+  let final_sets = Array.init (max n_states 1) (fun _ -> Bitset.create n_fsas) in
+  List.iter
+    (fun f ->
+      let q = int_attr f "state" "final" in
+      if q < 0 || q >= n_states then invalid_arg "Anml: final state out of range";
+      ignore
+        (Bitset.union_into ~dst:final_sets.(q)
+           (ids_of_string ~n:n_fsas (attr_or_fail f "fsas" "final"))))
+    (Xml.find_all el "final");
+  let trs = Xml.find_all el "transition" in
+  let nt = List.length trs in
+  let row = Array.make (max nt 1) 0 in
+  let col = Array.make (max nt 1) 0 in
+  let idx = Array.make (max nt 1) Charclass.empty in
+  let bel = Array.make (max nt 1) (Bitset.create n_fsas) in
+  List.iteri
+    (fun i tr ->
+      row.(i) <- int_attr tr "from" "transition";
+      col.(i) <- int_attr tr "to" "transition";
+      idx.(i) <- symbols_of_string (attr_or_fail tr "symbols" "transition");
+      bel.(i) <- ids_of_string ~n:n_fsas (attr_or_fail tr "belongs" "transition"))
+    trs;
+  Mfsa.of_arrays ~n_states ~n_fsas ~row:(Array.sub row 0 nt)
+    ~col:(Array.sub col 0 nt) ~idx:(Array.sub idx 0 nt)
+    ~bel:(Array.sub bel 0 nt) ~init_of ~final_sets ~anchored_start
+    ~anchored_end ~patterns
+
+let mfsa_of_xml el =
+  match mfsa_of_xml_exn el with
+  | z -> Ok z
+  | exception Invalid_argument msg -> Error msg
+
+let write ?(name = "mfsa-ruleset") mfsas =
+  let root =
+    Xml.Element
+      ( "automata-network",
+        [ ("name", name); ("mfsa-count", string_of_int (List.length mfsas)) ],
+        List.map mfsa_to_xml mfsas )
+  in
+  "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" ^ Xml.to_string root
+
+let read src =
+  match Xml.parse src with
+  | Error e -> Error (Xml.error_to_string e)
+  | Ok root -> (
+      match Xml.tag root with
+      | Some "automata-network" -> (
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | el :: rest -> (
+                match mfsa_of_xml el with
+                | Ok z -> go (z :: acc) rest
+                | Error msg -> Error msg)
+          in
+          try go [] (Xml.find_all root "mfsa")
+          with Invalid_argument msg -> Error msg)
+      | _ -> Error "Anml.read: expected an <automata-network> root")
+
+let write_file ?name path mfsas =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (write ?name mfsas))
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | src -> read src
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,40 @@
+(** Extended-ANML back-end (paper §IV-E).
+
+    The last compilation stage lowers MFSAs into an Automata Network
+    Markup Language representation for the execution engine. As in the
+    paper, the standard is extended so that every transition carries
+    the identifiers of the REs it belongs to ([belongs] attribute),
+    which the iMFAnt activation function requires; per-FSA initial
+    states, anchoring flags and source patterns are recorded on [fsa]
+    elements, and final states with their FSA sets on [final]
+    elements. Character classes are serialised as hexadecimal byte
+    ranges ([symbols="61,63-66"]), keeping files byte-exact for the
+    full 256-symbol alphabet. A document holds one automata network
+    with any number of MFSAs, so a whole compiled ruleset lives in one
+    file.
+
+    The module provides both directions: generation (the compiler
+    back-end proper) and parsing (engine-side pre-processing), so
+    compile → file → load → execute is a fully supported path. *)
+
+val symbols_to_string : Mfsa_charset.Charclass.t -> string
+(** Hex-range encoding, e.g. ["0a,61-7a"]. *)
+
+val symbols_of_string : string -> Mfsa_charset.Charclass.t
+(** @raise Invalid_argument on malformed encodings. *)
+
+val mfsa_to_xml : Mfsa_model.Mfsa.t -> Xml.t
+(** One [<mfsa>] element. *)
+
+val mfsa_of_xml : Xml.t -> (Mfsa_model.Mfsa.t, string) result
+
+val write : ?name:string -> Mfsa_model.Mfsa.t list -> string
+(** Serialise a ruleset to an extended-ANML document. *)
+
+val read : string -> (Mfsa_model.Mfsa.t list, string) result
+(** Parse a document produced by {!write} (or compatible). *)
+
+val write_file : ?name:string -> string -> Mfsa_model.Mfsa.t list -> unit
+(** [write_file path mfsas]. *)
+
+val read_file : string -> (Mfsa_model.Mfsa.t list, string) result

@@ -1,0 +1,210 @@
+module Mfsa = Mfsa_model.Mfsa
+module Charclass = Mfsa_charset.Charclass
+module Bitset = Mfsa_util.Bitset
+module Vec = Mfsa_util.Vec
+
+type t = {
+  z : Mfsa.t;
+  (* STE i corresponds to MFSA transition i. *)
+  successors : int array array;  (* STEs whose source is this STE's dst *)
+  start_all : Bitset.t array;  (* FSAs that may push here at position 0 *)
+  start_unanchored : Bitset.t array;  (* … at any position *)
+  report : Bitset.t array;  (* FSAs final at the STE's destination *)
+  by_symbol : int array array;  (* byte -> STEs whose symbol set has it *)
+}
+
+type match_event = { fsa : int; end_pos : int }
+
+let of_mfsa (z : Mfsa.t) =
+  let nt = Mfsa.n_transitions z in
+  let by_src = Array.make z.Mfsa.n_states [] in
+  for e = nt - 1 downto 0 do
+    by_src.(z.Mfsa.row.(e)) <- e :: by_src.(z.Mfsa.row.(e))
+  done;
+  let successors =
+    Array.init nt (fun e -> Array.of_list by_src.(z.Mfsa.col.(e)))
+  in
+  let start_all =
+    Array.init nt (fun e ->
+        Bitset.inter z.Mfsa.bel.(e) z.Mfsa.init_sets.(z.Mfsa.row.(e)))
+  in
+  let start_unanchored =
+    Array.init nt (fun e ->
+        let s = Bitset.copy start_all.(e) in
+        Array.iteri
+          (fun j anchored -> if anchored && Bitset.mem s j then Bitset.remove s j)
+          z.Mfsa.anchored_start;
+        s)
+  in
+  let report =
+    Array.init nt (fun e ->
+        Bitset.inter z.Mfsa.bel.(e) z.Mfsa.final_sets.(z.Mfsa.col.(e)))
+  in
+  let by_symbol = Array.init 256 (fun _ -> Vec.create ()) in
+  Array.iteri
+    (fun e cls ->
+      Charclass.iter (fun c -> Vec.push by_symbol.(Char.code c) e) cls)
+    z.Mfsa.idx;
+  {
+    z;
+    successors;
+    start_all;
+    start_unanchored;
+    report;
+    by_symbol = Array.map Vec.to_array by_symbol;
+  }
+
+let n_elements t = Array.length t.successors
+
+let mfsa t = t.z
+
+(* ---------------------------------------------------------- writer *)
+
+let symbol_set cls =
+  (* ANML symbol-set syntax: a bracket expression over hex escapes. *)
+  let ranges = Charclass.to_ranges cls in
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf '[';
+  List.iter
+    (fun (lo, hi) ->
+      if lo = hi then Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code lo))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "\\x%02x-\\x%02x" (Char.code lo) (Char.code hi)))
+    ranges;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let to_anml t =
+  let z = t.z in
+  let nt = n_elements t in
+  let elements =
+    List.init nt (fun e ->
+        let start =
+          if not (Bitset.is_empty t.start_unanchored.(e)) then
+            [ ("start", "all-input") ]
+          else if not (Bitset.is_empty t.start_all.(e)) then
+            [ ("start", "start-of-data") ]
+          else []
+        in
+        let children =
+          List.map
+            (fun s ->
+              Xml.Element
+                ("activate-on-match", [ ("element", Printf.sprintf "ste%d" s) ], []))
+            (Array.to_list t.successors.(e))
+          @
+          if Bitset.is_empty t.report.(e) then []
+          else
+            [
+              Xml.Element
+                ( "report-on-match",
+                  [
+                    ( "reportcode",
+                      String.concat " "
+                        (List.map string_of_int (Bitset.to_list t.report.(e))) );
+                  ],
+                  [] );
+            ]
+        in
+        Xml.Element
+          ( "state-transition-element",
+            [
+              ("id", Printf.sprintf "ste%d" e);
+              ("symbol-set", symbol_set z.Mfsa.idx.(e));
+              ( "belongs",
+                String.concat " "
+                  (List.map string_of_int (Bitset.to_list z.Mfsa.bel.(e))) );
+            ]
+            @ start,
+            children ))
+  in
+  "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+  ^ Xml.to_string
+      (Xml.Element
+         ( "automata-network",
+           [ ("name", "mfsa-homogeneous"); ("id", "mfsa") ],
+           elements ))
+
+(* -------------------------------------------------------- executor *)
+
+(* STE semantics with the activation function: an STE fires on byte c
+   when c is in its symbol set and it is either start-enabled or was
+   activated by a predecessor STE that fired on the previous byte;
+   its activation set is (inherited ∪ start) ∩ belongs. *)
+let execute t input ~on_match =
+  let z = t.z in
+  let nt = n_elements t in
+  let nf = z.Mfsa.n_fsas in
+  (* Per-STE activation sets inherited from the previous cycle. *)
+  let cur = Array.init nt (fun _ -> Bitset.create nf) in
+  let cur_active = Array.make nt false in
+  let nxt = Array.init nt (fun _ -> Bitset.create nf) in
+  let nxt_active = Array.make nt false in
+  let scratch = Bitset.create nf in
+  let reported = Bitset.create nf in
+  let cur = ref cur and nxt = ref nxt in
+  let cur_active = ref cur_active and nxt_active = ref nxt_active in
+  let len = String.length input in
+  for i = 0 to len - 1 do
+    let c = Char.code input.[i] in
+    Bitset.clear reported;
+    let enabled = t.by_symbol.(c) in
+    for k = 0 to Array.length enabled - 1 do
+      let e = enabled.(k) in
+      let start = if i = 0 then t.start_all.(e) else t.start_unanchored.(e) in
+      if !cur_active.(e) || not (Bitset.is_empty start) then begin
+        Bitset.clear scratch;
+        if !cur_active.(e) then ignore (Bitset.union_into ~dst:scratch !cur.(e));
+        ignore (Bitset.union_into ~dst:scratch start);
+        (* Inherited sets were intersected with bel at activation
+           time; the start contribution is pre-intersected too, so
+           only the bel mask for safety on the inherited part. *)
+        Bitset.inter_into ~dst:scratch z.Mfsa.bel.(e);
+        if not (Bitset.is_empty scratch) then begin
+          (* Fire: report and activate successors. *)
+          Bitset.iter
+            (fun j ->
+              if
+                Bitset.mem t.report.(e) j
+                && (not (Bitset.mem reported j))
+                && ((not z.Mfsa.anchored_end.(j)) || i + 1 = len)
+              then begin
+                Bitset.add reported j;
+                on_match j (i + 1)
+              end)
+            scratch;
+          let succ = t.successors.(e) in
+          for s = 0 to Array.length succ - 1 do
+            let u = succ.(s) in
+            (* Pre-intersect with the successor's belonging so dead
+               activations are dropped eagerly. *)
+            let contribution = Bitset.inter scratch z.Mfsa.bel.(u) in
+            if not (Bitset.is_empty contribution) then begin
+              if not !nxt_active.(u) then begin
+                !nxt_active.(u) <- true;
+                Bitset.clear !nxt.(u)
+              end;
+              ignore (Bitset.union_into ~dst:!nxt.(u) contribution)
+            end
+          done
+        end
+      end
+    done;
+    let tmp = !cur and tmp_a = !cur_active in
+    cur := !nxt;
+    cur_active := !nxt_active;
+    nxt := tmp;
+    nxt_active := tmp_a;
+    Array.fill !nxt_active 0 nt false
+  done
+
+let run t input =
+  let acc = ref [] in
+  execute t input ~on_match:(fun fsa e -> acc := { fsa; end_pos = e } :: !acc);
+  List.rev !acc
+
+let count t input =
+  let n = ref 0 in
+  execute t input ~on_match:(fun _ _ -> incr n);
+  !n

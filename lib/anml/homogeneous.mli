@@ -1,0 +1,47 @@
+(** Homogeneous automata — real ANML's State Transition Elements.
+
+    The ANML standard the paper lowers to (§IV-E) describes
+    {e homogeneous} automata, the Micron Automata Processor model used
+    by ANMLZoo: computation elements are STEs, each carrying a symbol
+    set, an activation list (its successor STEs), a start attribute
+    and a report attribute; all incoming connections of an STE match
+    the same symbol set. Transition-labelled automata are converted by
+    making one STE per transition: the STE for [q1 --C--> q2] holds
+    symbol set [C], activates every STE whose transition leaves [q2],
+    starts if [q1] is initial, and reports if [q2] is final.
+
+    For MFSAs the conversion carries the paper's extension: each STE
+    keeps its transition's belonging vector, the start attribute
+    becomes the per-FSA set that may push at the source state
+    (Equation 4) and the report attribute the per-FSA set final at
+    the destination (Equation 5). The module includes an STE-level
+    executor implementing the activation function on the homogeneous
+    form; the property suite checks it produces exactly the iMFAnt
+    matches, and {!to_anml} renders the network in standard ANML
+    syntax ([<state-transition-element>], [<activate-on-match>],
+    [<report-on-match>]) plus the [belongs] extension attribute. *)
+
+type t
+
+type match_event = { fsa : int; end_pos : int }
+
+val of_mfsa : Mfsa_model.Mfsa.t -> t
+(** One STE per MFSA transition. *)
+
+val n_elements : t -> int
+(** STE count = MFSA transition count. *)
+
+val mfsa : t -> Mfsa_model.Mfsa.t
+
+val to_anml : t -> string
+(** Standard-ANML rendering of the network ([<automata-network>] of
+    [<state-transition-element>]s). This is a {e write-only} view for
+    AP-style toolchains; the library's loadable format remains
+    {!Anml}. *)
+
+val run : t -> string -> match_event list
+(** Execute on the homogeneous form (STE activation semantics with
+    the per-STE activation function). Specified to agree exactly with
+    {!Mfsa_engine.Imfant.run} on the source MFSA. *)
+
+val count : t -> string -> int

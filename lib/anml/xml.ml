@@ -1,0 +1,286 @@
+type t = Element of string * (string * string) list * t list | Text of string
+
+type error = { line : int; col : int; message : string }
+
+exception Xml_error of error
+
+type cursor = { src : string; mutable i : int; mutable line : int; mutable col : int }
+
+let fail cu fmt =
+  Format.kasprintf
+    (fun message -> raise (Xml_error { line = cu.line; col = cu.col; message }))
+    fmt
+
+let peek cu = if cu.i < String.length cu.src then Some cu.src.[cu.i] else None
+
+let advance cu =
+  (match peek cu with
+  | Some '\n' ->
+      cu.line <- cu.line + 1;
+      cu.col <- 1
+  | Some _ -> cu.col <- cu.col + 1
+  | None -> ());
+  cu.i <- cu.i + 1
+
+let looking_at cu s =
+  let n = String.length s in
+  cu.i + n <= String.length cu.src && String.sub cu.src cu.i n = s
+
+let skip cu n =
+  for _ = 1 to n do
+    advance cu
+  done
+
+let skip_ws cu =
+  let rec go () =
+    match peek cu with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance cu;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' -> true
+  | _ -> false
+
+let read_name cu =
+  let start = cu.i in
+  while (match peek cu with Some c -> is_name_char c | None -> false) do
+    advance cu
+  done;
+  if cu.i = start then fail cu "expected a name";
+  String.sub cu.src start (cu.i - start)
+
+let decode_entity cu =
+  (* Cursor sits on '&'. *)
+  let start = cu.i in
+  advance cu;
+  let stop = ref None in
+  while !stop = None do
+    match peek cu with
+    | Some ';' ->
+        stop := Some cu.i;
+        advance cu
+    | Some _ when cu.i - start < 12 -> advance cu
+    | _ -> fail cu "unterminated entity reference"
+  done;
+  let name = String.sub cu.src (start + 1) (Option.get !stop - start - 1) in
+  match name with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ when String.length name > 2 && name.[0] = '#' && name.[1] = 'x' ->
+      String.make 1
+        (Char.chr (int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))))
+  | _ when String.length name > 1 && name.[0] = '#' ->
+      String.make 1
+        (Char.chr (int_of_string (String.sub name 1 (String.length name - 1))))
+  | _ -> fail cu "unknown entity &%s;" name
+
+let read_attr_value cu =
+  let quote =
+    match peek cu with
+    | Some (('"' | '\'') as q) ->
+        advance cu;
+        q
+    | _ -> fail cu "expected a quoted attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cu with
+    | None -> fail cu "unterminated attribute value"
+    | Some c when c = quote -> advance cu
+    | Some '&' ->
+        Buffer.add_string buf (decode_entity cu);
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cu;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let skip_misc cu =
+  (* Declarations and comments before/between elements. *)
+  let rec go () =
+    skip_ws cu;
+    if looking_at cu "<?" then begin
+      while not (looking_at cu "?>") do
+        if peek cu = None then fail cu "unterminated declaration";
+        advance cu
+      done;
+      skip cu 2;
+      go ()
+    end
+    else if looking_at cu "<!--" then begin
+      while not (looking_at cu "-->") do
+        if peek cu = None then fail cu "unterminated comment";
+        advance cu
+      done;
+      skip cu 3;
+      go ()
+    end
+  in
+  go ()
+
+let rec parse_element cu =
+  if peek cu <> Some '<' then fail cu "expected '<'";
+  advance cu;
+  let name = read_name cu in
+  let rec attrs acc =
+    skip_ws cu;
+    match peek cu with
+    | Some '/' | Some '>' -> List.rev acc
+    | Some c when is_name_char c ->
+        let key = read_name cu in
+        skip_ws cu;
+        (match peek cu with
+        | Some '=' -> advance cu
+        | _ -> fail cu "expected '=' after attribute name %s" key);
+        skip_ws cu;
+        let value = read_attr_value cu in
+        attrs ((key, value) :: acc)
+    | _ -> fail cu "malformed start tag for <%s>" name
+  in
+  let attributes = attrs [] in
+  match peek cu with
+  | Some '/' ->
+      advance cu;
+      (match peek cu with
+      | Some '>' -> advance cu
+      | _ -> fail cu "expected '>' after '/'");
+      Element (name, attributes, [])
+  | Some '>' ->
+      advance cu;
+      let children = parse_content cu name in
+      Element (name, attributes, children)
+  | _ -> fail cu "malformed start tag for <%s>" name
+
+and parse_content cu parent =
+  let items = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_text () =
+    let text = Buffer.contents buf in
+    Buffer.clear buf;
+    if String.trim text <> "" then items := Text text :: !items
+  in
+  let rec go () =
+    match peek cu with
+    | None -> fail cu "unterminated element <%s>" parent
+    | Some '<' ->
+        if looking_at cu "</" then begin
+          flush_text ();
+          skip cu 2;
+          let name = read_name cu in
+          if name <> parent then
+            fail cu "mismatched closing tag </%s> for <%s>" name parent;
+          skip_ws cu;
+          match peek cu with
+          | Some '>' -> advance cu
+          | _ -> fail cu "malformed closing tag </%s>" name
+        end
+        else if looking_at cu "<!--" then begin
+          while not (looking_at cu "-->") do
+            if peek cu = None then fail cu "unterminated comment";
+            advance cu
+          done;
+          skip cu 3;
+          go ()
+        end
+        else begin
+          flush_text ();
+          items := parse_element cu :: !items;
+          go ()
+        end
+    | Some '&' ->
+        Buffer.add_string buf (decode_entity cu);
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cu;
+        go ()
+  in
+  go ();
+  List.rev !items
+
+let parse_exn src =
+  let cu = { src; i = 0; line = 1; col = 1 } in
+  skip_misc cu;
+  let root = parse_element cu in
+  skip_misc cu;
+  (match peek cu with
+  | None -> ()
+  | Some _ -> fail cu "trailing content after the root element");
+  root
+
+let parse src =
+  match parse_exn src with
+  | t -> Ok t
+  | exception Xml_error e -> Error e
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c when Char.code c < 32 && c <> '\n' && c <> '\t' ->
+          Buffer.add_string buf (Printf.sprintf "&#x%02x;" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = true) t =
+  let buf = Buffer.create 1024 in
+  let rec go depth t =
+    let pad = if indent then String.make (2 * depth) ' ' else "" in
+    match t with
+    | Text s -> Buffer.add_string buf (pad ^ escape s ^ if indent then "\n" else "")
+    | Element (name, attrs, children) ->
+        Buffer.add_string buf (pad ^ "<" ^ name);
+        List.iter
+          (fun (k, v) -> Buffer.add_string buf (" " ^ k ^ "=\"" ^ escape v ^ "\""))
+          attrs;
+        if children = [] then
+          Buffer.add_string buf ("/>" ^ if indent then "\n" else "")
+        else begin
+          Buffer.add_string buf (">" ^ if indent then "\n" else "");
+          List.iter (go (depth + 1)) children;
+          Buffer.add_string buf (pad ^ "</" ^ name ^ ">" ^ if indent then "\n" else "")
+        end
+  in
+  go 0 t;
+  Buffer.contents buf
+
+let attr t key =
+  match t with
+  | Element (_, attrs, _) -> List.assoc_opt key attrs
+  | Text _ -> None
+
+let attr_exn t key =
+  match attr t key with Some v -> v | None -> raise Not_found
+
+let children = function
+  | Element (_, _, kids) ->
+      List.filter (function Element _ -> true | Text _ -> false) kids
+  | Text _ -> []
+
+let find_all t name =
+  List.filter
+    (function Element (n, _, _) -> n = name | Text _ -> false)
+    (children t)
+
+let tag = function Element (n, _, _) -> Some n | Text _ -> None
+
+let error_to_string { line; col; message } =
+  Printf.sprintf "line %d, column %d: %s" line col message

@@ -1,0 +1,43 @@
+(** Minimal XML reader/writer — the substrate under the ANML back-end.
+
+    ANML is an XML dialect; the sealed build environment has no XML
+    library, so this module implements the subset ANML needs:
+    elements, attributes, self-closing tags, character data, XML
+    declarations, comments, and the five predefined entities. It does
+    not support namespaces, DTDs, processing instructions beyond the
+    declaration, or CDATA sections — none of which ANML uses. *)
+
+type t = Element of string * (string * string) list * t list | Text of string
+
+type error = { line : int; col : int; message : string }
+
+exception Xml_error of error
+
+val parse : string -> (t, error) result
+(** Parse a document; returns the root element. Whitespace-only text
+    nodes are dropped. *)
+
+val parse_exn : string -> t
+
+val to_string : ?indent:bool -> t -> string
+(** Serialise, escaping attribute values and character data. With
+    [~indent:true] (default) children are pretty-printed. *)
+
+val attr : t -> string -> string option
+(** Attribute lookup on an element; [None] on [Text]. *)
+
+val attr_exn : t -> string -> string
+(** @raise Not_found when absent. *)
+
+val children : t -> t list
+(** Child elements (text nodes skipped); [] on [Text]. *)
+
+val find_all : t -> string -> t list
+(** Child elements with the given tag name. *)
+
+val tag : t -> string option
+
+val escape : string -> string
+(** Entity-escape text content (ampersand, angle brackets, quotes). *)
+
+val error_to_string : error -> string

@@ -1,0 +1,162 @@
+type t = {
+  n_states : int;
+  default_of : int array;
+  labelled : (int * int array * int array) array;
+  start : int;
+  finals : bool array;
+  anchored_start : bool;
+  anchored_end : bool;
+  pattern : string;
+}
+
+(* BFS depth of every state from the start; unreachable states get
+   max_int and never receive a default arc. *)
+let depths (d : Dfa.t) =
+  let depth = Array.make d.Dfa.n_states max_int in
+  let queue = Queue.create () in
+  depth.(d.Dfa.start) <- 0;
+  Queue.add d.Dfa.start queue;
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    for c = 0 to 255 do
+      let t = d.Dfa.next.((q * 256) + c) in
+      if depth.(t) = max_int then begin
+        depth.(t) <- depth.(q) + 1;
+        Queue.add t queue
+      end
+    done
+  done;
+  depth
+
+let row_diff (d : Dfa.t) q r =
+  let diff = ref 0 in
+  for c = 0 to 255 do
+    if d.Dfa.next.((q * 256) + c) <> d.Dfa.next.((r * 256) + c) then incr diff
+  done;
+  !diff
+
+let compress (d : Dfa.t) =
+  let n = d.Dfa.n_states in
+  let depth = depths d in
+  let default_of = Array.make n (-1) in
+  let labelled = Array.make n (0, [||], [||]) in
+  for q = 0 to n - 1 do
+    (* Candidate defaults: states at strictly smaller depth. Pick the
+       one sharing the most outgoing arcs (greedy Becchi–Crowley);
+       only adopt it when it actually saves space (shared > 1,
+       because the default arc itself costs one entry). *)
+    let best = ref (-1) and best_diff = ref 257 in
+    if depth.(q) < max_int && depth.(q) > 0 then
+      for r = 0 to n - 1 do
+        if depth.(r) < depth.(q) then begin
+          let diff = row_diff d q r in
+          if diff < !best_diff then begin
+            best_diff := diff;
+            best := r
+          end
+        end
+      done;
+    let default = if !best >= 0 && 256 - !best_diff > 1 then !best else -1 in
+    default_of.(q) <- default;
+    let bytes = ref [] and targets = ref [] in
+    for c = 255 downto 0 do
+      let t = d.Dfa.next.((q * 256) + c) in
+      let keep =
+        match default with
+        | -1 -> true
+        | r -> t <> d.Dfa.next.((r * 256) + c)
+      in
+      if keep then begin
+        bytes := c :: !bytes;
+        targets := t :: !targets
+      end
+    done;
+    let bytes = Array.of_list !bytes and targets = Array.of_list !targets in
+    labelled.(q) <- (Array.length bytes, bytes, targets)
+  done;
+  {
+    n_states = n;
+    default_of;
+    labelled;
+    start = d.Dfa.start;
+    finals = Array.copy d.Dfa.finals;
+    anchored_start = d.Dfa.anchored_start;
+    anchored_end = d.Dfa.anchored_end;
+    pattern = d.Dfa.pattern;
+  }
+
+let n_stored_transitions t =
+  let total = ref 0 in
+  for q = 0 to t.n_states - 1 do
+    let count, _, _ = t.labelled.(q) in
+    total := !total + count + if t.default_of.(q) >= 0 then 1 else 0
+  done;
+  !total
+
+(* Binary search in the sorted explicit-arc byte array. *)
+let find_arc (count, bytes, targets) c =
+  let rec go lo hi =
+    if lo > hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      if bytes.(mid) = c then Some targets.(mid)
+      else if bytes.(mid) < c then go (mid + 1) hi
+      else go lo (mid - 1)
+  in
+  go 0 (count - 1)
+
+let rec step t q c =
+  match find_arc t.labelled.(q) (Char.code c) with
+  | Some target -> target
+  | None -> (
+      match t.default_of.(q) with
+      | -1 ->
+          (* A state with no default stores all its arcs, so this is
+             unreachable for a total source DFA. *)
+          assert false
+      | r -> step t r c)
+
+let accepts t input =
+  let q = ref t.start in
+  String.iter (fun c -> q := step t !q c) input;
+  t.finals.(!q)
+
+let match_ends t input =
+  let len = String.length input in
+  let acc = ref [] in
+  let cur = Array.make t.n_states false in
+  let nxt = Array.make t.n_states false in
+  for i = 0 to len - 1 do
+    if (not t.anchored_start) || i = 0 then cur.(t.start) <- true;
+    let c = input.[i] in
+    Array.fill nxt 0 t.n_states false;
+    let matched = ref false in
+    for q = 0 to t.n_states - 1 do
+      if cur.(q) then begin
+        let d = step t q c in
+        if not nxt.(d) then begin
+          nxt.(d) <- true;
+          if t.finals.(d) then matched := true
+        end
+      end
+    done;
+    Array.blit nxt 0 cur 0 t.n_states;
+    if !matched && ((not t.anchored_end) || i = len - 1) then acc := (i + 1) :: !acc
+  done;
+  List.rev !acc
+
+let max_default_chain t =
+  let memo = Array.make t.n_states (-1) in
+  let rec chain q =
+    if memo.(q) >= 0 then memo.(q)
+    else begin
+      let v = match t.default_of.(q) with -1 -> 0 | r -> 1 + chain r in
+      memo.(q) <- v;
+      v
+    end
+  in
+  let best = ref 0 in
+  for q = 0 to t.n_states - 1 do
+    best := max !best (chain q)
+  done;
+  !best

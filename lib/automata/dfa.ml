@@ -1,0 +1,273 @@
+module Charclass = Mfsa_charset.Charclass
+module Vec = Mfsa_util.Vec
+
+type t = {
+  n_states : int;
+  next : int array;
+  start : int;
+  finals : bool array;
+  anchored_start : bool;
+  anchored_end : bool;
+  pattern : string;
+}
+
+let create ~n_states ~next ~start ~finals ?(anchored_start = false)
+    ?(anchored_end = false) ~pattern () =
+  if n_states <= 0 then invalid_arg "Dfa.create: need at least one state";
+  if Array.length next <> n_states * 256 then
+    invalid_arg "Dfa.create: transition table must have n_states * 256 entries";
+  if Array.length finals <> n_states then
+    invalid_arg "Dfa.create: finals must have n_states entries";
+  if start < 0 || start >= n_states then
+    invalid_arg "Dfa.create: start state out of range";
+  Array.iter
+    (fun q ->
+      if q < 0 || q >= n_states then
+        invalid_arg "Dfa.create: transition target out of range")
+    next;
+  { n_states; next; start; finals; anchored_start; anchored_end; pattern }
+
+let step t q c = t.next.((q * 256) + Char.code c)
+
+let determinize (a : Nfa.t) =
+  if not (Nfa.is_eps_free a) then
+    invalid_arg "Dfa.determinize: automaton must be ε-free";
+  (* Subset construction. NFA state sets are canonicalised as sorted
+     int lists; the table grows as new subsets are discovered. The
+     empty subset is the sink, always state 0 of the result. *)
+  let out = Nfa.out a in
+  let index = Hashtbl.create 64 in
+  let subsets = Vec.create () in
+  let intern subset =
+    match Hashtbl.find_opt index subset with
+    | Some id -> id
+    | None ->
+        let id = Vec.length subsets in
+        Hashtbl.add index subset id;
+        Vec.push subsets subset;
+        id
+  in
+  let sink = intern [] in
+  let start = intern [ a.Nfa.start ] in
+  let rows = Vec.create () in
+  Vec.push rows (Array.make 256 sink) (* sink loops to itself *);
+  let worklist = Queue.create () in
+  Queue.add start worklist;
+  Vec.push rows (Array.make 256 sink);
+  let processed = Hashtbl.create 64 in
+  Hashtbl.add processed sink ();
+  while not (Queue.is_empty worklist) do
+    let id = Queue.pop worklist in
+    if not (Hashtbl.mem processed id) then begin
+      Hashtbl.add processed id ();
+      let subset = Vec.get subsets id in
+      (* successor sets per byte, accumulated as sorted unique lists *)
+      let succ = Array.make 256 [] in
+      List.iter
+        (fun q ->
+          Array.iter
+            (fun ti ->
+              let tr = a.Nfa.transitions.(ti) in
+              match tr.Nfa.label with
+              | Nfa.Eps -> assert false
+              | Nfa.Cls cls ->
+                  Charclass.iter
+                    (fun c ->
+                      let i = Char.code c in
+                      succ.(i) <- tr.Nfa.dst :: succ.(i))
+                    cls)
+            out.(q))
+        subset;
+      let row = Vec.get rows id in
+      Array.iteri
+        (fun i dsts ->
+          let target = List.sort_uniq Int.compare dsts in
+          let tid = intern target in
+          (* New subsets need a row and a worklist entry. *)
+          if tid = Vec.length rows then begin
+            Vec.push rows (Array.make 256 sink);
+            Queue.add tid worklist
+          end
+          else if tid > Vec.length rows then assert false
+          else if not (Hashtbl.mem processed tid) then Queue.add tid worklist;
+          row.(i) <- tid)
+        succ
+    end
+  done;
+  let n = Vec.length subsets in
+  let next = Array.make (n * 256) sink in
+  Vec.iteri
+    (fun id row -> Array.blit row 0 next (id * 256) 256)
+    rows;
+  let finals = Array.make n false in
+  Vec.iteri
+    (fun id subset -> finals.(id) <- List.exists (fun q -> a.Nfa.finals.(q)) subset)
+    subsets;
+  create ~n_states:n ~next ~start ~finals ~anchored_start:a.Nfa.anchored_start
+    ~anchored_end:a.Nfa.anchored_end ~pattern:a.Nfa.pattern ()
+
+let reachable t =
+  let seen = Array.make t.n_states false in
+  let queue = Queue.create () in
+  seen.(t.start) <- true;
+  Queue.add t.start queue;
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    for c = 0 to 255 do
+      let d = t.next.((q * 256) + c) in
+      if not seen.(d) then begin
+        seen.(d) <- true;
+        Queue.add d queue
+      end
+    done
+  done;
+  seen
+
+let n_reachable t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 (reachable t)
+
+(* Hopcroft's partition-refinement minimisation, restricted to the
+   reachable sub-automaton. *)
+let minimize t =
+  let seen = reachable t in
+  (* Compact the reachable states first. *)
+  let renum = Array.make t.n_states (-1) in
+  let count = ref 0 in
+  for q = 0 to t.n_states - 1 do
+    if seen.(q) then begin
+      renum.(q) <- !count;
+      incr count
+    end
+  done;
+  let n = !count in
+  let next = Array.make (n * 256) 0 in
+  let finals = Array.make n false in
+  for q = 0 to t.n_states - 1 do
+    if seen.(q) then begin
+      let q' = renum.(q) in
+      finals.(q') <- t.finals.(q);
+      for c = 0 to 255 do
+        next.((q' * 256) + c) <- renum.(t.next.((q * 256) + c))
+      done
+    end
+  done;
+  let start = renum.(t.start) in
+  (* Partition refinement: block id per state; split blocks by
+     (successor block per byte) signatures until stable. Simpler than
+     textbook Hopcroft's worklist but O(n^2 * 256) worst case, which
+     is fine at this library's automaton sizes. *)
+  let block = Array.make n 0 in
+  for q = 0 to n - 1 do
+    block.(q) <- (if finals.(q) then 1 else 0)
+  done;
+  let n_blocks = ref (if Array.exists Fun.id finals && Array.exists not finals then 2 else 1) in
+  (if !n_blocks = 1 && Array.exists Fun.id finals then
+     (* all states final: single block id 1 -> normalise to 0 *)
+     Array.fill block 0 n 0);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let signature = Hashtbl.create 64 in
+    let new_block = Array.make n 0 in
+    let next_id = ref 0 in
+    for q = 0 to n - 1 do
+      let sig_q =
+        ( block.(q),
+          Array.init 256 (fun c -> block.(next.((q * 256) + c))) )
+      in
+      let id =
+        match Hashtbl.find_opt signature sig_q with
+        | Some id -> id
+        | None ->
+            let id = !next_id in
+            incr next_id;
+            Hashtbl.add signature sig_q id;
+            id
+      in
+      new_block.(q) <- id
+    done;
+    if !next_id <> !n_blocks then begin
+      changed := true;
+      n_blocks := !next_id
+    end;
+    Array.blit new_block 0 block 0 n
+  done;
+  let m = !n_blocks in
+  let mnext = Array.make (m * 256) 0 in
+  let mfinals = Array.make m false in
+  for q = 0 to n - 1 do
+    let b = block.(q) in
+    mfinals.(b) <- finals.(q);
+    for c = 0 to 255 do
+      mnext.((b * 256) + c) <- block.(next.((q * 256) + c))
+    done
+  done;
+  create ~n_states:m ~next:mnext ~start:block.(start) ~finals:mfinals
+    ~anchored_start:t.anchored_start ~anchored_end:t.anchored_end
+    ~pattern:t.pattern ()
+
+let accepts t input =
+  let q = ref t.start in
+  String.iter (fun c -> q := step t !q c) input;
+  t.finals.(!q)
+
+let match_ends t input =
+  (* Unanchored matching with a DFA requires one active state per
+     possible match start; maintain the set of live states like the
+     NFA engines do (a product construction would avoid this but blow
+     up the state count). *)
+  let len = String.length input in
+  let acc = ref [] in
+  let cur = Array.make t.n_states false in
+  let nxt = Array.make t.n_states false in
+  for i = 0 to len - 1 do
+    if (not t.anchored_start) || i = 0 then cur.(t.start) <- true;
+    let c = input.[i] in
+    Array.fill nxt 0 t.n_states false;
+    let matched = ref false in
+    for q = 0 to t.n_states - 1 do
+      if cur.(q) then begin
+        let d = step t q c in
+        if not nxt.(d) then begin
+          nxt.(d) <- true;
+          if t.finals.(d) then matched := true
+        end
+      end
+    done;
+    Array.blit nxt 0 cur 0 t.n_states;
+    if !matched && ((not t.anchored_end) || i = len - 1) then acc := (i + 1) :: !acc
+  done;
+  List.rev !acc
+
+let to_nfa t =
+  (* Group arcs by (src, dst) into classes; drop arcs into a
+     non-accepting all-absorbing sink. *)
+  let is_sink q =
+    (not t.finals.(q))
+    && (let all_self = ref true in
+        for c = 0 to 255 do
+          if t.next.((q * 256) + c) <> q then all_self := false
+        done;
+        !all_self)
+  in
+  let transitions = ref [] in
+  for q = 0 to t.n_states - 1 do
+    let by_dst = Hashtbl.create 16 in
+    for c = 0 to 255 do
+      let d = t.next.((q * 256) + c) in
+      if not (is_sink d) then
+        Hashtbl.replace by_dst d
+          (Charclass.add
+             (Option.value ~default:Charclass.empty (Hashtbl.find_opt by_dst d))
+             (Char.chr c))
+    done;
+    Hashtbl.iter
+      (fun d cls ->
+        transitions := { Nfa.src = q; label = Nfa.Cls cls; dst = d } :: !transitions)
+      by_dst
+  done;
+  let finals = ref [] in
+  Array.iteri (fun q f -> if f then finals := q :: !finals) t.finals;
+  Nfa.create ~n_states:t.n_states ~transitions:!transitions ~start:t.start
+    ~finals:!finals ~anchored_start:t.anchored_start
+    ~anchored_end:t.anchored_end ~pattern:t.pattern ()

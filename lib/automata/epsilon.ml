@@ -1,0 +1,140 @@
+module Charclass = Mfsa_charset.Charclass
+module Vec = Mfsa_util.Vec
+
+let closure_array a =
+  (* For each state, the set of states reachable through ε-arcs only,
+     computed by DFS; the closure always contains the state itself. *)
+  let eps_out = Array.make a.Nfa.n_states [] in
+  Array.iter
+    (fun t ->
+      if t.Nfa.label = Nfa.Eps then
+        eps_out.(t.Nfa.src) <- t.Nfa.dst :: eps_out.(t.Nfa.src))
+    a.Nfa.transitions;
+  let closures = Array.make a.Nfa.n_states [] in
+  let visited = Array.make a.Nfa.n_states false in
+  for q = 0 to a.Nfa.n_states - 1 do
+    Array.fill visited 0 a.Nfa.n_states false;
+    let acc = ref [] in
+    let rec dfs s =
+      if not visited.(s) then begin
+        visited.(s) <- true;
+        acc := s :: !acc;
+        List.iter dfs eps_out.(s)
+      end
+    in
+    dfs q;
+    closures.(q) <- List.sort Int.compare !acc
+  done;
+  closures
+
+let closure a q =
+  if q < 0 || q >= a.Nfa.n_states then
+    invalid_arg "Epsilon.closure: state out of range";
+  (closure_array a).(q)
+
+let remove a =
+  let n = a.Nfa.n_states in
+  let closures = closure_array a in
+  (* Non-ε transitions indexed by source. *)
+  let sym_out = Array.make n [] in
+  Array.iter
+    (fun t ->
+      match t.Nfa.label with
+      | Nfa.Eps -> ()
+      | Nfa.Cls _ -> sym_out.(t.Nfa.src) <- t :: sym_out.(t.Nfa.src))
+    a.Nfa.transitions;
+  (* New transition set: q --C--> s whenever r ∈ E(q) and r --C--> s. *)
+  let seen = Hashtbl.create 256 in
+  let new_out = Array.make n [] in
+  for q = 0 to n - 1 do
+    List.iter
+      (fun r ->
+        List.iter
+          (fun t ->
+            match t.Nfa.label with
+            | Nfa.Eps -> assert false
+            | Nfa.Cls c ->
+                let key = (q, c, t.Nfa.dst) in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  new_out.(q) <- (c, t.Nfa.dst) :: new_out.(q)
+                end)
+          sym_out.(r))
+      closures.(q)
+  done;
+  let new_final = Array.make n false in
+  for q = 0 to n - 1 do
+    new_final.(q) <- List.exists (fun r -> a.Nfa.finals.(r)) closures.(q)
+  done;
+  (* Forward reachability from the start over the new transitions. *)
+  let reachable = Array.make n false in
+  let queue = Queue.create () in
+  reachable.(a.Nfa.start) <- true;
+  Queue.add a.Nfa.start queue;
+  let bfs_order = Vec.create () in
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    Vec.push bfs_order q;
+    List.iter
+      (fun (_, dst) ->
+        if not reachable.(dst) then begin
+          reachable.(dst) <- true;
+          Queue.add dst queue
+        end)
+      new_out.(q)
+  done;
+  (* Backward reachability from final states ("live" states). *)
+  let rev_in = Array.make n [] in
+  for q = 0 to n - 1 do
+    List.iter (fun (_, dst) -> rev_in.(dst) <- q :: rev_in.(dst)) new_out.(q)
+  done;
+  let live = Array.make n false in
+  let rqueue = Queue.create () in
+  for q = 0 to n - 1 do
+    if new_final.(q) && reachable.(q) then begin
+      live.(q) <- true;
+      Queue.add q rqueue
+    end
+  done;
+  while not (Queue.is_empty rqueue) do
+    let q = Queue.pop rqueue in
+    List.iter
+      (fun p ->
+        if reachable.(p) && not live.(p) then begin
+          live.(p) <- true;
+          Queue.add p rqueue
+        end)
+      rev_in.(q)
+  done;
+  (* Keep live states (plus the start, even when the language is
+     empty); renumber in BFS order so start = 0. *)
+  let keep q = live.(q) || q = a.Nfa.start in
+  let renum = Array.make n (-1) in
+  let count = ref 0 in
+  Vec.iter
+    (fun q ->
+      if keep q && renum.(q) < 0 then begin
+        renum.(q) <- !count;
+        incr count
+      end)
+    bfs_order;
+  let transitions = ref [] in
+  for q = 0 to n - 1 do
+    if keep q && reachable.(q) then
+      List.iter
+        (fun (c, dst) ->
+          if keep dst && reachable.(dst) then
+            transitions :=
+              { Nfa.src = renum.(q); label = Nfa.Cls c; dst = renum.(dst) }
+              :: !transitions)
+        new_out.(q)
+  done;
+  let finals = ref [] in
+  for q = 0 to n - 1 do
+    if keep q && reachable.(q) && new_final.(q) then
+      finals := renum.(q) :: !finals
+  done;
+  Nfa.create ~n_states:(max 1 !count) ~transitions:!transitions
+    ~start:renum.(a.Nfa.start) ~finals:!finals
+    ~anchored_start:a.Nfa.anchored_start ~anchored_end:a.Nfa.anchored_end
+    ~pattern:a.Nfa.pattern ()

@@ -1,0 +1,19 @@
+(** ε-arc removal (paper §IV-C, optimisation 1).
+
+    Thompson gadgets use ε-arcs to wire fragments; ANML does not
+    support ε-moves and they add no information to the merging
+    procedure, so this pass eliminates them: with [E(q)] the ε-closure
+    of [q], the ε-free automaton has a transition [q --c--> s] whenever
+    some [r ∈ E(q)] has [r --c--> s], and [q] is final whenever [E(q)]
+    intersects [F]. Unreachable states and dead states (states from
+    which no final state is reachable) are then trimmed and the
+    remaining states renumbered in BFS order from the start state,
+    giving each rule a canonical compact FSA for the merging stage. *)
+
+val closure : Nfa.t -> int -> int list
+(** ε-closure of one state (includes the state itself), ascending. *)
+
+val remove : Nfa.t -> Nfa.t
+(** Returns an equivalent ε-free, trimmed, renumbered automaton with
+    [start = 0]. The result recognises the same language. Exact
+    duplicate transitions [(q, C, s)] are deduplicated. *)

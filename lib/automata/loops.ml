@@ -1,0 +1,88 @@
+module Ast = Mfsa_frontend.Ast
+
+let default_budget = 50_000
+
+let loop_count ast =
+  let rec go acc = function
+    | Ast.Empty | Ast.Char _ | Ast.Class _ -> acc
+    | Ast.Concat (a, b) | Ast.Alt (a, b) -> go (go acc a) b
+    | Ast.Star a | Ast.Opt a -> go (acc + 1) a
+    | Ast.Plus a | Ast.Repeat (a, _, _) -> go (acc + 1) a
+  in
+  go 0 ast
+
+let expand ?(budget = default_budget) ?(expand_plus = true) ast =
+  (* [remaining] is a mutable budget of output nodes. Copies of a
+     sub-AST are produced by [repeat_copies]; once the budget is
+     exhausted we keep the residual quantifier un-expanded (Thompson
+     unrolls it structurally later) rather than failing, except for
+     mandatory copies which must exist for correctness. *)
+  let remaining = ref budget in
+  let spend n = remaining := !remaining - n in
+  let rec go t =
+    match t with
+    | Ast.Empty | Ast.Char _ | Ast.Class _ ->
+        spend 1;
+        t
+    | Ast.Concat (a, b) ->
+        spend 1;
+        let a = go a in
+        let b = go b in
+        Ast.Concat (a, b)
+    | Ast.Alt (a, b) ->
+        spend 1;
+        let a = go a in
+        let b = go b in
+        Ast.Alt (a, b)
+    | Ast.Star a ->
+        spend 1;
+        Ast.Star (go a)
+    | Ast.Opt a ->
+        spend 1;
+        Ast.Opt (go a)
+    | Ast.Plus a ->
+        let a = go a in
+        if expand_plus && !remaining > Ast.size a + 1 then begin
+          spend (Ast.size a + 1);
+          Ast.Concat (a, Ast.Star a)
+        end
+        else begin
+          spend 1;
+          Ast.Plus a
+        end
+    | Ast.Repeat (a, m, bound) -> (
+        let a = go a in
+        let step = Ast.size a + 1 in
+        if step * max m 1 > !remaining then
+          invalid_arg
+            (Printf.sprintf
+               "Loops.expand: expanding {%d,...} over a sub-pattern of size \
+                %d exceeds the budget"
+               m (Ast.size a));
+        let mandatory = List.init m (fun _ -> a) in
+        spend (step * m);
+        match bound with
+        | None ->
+            (* e{m,} = e^m e* *)
+            spend step;
+            Ast.seq (mandatory @ [ Ast.Star a ])
+        | Some n ->
+            let optional_wanted = n - m in
+            let optional_affordable =
+              min optional_wanted (max 0 (!remaining / step))
+            in
+            spend (step * optional_affordable);
+            let optionals =
+              List.init optional_affordable (fun _ -> Ast.Opt a)
+            in
+            let residue =
+              let left = optional_wanted - optional_affordable in
+              if left = 0 then []
+              else [ Ast.Repeat (a, 0, Some left) ]
+            in
+            Ast.seq (mandatory @ optionals @ residue))
+  in
+  go ast
+
+let expand_rule ?budget ?expand_plus rule =
+  { rule with Ast.ast = expand ?budget ?expand_plus rule.Ast.ast }

@@ -1,0 +1,37 @@
+(** Loop expansion (paper §IV-C, optimisation 2 and Fig. 5a).
+
+    Bounded quantifiers are unrolled so the resulting FSA is a plain
+    chain/branch structure: expanded loops expose their per-iteration
+    transitions to the merging algorithm, which can then share them
+    across rules, whereas a compressed loop structure hides them. The
+    paper records loops during FSA generation and expands them on the
+    FSA; we perform the equivalent rewrite on the AST, before Thompson
+    construction, which yields the same expanded automaton without
+    graph surgery:
+
+    - [e{m,n}] → [e e … e (e?){n-m}]  ([m] copies then [n-m] optionals)
+    - [e{m,}]  → [e e … e e*]         ([m] copies then a star)
+    - [e{0,0}] → ε
+    - [e+]     → [e e*]               (lower-bound expansion, so that the
+      first iteration is a chain transition mergeable with other rules)
+
+    Expansion multiplies AST size; {!expand} therefore enforces a
+    budget on the output size and falls back to leaving the remaining
+    loops for Thompson to expand structurally (Thompson performs the
+    identical unrolling; the budget only bounds how much *this* pass
+    inflates the tree). *)
+
+val default_budget : int
+(** Maximum output AST size (nodes); 50_000. *)
+
+val expand : ?budget:int -> ?expand_plus:bool -> Mfsa_frontend.Ast.t -> Mfsa_frontend.Ast.t
+(** Rewrites every [Repeat] (and, when [expand_plus], every [Plus])
+    reachable in the AST. [expand_plus] defaults to [true].
+    @raise Invalid_argument if even a single mandatory copy cannot fit
+    in the budget. *)
+
+val expand_rule : ?budget:int -> ?expand_plus:bool -> Mfsa_frontend.Ast.rule -> Mfsa_frontend.Ast.rule
+
+val loop_count : Mfsa_frontend.Ast.t -> int
+(** Number of [Repeat]/[Plus]/[Star]/[Opt] nodes — the loop census the
+    paper's construction phase records. *)

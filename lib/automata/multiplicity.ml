@@ -1,0 +1,41 @@
+module Charclass = Mfsa_charset.Charclass
+
+let check_eps_free who a =
+  if not (Nfa.is_eps_free a) then
+    invalid_arg (who ^ ": automaton must be ε-free")
+
+let max_multiplicity a =
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun t ->
+      let key = (t.Nfa.src, t.Nfa.dst) in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    a.Nfa.transitions;
+  Hashtbl.fold (fun _ v acc -> max v acc) counts 0
+
+let fuse a =
+  check_eps_free "Multiplicity.fuse" a;
+  let bundles = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun t ->
+      match t.Nfa.label with
+      | Nfa.Eps -> assert false
+      | Nfa.Cls c ->
+          let key = (t.Nfa.src, t.Nfa.dst) in
+          (match Hashtbl.find_opt bundles key with
+          | None ->
+              Hashtbl.add bundles key c;
+              order := key :: !order
+          | Some acc -> Hashtbl.replace bundles key (Charclass.union acc c)))
+    a.Nfa.transitions;
+  let transitions =
+    List.rev_map
+      (fun (src, dst) ->
+        { Nfa.src; label = Nfa.Cls (Hashtbl.find bundles (src, dst)); dst })
+      !order
+  in
+  Nfa.create ~n_states:a.Nfa.n_states ~transitions ~start:a.Nfa.start
+    ~finals:(Nfa.final_states a) ~anchored_start:a.Nfa.anchored_start
+    ~anchored_end:a.Nfa.anchored_end ~pattern:a.Nfa.pattern ()

@@ -1,0 +1,21 @@
+(** Simplification of arcs with multiplicity greater than one (paper
+    §IV-C, optimisation 3 and Fig. 5b).
+
+    The multiplicity of a state pair [(q, s)] is the number of parallel
+    transitions between them (single-character alternations such as
+    [k|h]). Merging a single strand of such a bundle into another rule
+    would let the MFSA recognise strings of neither rule, so before
+    merging every parallel bundle is fused into one transition labelled
+    by the union character class: the class [\[kh\]] is then either
+    equal to another rule's class (mergeable) or different (not
+    mergeable), restoring the all-or-nothing comparison Algorithm 1
+    relies on. *)
+
+val fuse : Nfa.t -> Nfa.t
+(** Requires an ε-free automaton ({!Epsilon.remove} output); fuses all
+    parallel arcs. State numbering is unchanged.
+    @raise Invalid_argument if the automaton still has ε-arcs. *)
+
+val max_multiplicity : Nfa.t -> int
+(** Largest parallel-bundle size in the automaton; [fuse] output always
+    reports 1 (or 0 for an automaton with no transitions). *)

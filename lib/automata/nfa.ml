@@ -1,0 +1,162 @@
+module Charclass = Mfsa_charset.Charclass
+
+type label = Eps | Cls of Charclass.t
+
+type transition = { src : int; label : label; dst : int }
+
+type t = {
+  n_states : int;
+  transitions : transition array;
+  start : int;
+  finals : bool array;
+  anchored_start : bool;
+  anchored_end : bool;
+  pattern : string;
+}
+
+let label_sym c = Cls (Charclass.singleton c)
+
+let label_equal a b =
+  match (a, b) with
+  | Eps, Eps -> true
+  | Cls x, Cls y -> Charclass.equal x y
+  | (Eps | Cls _), _ -> false
+
+let pp_label fmt = function
+  | Eps -> Format.pp_print_string fmt "ε"
+  | Cls c -> Charclass.pp fmt c
+
+let create ~n_states ~transitions ~start ~finals ?(anchored_start = false)
+    ?(anchored_end = false) ~pattern () =
+  if n_states <= 0 then invalid_arg "Nfa.create: need at least one state";
+  let check_state what q =
+    if q < 0 || q >= n_states then
+      invalid_arg
+        (Printf.sprintf "Nfa.create: %s state %d out of range [0,%d)" what q
+           n_states)
+  in
+  check_state "start" start;
+  List.iter (check_state "final") finals;
+  List.iter
+    (fun { src; label; dst } ->
+      check_state "source" src;
+      check_state "destination" dst;
+      match label with
+      | Eps -> ()
+      | Cls c ->
+          if Charclass.is_empty c then
+            invalid_arg "Nfa.create: empty character class on a transition")
+    transitions;
+  let fin = Array.make n_states false in
+  List.iter (fun q -> fin.(q) <- true) finals;
+  {
+    n_states;
+    transitions = Array.of_list transitions;
+    start;
+    finals = fin;
+    anchored_start;
+    anchored_end;
+    pattern;
+  }
+
+let n_transitions a = Array.length a.transitions
+
+let final_states a =
+  let acc = ref [] in
+  for q = a.n_states - 1 downto 0 do
+    if a.finals.(q) then acc := q :: !acc
+  done;
+  !acc
+
+let is_eps_free a =
+  Array.for_all (fun t -> t.label <> Eps) a.transitions
+
+let out a =
+  let degree = Array.make a.n_states 0 in
+  Array.iter (fun t -> degree.(t.src) <- degree.(t.src) + 1) a.transitions;
+  let index = Array.init a.n_states (fun q -> Array.make degree.(q) 0) in
+  let next = Array.make a.n_states 0 in
+  Array.iteri
+    (fun i t ->
+      index.(t.src).(next.(t.src)) <- i;
+      next.(t.src) <- next.(t.src) + 1)
+    a.transitions;
+  index
+
+let cc_stats a =
+  Array.fold_left
+    (fun (count, total) t ->
+      match t.label with
+      | Eps -> (count, total)
+      | Cls c ->
+          let n = Charclass.cardinal c in
+          if n > 1 then (count + 1, total + n) else (count, total))
+    (0, 0) a.transitions
+
+let map_states a f ~n_states =
+  let transitions =
+    Array.to_list a.transitions
+    |> List.map (fun t -> { t with src = f t.src; dst = f t.dst })
+  in
+  let finals =
+    List.filter_map
+      (fun q -> if a.finals.(q) then Some (f q) else None)
+      (List.init a.n_states Fun.id)
+  in
+  create ~n_states ~transitions ~start:(f a.start) ~finals
+    ~anchored_start:a.anchored_start ~anchored_end:a.anchored_end
+    ~pattern:a.pattern ()
+
+let transition_key t =
+  let label_key =
+    match t.label with Eps -> "" | Cls c -> Charclass.to_spec c
+  in
+  (t.src, label_key, t.dst)
+
+let equal_structure a b =
+  a.n_states = b.n_states && a.start = b.start && a.finals = b.finals
+  && a.anchored_start = b.anchored_start
+  && a.anchored_end = b.anchored_end
+  && Array.length a.transitions = Array.length b.transitions
+  &&
+  let sorted x =
+    let keys = Array.map transition_key x.transitions in
+    Array.sort compare keys;
+    keys
+  in
+  sorted a = sorted b
+
+let pp fmt a =
+  Format.fprintf fmt "@[<v>NFA %S: %d states, %d transitions, start %d@,"
+    a.pattern a.n_states (Array.length a.transitions) a.start;
+  Format.fprintf fmt "finals: %a@,"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    (final_states a);
+  Array.iter
+    (fun t -> Format.fprintf fmt "  %d --%a--> %d@," t.src pp_label t.label t.dst)
+    a.transitions;
+  Format.fprintf fmt "@]"
+
+let to_dot a =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph nfa {\n  rankdir=LR;\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  start [shape=point]; start -> %d;\n" a.start);
+  Array.iteri
+    (fun q final ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [shape=%s];\n" q
+           (if final then "doublecircle" else "circle")))
+    a.finals;
+  Array.iter
+    (fun t ->
+      let lbl =
+        match t.label with
+        | Eps -> "&epsilon;"
+        | Cls c -> Charclass.to_spec c
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -> %d [label=%S];\n" t.src t.dst lbl))
+    a.transitions;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

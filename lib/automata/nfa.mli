@@ -1,0 +1,75 @@
+(** Finite state automata over the 256-byte alphabet.
+
+    The FSA tuple [(Q, Σ, δ, q0, F)] of the paper's §II, with the
+    transition function stored as an explicit transition list. Labels
+    are either ε or a character class; single characters are singleton
+    classes, so label equality — the primitive the merging algorithm is
+    built on (paper §III-A, sets [X] and [Y]) — is uniformly class
+    equality. States are the integers [0 .. n_states-1]. *)
+
+type label =
+  | Eps
+  | Cls of Mfsa_charset.Charclass.t
+      (** Non-empty set of enabling bytes. *)
+
+type transition = { src : int; label : label; dst : int }
+
+type t = private {
+  n_states : int;
+  transitions : transition array;
+  start : int;
+  finals : bool array;  (** [finals.(q)] iff [q ∈ F]; length [n_states]. *)
+  anchored_start : bool;
+  anchored_end : bool;
+  pattern : string;  (** Source RE this automaton was compiled from. *)
+}
+
+val label_sym : char -> label
+(** Singleton-class label. *)
+
+val label_equal : label -> label -> bool
+
+val pp_label : Format.formatter -> label -> unit
+
+val create :
+  n_states:int ->
+  transitions:transition list ->
+  start:int ->
+  finals:int list ->
+  ?anchored_start:bool ->
+  ?anchored_end:bool ->
+  pattern:string ->
+  unit ->
+  t
+(** Validates ranges (states within [\[0, n_states)], non-empty
+    classes). @raise Invalid_argument on malformed input. *)
+
+val n_transitions : t -> int
+
+val final_states : t -> int list
+
+val is_eps_free : t -> bool
+
+val out : t -> int array array
+(** [out a] is the adjacency index: [(out a).(q)] lists the indices
+    into [a.transitions] of the transitions leaving [q]. O(Q + T) to
+    build; callers should reuse it. *)
+
+val cc_stats : t -> int * int
+(** [(count, total_length)] over transitions whose class has more than
+    one member — the "number of CCs / length of CCs" statistics of the
+    paper's Table I. *)
+
+val map_states : t -> (int -> int) -> n_states:int -> t
+(** [map_states a f ~n_states] renames every state through [f] (which
+    must be injective into [\[0, n_states)]). *)
+
+val equal_structure : t -> t -> bool
+(** Structural identity: same state count, start, finals and transition
+    set (order-insensitive). Used by tests; not language equivalence. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump. *)
+
+val to_dot : t -> string
+(** Graphviz rendering for debugging. *)

@@ -1,0 +1,29 @@
+module Ast = Mfsa_frontend.Ast
+module Charclass = Mfsa_charset.Charclass
+
+let rec single_byte = function
+  | Ast.Char c -> Some (Charclass.singleton c)
+  | Ast.Class cls -> Some cls
+  | Ast.Alt (a, b) -> (
+      match (single_byte a, single_byte b) with
+      | Some ca, Some cb -> Some (Charclass.union ca cb)
+      | _ -> None)
+  | Ast.Empty | Ast.Concat _ | Ast.Star _ | Ast.Plus _ | Ast.Opt _
+  | Ast.Repeat _ ->
+      None
+
+let rec char_classes t =
+  match t with
+  | Ast.Empty | Ast.Char _ | Ast.Class _ -> t
+  | Ast.Alt (a, b) -> (
+      let a = char_classes a and b = char_classes b in
+      match (single_byte a, single_byte b) with
+      | Some ca, Some cb -> Ast.Class (Charclass.union ca cb)
+      | _ -> Ast.Alt (a, b))
+  | Ast.Concat (a, b) -> Ast.Concat (char_classes a, char_classes b)
+  | Ast.Star a -> Ast.Star (char_classes a)
+  | Ast.Plus a -> Ast.Plus (char_classes a)
+  | Ast.Opt a -> Ast.Opt (char_classes a)
+  | Ast.Repeat (a, m, n) -> Ast.Repeat (char_classes a, m, n)
+
+let char_classes_rule rule = { rule with Ast.ast = char_classes rule.Ast.ast }

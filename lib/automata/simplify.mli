@@ -1,0 +1,26 @@
+(** Single-character alternation simplification (paper §IV-C,
+    optimisation 3 and Fig. 5b).
+
+    An alternation whose branches each consume exactly one byte —
+    [(k|h)], [(a|\[0-9\])] — denotes a plain character class, but the
+    Thompson gadget for it builds two parallel single-byte paths.
+    Left that way, the merging algorithm could merge one strand of
+    the bundle with another rule and make the MFSA recognise strings
+    of neither rule (the Fig. 5b failure). This pass rewrites such
+    alternations into a single [Class] node, bottom-up, before
+    construction, so the automaton carries one class-labelled
+    transition: either mergeable as a whole or not at all.
+
+    Also folds the other class-like shapes that feed the same
+    problem: nested single-byte alternations ([(a|(b|c))]) and
+    alternations of classes. Languages are unchanged. *)
+
+val char_classes : Mfsa_frontend.Ast.t -> Mfsa_frontend.Ast.t
+(** Bottom-up rewrite; returns a language-equivalent AST in which no
+    [Alt] node has both branches single-byte. *)
+
+val char_classes_rule : Mfsa_frontend.Ast.rule -> Mfsa_frontend.Ast.rule
+
+val single_byte : Mfsa_frontend.Ast.t -> Mfsa_charset.Charclass.t option
+(** [Some cls] iff the AST consumes exactly one byte, drawn from
+    [cls]: a [Char], a [Class], or an [Alt] of such. *)

@@ -1,0 +1,64 @@
+module Charclass = Mfsa_charset.Charclass
+
+(* Shared simulation core: walk the input maintaining the set of
+   states reachable by consuming at least one byte, injecting the
+   start-state closure before every step (or only at position 0 when
+   start-anchored). [on_match] receives each end position once. *)
+let simulate a input ~anchored_start ~on_match =
+  let n = a.Nfa.n_states in
+  let closures = Array.init n (fun q -> Epsilon.closure a q) in
+  let sym_out = Array.make n [] in
+  Array.iter
+    (fun t ->
+      match t.Nfa.label with
+      | Nfa.Eps -> ()
+      | Nfa.Cls c -> sym_out.(t.Nfa.src) <- (c, t.Nfa.dst) :: sym_out.(t.Nfa.src))
+    a.Nfa.transitions;
+  let cur = Array.make n false in
+  let next = Array.make n false in
+  let len = String.length input in
+  for i = 0 to len - 1 do
+    if (not anchored_start) || i = 0 then
+      List.iter (fun q -> cur.(q) <- true) closures.(a.Nfa.start);
+    let c = input.[i] in
+    Array.fill next 0 n false;
+    for q = 0 to n - 1 do
+      if cur.(q) then
+        List.iter
+          (fun (cls, dst) ->
+            if Charclass.mem cls c then
+              List.iter (fun r -> next.(r) <- true) closures.(dst))
+          sym_out.(q)
+    done;
+    Array.blit next 0 cur 0 n;
+    let matched = ref false in
+    for q = 0 to n - 1 do
+      if cur.(q) && a.Nfa.finals.(q) then matched := true
+    done;
+    if !matched then on_match (i + 1)
+  done
+
+let accepts a input =
+  if String.length input = 0 then
+    List.exists (fun q -> a.Nfa.finals.(q)) (Epsilon.closure a a.Nfa.start)
+  else begin
+    let found = ref false in
+    let len = String.length input in
+    simulate a input ~anchored_start:true ~on_match:(fun e ->
+        if e = len then found := true);
+    !found
+  end
+
+let match_ends a input =
+  let acc = ref [] in
+  let len = String.length input in
+  simulate a input ~anchored_start:a.Nfa.anchored_start ~on_match:(fun e ->
+      if (not a.Nfa.anchored_end) || e = len then acc := e :: !acc);
+  List.rev !acc
+
+let count_matches a input =
+  let count = ref 0 in
+  let len = String.length input in
+  simulate a input ~anchored_start:a.Nfa.anchored_start ~on_match:(fun e ->
+      if (not a.Nfa.anchored_end) || e = len then incr count);
+  !count

@@ -1,0 +1,26 @@
+(** Reference simulator — the testing oracle.
+
+    A straightforward set-based NFA simulation that works on any
+    automaton, ε-arcs included. It is deliberately simple and slow; the
+    property-test suites use it as ground truth for every middle-end
+    transformation ({!Epsilon}, {!Loops}, {!Multiplicity}) and for the
+    iNFAnt/iMFAnt engines.
+
+    Matching conventions (shared with the engines):
+    - matching is {e unanchored} unless the rule carried [^]/[$]: a
+      match may start at any input position;
+    - only non-empty matches are reported;
+    - a match is identified by its {e end position} (the index just
+      past its last byte); a given end position is reported once. *)
+
+val accepts : Nfa.t -> string -> bool
+(** Whole-string acceptance: does the automaton's language contain
+    exactly this string? Ignores the anchoring flags. *)
+
+val match_ends : Nfa.t -> string -> int list
+(** End positions (ascending, each in [\[1, length\]]) of all matches
+    under the conventions above, honouring [anchored_start] /
+    [anchored_end]. *)
+
+val count_matches : Nfa.t -> string -> int
+(** [List.length (match_ends a s)] without building the list. *)

@@ -1,0 +1,87 @@
+module Ast = Mfsa_frontend.Ast
+module Parser = Mfsa_frontend.Parser
+module Vec = Mfsa_util.Vec
+
+type builder = { mutable next_state : int; transitions : Nfa.transition Vec.t }
+
+let fresh b =
+  let q = b.next_state in
+  b.next_state <- q + 1;
+  q
+
+let arc b src label dst = Vec.push b.transitions { Nfa.src; label; dst }
+
+(* Every fragment has one entry and one exit state, in classic Thompson
+   style; [build_frag] returns [(entry, exit)]. *)
+let rec build_frag b ast =
+  match ast with
+  | Ast.Empty ->
+      let s = fresh b and f = fresh b in
+      arc b s Nfa.Eps f;
+      (s, f)
+  | Ast.Char c ->
+      let s = fresh b and f = fresh b in
+      arc b s (Nfa.label_sym c) f;
+      (s, f)
+  | Ast.Class cls ->
+      let s = fresh b and f = fresh b in
+      arc b s (Nfa.Cls cls) f;
+      (s, f)
+  | Ast.Concat (x, y) ->
+      let sx, fx = build_frag b x in
+      let sy, fy = build_frag b y in
+      arc b fx Nfa.Eps sy;
+      (sx, fy)
+  | Ast.Alt (x, y) ->
+      let s = fresh b and f = fresh b in
+      let sx, fx = build_frag b x in
+      let sy, fy = build_frag b y in
+      arc b s Nfa.Eps sx;
+      arc b s Nfa.Eps sy;
+      arc b fx Nfa.Eps f;
+      arc b fy Nfa.Eps f;
+      (s, f)
+  | Ast.Star x ->
+      let s = fresh b and f = fresh b in
+      let sx, fx = build_frag b x in
+      arc b s Nfa.Eps sx;
+      arc b s Nfa.Eps f;
+      arc b fx Nfa.Eps sx;
+      arc b fx Nfa.Eps f;
+      (s, f)
+  | Ast.Plus x ->
+      let s = fresh b and f = fresh b in
+      let sx, fx = build_frag b x in
+      arc b s Nfa.Eps sx;
+      arc b fx Nfa.Eps sx;
+      arc b fx Nfa.Eps f;
+      (s, f)
+  | Ast.Opt x ->
+      let s = fresh b and f = fresh b in
+      let sx, fx = build_frag b x in
+      arc b s Nfa.Eps sx;
+      arc b s Nfa.Eps f;
+      arc b fx Nfa.Eps f;
+      (s, f)
+  | Ast.Repeat (x, m, bound) ->
+      (* Structural unrolling for loops that Loops.expand left behind
+         (e.g. residues beyond its budget). *)
+      let expanded =
+        let mandatory = List.init m (fun _ -> x) in
+        match bound with
+        | None -> Ast.seq (mandatory @ [ Ast.Star x ])
+        | Some n ->
+            let optionals = List.init (n - m) (fun _ -> Ast.Opt x) in
+            Ast.seq (mandatory @ optionals)
+      in
+      build_frag b expanded
+
+let build rule =
+  let b = { next_state = 0; transitions = Vec.create () } in
+  let start, final = build_frag b rule.Ast.ast in
+  Nfa.create ~n_states:b.next_state
+    ~transitions:(Vec.to_list b.transitions)
+    ~start ~finals:[ final ] ~anchored_start:rule.Ast.anchored_start
+    ~anchored_end:rule.Ast.anchored_end ~pattern:rule.Ast.pattern ()
+
+let build_pattern pattern = build (Parser.parse_exn pattern)

@@ -1,0 +1,17 @@
+(** Thompson-like construction: AST → ε-NFA (paper §IV-B).
+
+    Each AST operator maps to a fixed gadget; the construction walks
+    the tree depth-first, encoding leaves as two-state sub-FSAs and
+    wiring them together at the parent operators, exactly the
+    depth-first procedure the paper describes. The result is
+    non-deterministic, uses ε-arcs freely (they are removed by the
+    {!Epsilon} pass), and has a single start and a single final state. *)
+
+val build : Mfsa_frontend.Ast.rule -> Nfa.t
+(** [Repeat] nodes still present in the AST (i.e. not rewritten by
+    {!Loops.expand}) are unrolled structurally during construction, so
+    the output never contains counters. *)
+
+val build_pattern : string -> Nfa.t
+(** Convenience: parse with {!Parser} then {!build}.
+    @raise Mfsa_frontend.Parser.Parse_error on bad patterns. *)

@@ -1,0 +1,166 @@
+(* A class is an immutable 256-bit vector stored as a 32-byte string:
+   bit [c] of the vector (byte [c/8], bit [c mod 8]) tells whether byte
+   [c] is in the class. Strings give structural equality/compare/hash
+   for free and O(1) membership, which is what the engines need. *)
+
+type t = string
+
+let width = 32
+
+let empty = String.make width '\000'
+let full = String.make width '\255'
+
+let mem t c =
+  let i = Char.code c in
+  Char.code t.[i lsr 3] land (1 lsl (i land 7)) <> 0
+
+let map2 op a b =
+  String.init width (fun i -> Char.chr (op (Char.code a.[i]) (Char.code b.[i]) land 0xff))
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+let complement a = map2 (fun x _ -> lnot x land 0xff) a empty
+
+let set_bit bytes c =
+  let i = Char.code c in
+  Bytes.set bytes (i lsr 3)
+    (Char.chr (Char.code (Bytes.get bytes (i lsr 3)) lor (1 lsl (i land 7))))
+
+let singleton c =
+  let b = Bytes.make width '\000' in
+  set_bit b c;
+  Bytes.unsafe_to_string b
+
+let range lo hi =
+  if hi < lo then invalid_arg "Charclass.range: hi < lo";
+  let b = Bytes.make width '\000' in
+  for i = Char.code lo to Char.code hi do
+    set_bit b (Char.chr i)
+  done;
+  Bytes.unsafe_to_string b
+
+let of_list cs =
+  let b = Bytes.make width '\000' in
+  List.iter (set_bit b) cs;
+  Bytes.unsafe_to_string b
+
+let of_string s =
+  let b = Bytes.make width '\000' in
+  String.iter (set_bit b) s;
+  Bytes.unsafe_to_string b
+
+let add t c = union t (singleton c)
+let remove t c = diff t (singleton c)
+
+let is_empty t = String.equal t empty
+let is_full t = String.equal t full
+
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+
+let popcount_byte b =
+  let rec go b acc = if b = 0 then acc else go (b land (b - 1)) (acc + 1) in
+  go b 0
+
+let cardinal t =
+  let acc = ref 0 in
+  String.iter (fun b -> acc := !acc + popcount_byte (Char.code b)) t;
+  !acc
+
+let is_singleton t =
+  if cardinal t <> 1 then None
+  else
+    let found = ref '\000' in
+    for i = 0 to 255 do
+      if mem t (Char.chr i) then found := Char.chr i
+    done;
+    Some !found
+
+let subset a b = String.equal (diff a b) empty
+
+let disjoint a b = is_empty (inter a b)
+
+let iter f t =
+  for i = 0 to 255 do
+    let c = Char.chr i in
+    if mem t c then f c
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun c -> acc := f c !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun c acc -> c :: acc) t [])
+
+let choose t =
+  let exception Found of char in
+  try
+    iter (fun c -> raise (Found c)) t;
+    None
+  with Found c -> Some c
+
+let to_ranges t =
+  let ranges = ref [] in
+  let start = ref None in
+  for i = 0 to 255 do
+    let here = mem t (Char.chr i) in
+    match (!start, here) with
+    | None, true -> start := Some i
+    | Some s, false ->
+        ranges := (Char.chr s, Char.chr (i - 1)) :: !ranges;
+        start := None
+    | _ -> ()
+  done;
+  (match !start with
+  | Some s -> ranges := (Char.chr s, Char.chr 255) :: !ranges
+  | None -> ());
+  List.rev !ranges
+
+let of_ranges rs = List.fold_left (fun acc (lo, hi) -> union acc (range lo hi)) empty rs
+
+let posix name =
+  let r lo hi = range lo hi in
+  match name with
+  | "alnum" -> Some (union (r 'a' 'z') (union (r 'A' 'Z') (r '0' '9')))
+  | "alpha" -> Some (union (r 'a' 'z') (r 'A' 'Z'))
+  | "blank" -> Some (of_list [ ' '; '\t' ])
+  | "cntrl" -> Some (union (r '\000' '\031') (singleton '\127'))
+  | "digit" -> Some (r '0' '9')
+  | "graph" -> Some (r '!' '~')
+  | "lower" -> Some (r 'a' 'z')
+  | "print" -> Some (r ' ' '~')
+  | "punct" ->
+      Some
+        (diff (r '!' '~') (union (r 'a' 'z') (union (r 'A' 'Z') (r '0' '9'))))
+  | "space" -> Some (of_list [ ' '; '\t'; '\n'; '\011'; '\012'; '\r' ])
+  | "upper" -> Some (r 'A' 'Z')
+  | "xdigit" -> Some (union (r '0' '9') (union (r 'a' 'f') (r 'A' 'F')))
+  | _ -> None
+
+let dot = remove full '\n'
+
+let pp_char fmt c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ' ' -> Format.pp_print_char fmt c
+  | '-' | ']' | '\\' | '^' -> Format.fprintf fmt "\\%c" c
+  | c when Char.code c >= 33 && Char.code c <= 126 -> Format.pp_print_char fmt c
+  | c -> Format.fprintf fmt "\\x%02x" (Char.code c)
+
+let pp fmt t =
+  match is_singleton t with
+  | Some c -> pp_char fmt c
+  | None ->
+      Format.fprintf fmt "[";
+      List.iter
+        (fun (lo, hi) ->
+          if lo = hi then pp_char fmt lo
+          else if Char.code hi = Char.code lo + 1 then
+            Format.fprintf fmt "%a%a" pp_char lo pp_char hi
+          else Format.fprintf fmt "%a-%a" pp_char lo pp_char hi)
+        (to_ranges t);
+      Format.fprintf fmt "]"
+
+let to_spec t = Format.asprintf "%a" pp t

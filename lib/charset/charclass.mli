@@ -1,0 +1,73 @@
+(** Character classes over the fixed 256-byte alphabet.
+
+    iNFAnt/iMFAnt work on the standard 256-character alphabet (paper
+    §V), and the middle-end fuses parallel arcs into character-class
+    transitions (paper §IV-C, Fig. 5b). A [t] is an immutable set of
+    bytes with full boolean algebra, plus the POSIX-bracket primitives
+    the front-end needs ([\[:alpha:\]], ranges, negation). *)
+
+type t
+
+val empty : t
+val full : t
+
+val singleton : char -> t
+
+val range : char -> char -> t
+(** [range lo hi] contains every byte in [\[lo, hi\]].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val of_list : char list -> t
+val of_string : string -> t
+(** Set of the bytes occurring in the string. *)
+
+val add : t -> char -> t
+val remove : t -> char -> t
+val mem : t -> char -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+
+val is_empty : t -> bool
+val is_full : t -> bool
+val is_singleton : t -> char option
+(** [Some c] iff the class contains exactly [c]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val cardinal : t -> int
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+
+val iter : (char -> unit) -> t -> unit
+val fold : (char -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> char list
+val choose : t -> char option
+(** Smallest member, if any. *)
+
+val to_ranges : t -> (char * char) list
+(** Maximal runs of consecutive members, in increasing order; the
+    canonical form used by the ANML back-end and pretty-printer. *)
+
+val of_ranges : (char * char) list -> t
+
+(** Named POSIX bracket classes, as required by POSIX ERE (paper
+    §IV-A). *)
+
+val posix : string -> t option
+(** [posix "alpha"] etc. Recognises alnum, alpha, blank, cntrl, digit,
+    graph, lower, print, punct, space, upper, xdigit. [None] for
+    unknown names. *)
+
+val dot : t
+(** The class matched by ['.'] in a RE: every byte except newline. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as a bracket expression, e.g. [\[a-ck\]]; single characters
+    render bare; [full] renders as [.]-style [\[\\x00-\\xff\]]. *)
+
+val to_spec : t -> string
+(** [Format.asprintf "%a" pp]. *)

@@ -1,0 +1,32 @@
+(** Similarity-driven grouping of rules before merging — the paper's
+    second future-work direction (§VIII: "a systematic similarity RE
+    analysis for possible clustering techniques").
+
+    The paper's evaluation samples the M rules of each MFSA
+    {e sequentially} from the dataset. Since merging exploits
+    morphological similarity, grouping mutually-similar rules should
+    compress better at the same merging factor. This module provides
+    a greedy agglomerative grouping by normalised INDEL similarity
+    (the Fig. 1 metric): repeatedly seed a group with the first
+    unassigned rule and fill it with the most similar remaining rules
+    until the group reaches M. The benchmark harness evaluates it as
+    an ablation against sequential sampling. *)
+
+val group : m:int -> string array -> int list list
+(** [group ~m patterns] partitions indices [0 .. n-1] into groups of
+    (up to) [m], greedily by pairwise INDEL similarity of the pattern
+    texts. [m = 0] (or [m >= n]) yields a single group; groups
+    preserve no particular order beyond the greedy construction.
+    @raise Invalid_argument if [m < 0] or [patterns] is empty. *)
+
+val reorder : 'a array -> int list list -> 'a array * int list list
+(** [reorder items groups] permutes [items] so that each group's
+    members are contiguous and in group order, returning the permuted
+    array together with the groups re-expressed over the new indices —
+    ready for {!Mfsa_model.Merge.merge_groups}, which cuts consecutive
+    windows. *)
+
+val merge_clustered :
+  m:int -> Mfsa_automata.Nfa.t array -> Mfsa_model.Mfsa.t list
+(** Convenience: cluster by the automata's source patterns, reorder,
+    and merge each group (equivalent to [Merge.merge] per group). *)

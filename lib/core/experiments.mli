@@ -1,0 +1,104 @@
+(** Reproduction harness for every table and figure of the paper's
+    evaluation (§VI). Each function renders one artefact as plain
+    text; {!run_all} prints the full evaluation in paper order.
+
+    The experiments run on the synthetic datasets of
+    {!Mfsa_datasets.Datasets} (DESIGN.md substitution 1). Default
+    sizes are scaled down so the whole suite finishes in minutes on
+    one core; set the [MFSA_SCALE], [MFSA_STREAM_KB] and [MFSA_REPS]
+    environment variables (or build a {!config} directly) to approach
+    the paper's full scale (scale 1.0, 1024 KiB, 30/15 repetitions —
+    see EXPERIMENTS.md). *)
+
+type config = {
+  scale : float;  (** Ruleset size multiplier (1.0 = paper size). *)
+  stream_kb : int;  (** Input stream size in KiB (paper: 1024). *)
+  reps : int;  (** Repetitions averaged for timing experiments. *)
+  merge_factors : int list;
+      (** The M sweep; 0 encodes the paper's "all". *)
+  thread_counts : int list;  (** The T sweep of Fig. 10. *)
+  hw_threads : int;
+      (** Modelled hardware-thread limit for the Fig. 10 projection
+          (the paper's i7-6700 exposes 8); scaling saturates here. *)
+}
+
+val default : unit -> config
+(** Scaled-down defaults, overridable via environment variables. *)
+
+val paper_scale : config
+(** The paper's configuration (expect hours of runtime). *)
+
+val fig1 : config -> string
+(** Average normalised INDEL similarity per dataset (Fig. 1). *)
+
+val table1 : config -> string
+(** Dataset characteristics: rules, states, transitions, character
+    classes (Table I). *)
+
+val fig7 : config -> string
+(** State and transition compression % per dataset and merging factor
+    (Fig. 7). *)
+
+val fig8 : config -> string
+(** Compilation-stage time breakdown per dataset and merging factor
+    (Fig. 8). *)
+
+val table2 : config -> string
+(** Average and maximum number of active FSAs during M=all traversal
+    (Table II). *)
+
+val fig9 : config -> string
+(** Single-threaded execution time and throughput improvement over
+    M=1 per dataset and merging factor (Fig. 9), with the geometric
+    means the paper headlines. *)
+
+val fig10 : config -> string
+(** Multi-threaded scaling: projected greedy-scheduler latency per
+    dataset, merging factor and thread count, with best-performance
+    and best-thread-utilisation markers (Fig. 10). *)
+
+val ablation_ccsplit : config -> string
+(** Ablation of the paper's §VI-A future-work optimisation: state and
+    transition compression at M=all with and without the partial
+    character-class merging pre-pass ({!Mfsa_model.Ccsplit}). *)
+
+val ablation_cluster : config -> string
+(** Ablation of the paper's §VIII clustering direction: compression
+    with sequential sampling (the paper's grouping) versus
+    INDEL-similarity clustering ({!Cluster}) at several merging
+    factors. *)
+
+val baselines : config -> string
+(** Comparison against the classical alternatives of §II/§VII on each
+    dataset: per-rule scanning DFAs (subset construction + Hopcroft),
+    D²FA default-transition compression, 2-stride DFAs, and — on the
+    literal-only sub-ruleset — Aho–Corasick. Reports representation
+    sizes and single-thread execution times next to the MFSA's. *)
+
+val ablation_bisim : config -> string
+(** Ablation of an optional pre-merging pass not in the paper:
+    bisimulation-based NFA state reduction ({!Mfsa_automata.Bisim})
+    applied to every rule before Algorithm 1 — per-rule size
+    reduction, and compression/execution at M=all with and without
+    it. *)
+
+val ablation_strategy : config -> string
+(** Ablation of merge aggressiveness: greedy anywhere-seeding (the
+    default, maximal compression) versus prefix-aligned seeding
+    (trie-like, conservative) at M=all — compression, run-time
+    active-set pressure (Table II's metric) and execution time side
+    by side. This probes the compression/activation trade-off behind
+    the paper's DS9/PRO anomalies (§VI-C1). *)
+
+val complexity : config -> string
+(** Empirical validation of the merging cost model (paper §III-A,
+    Eq. 3): wall-clock time of Algorithm 1 over growing prefixes of
+    the BRO ruleset, with the fitted log-log slope. The paper
+    approximates the average complexity as O(M⁴) under Nfs ≈ M; the
+    per-label and per-triple hash indexes bring this implementation's
+    measured growth far below the model's bound. *)
+
+val run_all : config -> string
+(** Every artefact in paper order — the Figs. 1 and 7-10 and Tables I
+    and II reproductions followed by the ablations and baselines —
+    separated by headers. *)

@@ -1,0 +1,141 @@
+module Parser = Mfsa_frontend.Parser
+module Ast = Mfsa_frontend.Ast
+module Thompson = Mfsa_automata.Thompson
+module Epsilon = Mfsa_automata.Epsilon
+module Loops = Mfsa_automata.Loops
+module Multiplicity = Mfsa_automata.Multiplicity
+module Simplify = Mfsa_automata.Simplify
+module Merge = Mfsa_model.Merge
+module Anml = Mfsa_anml.Anml
+
+let log_src = Logs.Src.create "mfsa.pipeline" ~doc:"MFSA compilation framework"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stage_times = {
+  frontend : float;
+  conversion : float;
+  optimization : float;
+  merging : float;
+  backend : float;
+}
+
+let total t =
+  t.frontend +. t.conversion +. t.optimization +. t.merging +. t.backend
+
+type compiled = {
+  rules : Ast.rule array;
+  fsas : Mfsa_automata.Nfa.t array;
+  mfsas : Mfsa_model.Mfsa.t list;
+  merge_stats : Merge.stats;
+  times : stage_times;
+  anml : string;
+}
+
+type error = { rule_index : int; pattern : string; message : string }
+
+let error_to_string { rule_index; pattern; message } =
+  Printf.sprintf "rule %d (%s): %s" rule_index pattern message
+
+exception Stop of error
+
+let now () = Unix.gettimeofday ()
+
+let timed cell f =
+  let t0 = now () in
+  let r = f () in
+  cell := !cell +. (now () -. t0);
+  r
+
+let rule_error i pattern = function
+  | Parser.Parse_error { pos; message } ->
+      { rule_index = i; pattern; message = Printf.sprintf "at offset %d: %s" pos message }
+  | Invalid_argument message -> { rule_index = i; pattern; message }
+  | e -> raise e
+
+let compile_stages patterns =
+  let fe = ref 0. and conv = ref 0. and opt = ref 0. in
+  (* Front-end: lexical and syntactic analyses of every rule. *)
+  let parse i pattern =
+    match timed fe (fun () -> Parser.parse_exn pattern) with
+    | rule -> rule
+    | exception e -> raise (Stop (rule_error i pattern e))
+  in
+  let rules = Array.mapi parse patterns in
+  (* Middle-end, per rule: loop expansion (optimisation), Thompson
+     construction (conversion), ε-removal and multiplicity fusion
+     (optimisation). *)
+  let build i rule =
+    match
+      let expanded =
+        timed opt (fun () -> Simplify.char_classes_rule (Loops.expand_rule rule))
+      in
+      let nfa = timed conv (fun () -> Thompson.build expanded) in
+      timed opt (fun () -> Multiplicity.fuse (Epsilon.remove nfa))
+    with
+    | fsa -> fsa
+    | exception e -> raise (Stop (rule_error i patterns.(i) e))
+  in
+  let fsas = Array.mapi build rules in
+  (rules, fsas, !fe, !conv, !opt)
+
+let build_fsas patterns =
+  match compile_stages patterns with
+  | _, fsas, _, _, _ -> Ok fsas
+  | exception Stop e -> Error e
+
+let build_fsa pattern =
+  match build_fsas [| pattern |] with
+  | Ok [| fsa |] -> Ok fsa
+  | Ok _ -> assert false
+  | Error e -> Error e
+
+let compile ?strategy ?(m = 0) patterns =
+  if Array.length patterns = 0 then
+    Error { rule_index = 0; pattern = ""; message = "empty ruleset" }
+  else
+    match compile_stages patterns with
+    | exception Stop e -> Error e
+    | rules, fsas, fe, conv, opt ->
+        let stats =
+          ref
+            {
+              Merge.seeds = 0;
+              chains = 0;
+              merged_transitions = 0;
+              merged_states = 0;
+            }
+        in
+        let t0 = now () in
+        let mfsas = Merge.merge_groups ?strategy ~stats ~m fsas in
+        let merging = now () -. t0 in
+        let t1 = now () in
+        let anml = Anml.write mfsas in
+        let backend = now () -. t1 in
+        Log.info (fun l ->
+            l
+              "compiled %d rules into %d MFSA(s): FE %.3fms, AST->FSA %.3fms, \
+               ME-single %.3fms, ME-merging %.3fms, BE %.3fms"
+              (Array.length patterns) (List.length mfsas) (fe *. 1e3)
+              (conv *. 1e3) (opt *. 1e3) (merging *. 1e3) (backend *. 1e3));
+        Ok
+          {
+            rules;
+            fsas;
+            mfsas;
+            merge_stats = !stats;
+            times =
+              {
+                frontend = fe;
+                conversion = conv;
+                optimization = opt;
+                merging;
+                backend;
+              };
+            anml;
+          }
+
+let compile_exn ?strategy ?m patterns =
+  match compile ?strategy ?m patterns with
+  | Ok c -> c
+  | Error e -> failwith (error_to_string e)

@@ -1,0 +1,54 @@
+(** The multi-level compilation framework (paper §IV, Fig. 4).
+
+    Drives a ruleset through the five stages: front-end (lexical and
+    syntactic analysis), AST-to-FSA conversion (Thompson-like
+    construction), single-FSA middle-end optimisation (loop expansion,
+    ε-removal, multiplicity fusion), MFSA merging with factor [M], and
+    extended-ANML generation. Each stage's wall-clock time is recorded
+    — the quantities broken down in the paper's Fig. 8. *)
+
+type stage_times = {
+  frontend : float;  (** Lexing + parsing, seconds (Fig. 8 "FE"). *)
+  conversion : float;  (** Thompson construction ("AST to FSA"). *)
+  optimization : float;
+      (** Loop expansion + ε-removal + multiplicity fusion
+          ("ME-single"). *)
+  merging : float;  (** Algorithm 1 over all groups ("ME-merging"). *)
+  backend : float;  (** ANML generation ("BE"). *)
+}
+
+val total : stage_times -> float
+
+type compiled = {
+  rules : Mfsa_frontend.Ast.rule array;
+  fsas : Mfsa_automata.Nfa.t array;  (** Optimised single FSAs. *)
+  mfsas : Mfsa_model.Mfsa.t list;  (** ⌈N/M⌉ merged automata. *)
+  merge_stats : Mfsa_model.Merge.stats;
+  times : stage_times;
+  anml : string;  (** The generated extended-ANML document. *)
+}
+
+type error = { rule_index : int; pattern : string; message : string }
+
+val error_to_string : error -> string
+
+val compile :
+  ?strategy:Mfsa_model.Merge.strategy ->
+  ?m:int ->
+  string array ->
+  (compiled, error) result
+(** [compile ~m patterns] runs the whole framework. [m] is the merging
+    factor (default 0 = merge the entire ruleset into one MFSA, the
+    paper's "M = all"); [strategy] picks the merge seeding
+    (default {!Mfsa_model.Merge.Greedy}). *)
+
+val compile_exn :
+  ?strategy:Mfsa_model.Merge.strategy -> ?m:int -> string array -> compiled
+(** @raise Failure with the formatted error. *)
+
+val build_fsa : string -> (Mfsa_automata.Nfa.t, error) result
+(** Single-rule convenience: front-end + conversion + single-FSA
+    optimisation. *)
+
+val build_fsas : string array -> (Mfsa_automata.Nfa.t array, error) result
+(** The per-rule part of the pipeline (everything before merging). *)

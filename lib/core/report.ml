@@ -1,0 +1,83 @@
+module Nfa = Mfsa_automata.Nfa
+module Mfsa = Mfsa_model.Mfsa
+
+type totals = { states : int; transitions : int }
+
+let fsa_totals fsas =
+  Array.fold_left
+    (fun acc a ->
+      {
+        states = acc.states + a.Nfa.n_states;
+        transitions = acc.transitions + Nfa.n_transitions a;
+      })
+    { states = 0; transitions = 0 }
+    fsas
+
+let mfsa_totals mfsas =
+  List.fold_left
+    (fun acc z ->
+      {
+        states = acc.states + z.Mfsa.n_states;
+        transitions = acc.transitions + Mfsa.n_transitions z;
+      })
+    { states = 0; transitions = 0 }
+    mfsas
+
+let pct before after =
+  if before = 0 then 0.
+  else float_of_int (before - after) /. float_of_int before *. 100.
+
+let compression ~before ~after =
+  (pct before.states after.states, pct before.transitions after.transitions)
+
+let throughput ~n_mfsa ~m ~data_size ~exe_time =
+  if exe_time <= 0. then 0.
+  else float_of_int (n_mfsa * m * data_size) /. exe_time
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+      List.iter
+        (fun x -> if x <= 0. then invalid_arg "Report.geomean: non-positive entry")
+        xs;
+      let log_sum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+      exp (log_sum /. float_of_int (List.length xs))
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    let line =
+      String.concat "  "
+        (List.mapi
+           (fun c w ->
+             let cell = Option.value ~default:"" (List.nth_opt row c) in
+             cell ^ String.make (max 0 (w - String.length cell)) ' ')
+           widths)
+    in
+    (* Keep trailing alignment spaces off the line ends. *)
+    let rec rstrip i = if i > 0 && line.[i - 1] = ' ' then rstrip (i - 1) else i in
+    String.sub line 0 (rstrip (String.length line))
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+  ^ "\n"
+
+let fmt_time s =
+  if s < 1e-6 then Printf.sprintf "%.0f ns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.2f us" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.2f s" s
+
+let fmt_float x = Printf.sprintf "%.2f" x

@@ -1,0 +1,32 @@
+(** Evaluation metrics and table formatting for the benchmark harness.
+
+    Implements the paper's derived quantities: the compression
+    percentages of §VI-A, the throughput of Equation 11, geometric
+    means, and plain-text table rendering used to print every Table /
+    Figure reproduction. *)
+
+type totals = { states : int; transitions : int }
+
+val fsa_totals : Mfsa_automata.Nfa.t array -> totals
+val mfsa_totals : Mfsa_model.Mfsa.t list -> totals
+
+val compression : before:totals -> after:totals -> float * float
+(** [(states %, transitions %)] per §VI-A:
+    [(Σ before - Σ after) / Σ before × 100]. *)
+
+val throughput : n_mfsa:int -> m:int -> data_size:int -> exe_time:float -> float
+(** Equation 11: [#MFSA · M · Dsize / Exe_time_tot], in bytes of
+    RE-stream work per second. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0 on the empty list; requires positive entries. *)
+
+val table : header:string list -> string list list -> string
+(** Fixed-width plain-text table with a separator under the header.
+    Column widths fit the widest cell. *)
+
+val fmt_time : float -> string
+(** Human-scaled seconds: ["1.23 ms"], ["4.56 s"], … *)
+
+val fmt_float : float -> string
+(** Two decimals. *)

@@ -1,0 +1,232 @@
+module Prng = Mfsa_util.Prng
+module Charclass = Mfsa_charset.Charclass
+
+type t = {
+  name : string;
+  abbr : string;
+  rules : string array;
+  seed : int;
+  payload : string;
+}
+
+let scaled scale n = max 2 (int_of_float (ceil (float_of_int n *. scale)))
+
+(* ---------------------------------------------------------------- *)
+(* BRO — HTTP signatures: family prefixes ("GET /cgi-bin/", ...)     *)
+(* shared verbatim across many rules create long mergeable chains;  *)
+(* short suffixes differentiate the rules. Avg FSA ≈ 13 states.     *)
+
+let bro217 ?(scale = 1.0) () =
+  let seed = 0xB50 in
+  let g = Prng.create seed in
+  let prefixes =
+    [|
+      "GET /"; "POST /"; "HEAD /"; "/cgi-bin/"; "/scripts/"; "Host: ";
+      "User-Agent: "; "Cookie: "; "/admin/"; "/icons/";
+    |]
+  in
+  let suffix_vocab =
+    Rulegen.vocab g ~n:60 ~min_len:3 ~max_len:8 ~alphabet:Rulegen.alpha_lower
+  in
+  let n = scaled scale 217 in
+  let rules =
+    Array.init n (fun _ ->
+        let prefix = Prng.choose g prefixes in
+        let s1 = Prng.choose g suffix_vocab in
+        let body =
+          match Prng.int g 4 with
+          | 0 -> Rulegen.escape_literal (prefix ^ s1)
+          | 1 ->
+              let s2 = Prng.choose g suffix_vocab in
+              Rulegen.escape_literal (prefix ^ s1)
+              ^ "\\."
+              ^ Rulegen.escape_literal s2
+          | 2 -> Rulegen.escape_literal prefix ^ "[a-z]+" ^ Rulegen.escape_literal ("." ^ s1)
+          | _ ->
+              Rulegen.escape_literal (prefix ^ Rulegen.mutate g ~edits:2 s1)
+        in
+        body)
+  in
+  { name = "Bro217"; abbr = "BRO"; rules; seed; payload = Rulegen.printable }
+
+(* ---------------------------------------------------------------- *)
+(* DS9 — dot-star patterns: tokenA.*tokenB with tokens from a       *)
+(* shared vocabulary. Long tokens give the ≈43-state average.       *)
+
+let dotstar09 ?(scale = 1.0) () =
+  let seed = 0xD59 in
+  let g = Prng.create seed in
+  let vocab =
+    Rulegen.vocab g ~n:80 ~min_len:13 ~max_len:24 ~alphabet:Rulegen.alpha_lower
+  in
+  let n = scaled scale 299 in
+  let rules =
+    Array.init n (fun _ ->
+        let t1 = Prng.choose g vocab and t2 = Prng.choose g vocab in
+        let sep = if Prng.chance g 0.3 then "[^\\n]*" else ".*" in
+        let tail =
+          if Prng.chance g 0.25 then sep ^ Rulegen.escape_literal (Prng.choose g vocab)
+          else ""
+        in
+        Rulegen.escape_literal (Rulegen.mutate g ~edits:1 t1)
+        ^ sep
+        ^ Rulegen.escape_literal t2
+        ^ tail)
+  in
+  { name = "Dotstar09"; abbr = "DS9"; rules; seed;
+    payload = Rulegen.alpha_lower ^ " " ^ Rulegen.digits }
+
+(* ---------------------------------------------------------------- *)
+(* PEN — PowerEN-like: medium literal chains, very few classes,     *)
+(* occasional single-character alternation. Avg ≈ 15.75 states.     *)
+
+let poweren ?(scale = 1.0) () =
+  let seed = 0x9E2 in
+  let g = Prng.create seed in
+  let vocab =
+    Rulegen.vocab g ~n:70 ~min_len:5 ~max_len:9
+      ~alphabet:(Rulegen.alpha_lower ^ Rulegen.digits)
+  in
+  let n = scaled scale 300 in
+  let rules =
+    Array.init n (fun _ ->
+        let a = Prng.choose g vocab and b = Prng.choose g vocab in
+        match Prng.int g 5 with
+        | 0 -> Rulegen.escape_literal (a ^ b)
+        | 1 -> Rulegen.escape_literal a ^ "(" ^ Rulegen.escape_literal b ^ ")?"
+        | 2 ->
+            let c1 = Rulegen.word g ~alphabet:Rulegen.alpha_lower ~len:1 in
+            let c2 = Rulegen.word g ~alphabet:Rulegen.alpha_lower ~len:1 in
+            Rulegen.escape_literal a ^ "(" ^ c1 ^ "|" ^ c2 ^ ")"
+            ^ Rulegen.escape_literal b
+        | 3 -> Rulegen.escape_literal (Rulegen.mutate g ~edits:2 (a ^ b))
+        | _ -> Rulegen.escape_literal a ^ Rulegen.escape_literal b ^ "s?")
+  in
+  { name = "PowerEN"; abbr = "PEN"; rules; seed; payload = Rulegen.printable }
+
+(* ---------------------------------------------------------------- *)
+(* PRO — PROSITE-style protein motifs: bracket classes of amino     *)
+(* acids and bounded gaps dominate; the Table I CC statistics of    *)
+(* Protomata (≈12 states, very high total CC length) come from      *)
+(* these classes. A small pool of classes is shared across motifs.  *)
+
+let protomata ?(scale = 1.0) () =
+  let seed = 0x960 in
+  let g = Prng.create seed in
+  let class_pool =
+    Array.init 24 (fun _ ->
+        let size = Prng.int_in g 2 6 in
+        let cls = ref Charclass.empty in
+        for _ = 1 to size do
+          cls :=
+            Charclass.add !cls
+              Rulegen.amino_acids.[Prng.int g (String.length Rulegen.amino_acids)]
+        done;
+        !cls)
+  in
+  let n = scaled scale 300 in
+  let rules =
+    Array.init n (fun _ ->
+        let len = Prng.int_in g 6 11 in
+        let buf = Buffer.create 32 in
+        for k = 0 to len - 1 do
+          (match Prng.int g 5 with
+          | 0 | 1 -> Buffer.add_string buf (Rulegen.pick_class g class_pool)
+          | 2 | 3 ->
+              Buffer.add_char buf
+                Rulegen.amino_acids.[Prng.int g (String.length Rulegen.amino_acids)]
+          | _ ->
+              let lo = Prng.int_in g 1 2 in
+              let hi = lo + Prng.int_in g 0 2 in
+              Buffer.add_string buf (Printf.sprintf ".{%d,%d}" lo hi));
+          ignore k
+        done;
+        Buffer.contents buf)
+  in
+  { name = "Protomata"; abbr = "PRO"; rules; seed; payload = Rulegen.amino_acids }
+
+(* ---------------------------------------------------------------- *)
+(* RG1 — range-class-heavy synthetic rules: long chains of ranges   *)
+(* and literals from a shared pool, ≈43 states on average.          *)
+
+let ranges1 ?(scale = 1.0) () =
+  let seed = 0x261 in
+  let g = Prng.create seed in
+  let range_pool =
+    [|
+      Charclass.range 'a' 'f'; Charclass.range 'a' 'z'; Charclass.range '0' '9';
+      Charclass.range 'g' 'p'; Charclass.range 'A' 'F'; Charclass.range '0' '4';
+      Charclass.range 'q' 'z'; Charclass.range 'A' 'Z';
+    |]
+  in
+  let vocab =
+    Rulegen.vocab g ~n:50 ~min_len:6 ~max_len:12 ~alphabet:Rulegen.alpha_lower
+  in
+  let n = scaled scale 299 in
+  let rules =
+    Array.init n (fun _ ->
+        let segments = Prng.int_in g 3 5 in
+        let buf = Buffer.create 48 in
+        for _ = 1 to segments do
+          Buffer.add_string buf (Rulegen.escape_literal (Prng.choose g vocab));
+          let reps = Prng.int_in g 2 5 in
+          Buffer.add_string buf (Rulegen.pick_class g range_pool);
+          Buffer.add_string buf (Printf.sprintf "{%d}" reps)
+        done;
+        Buffer.contents buf)
+  in
+  { name = "Ranges1"; abbr = "RG1"; rules; seed;
+    payload = Rulegen.alpha_lower ^ Rulegen.alpha_upper ^ Rulegen.digits }
+
+(* ---------------------------------------------------------------- *)
+(* TCP — payload signatures: binary escapes, keywords and decimal   *)
+(* fields; families share protocol keywords. Avg ≈ 30 states.       *)
+
+let tcp ?(scale = 1.0) () =
+  let seed = 0x7C9 in
+  let g = Prng.create seed in
+  let keywords =
+    [|
+      "SMB"; "USER "; "PASS "; "RETR "; "LIST"; "EXEC "; "LOGIN"; "admin";
+      "root"; "shell"; "HELO "; "MAIL FROM"; "RCPT TO"; "\x01\x00";
+      "\xff\xfe";
+    |]
+  in
+  let vocab =
+    Rulegen.vocab g ~n:60 ~min_len:6 ~max_len:12
+      ~alphabet:(Rulegen.alpha_lower ^ Rulegen.digits)
+  in
+  let n = scaled scale 300 in
+  let rules =
+    Array.init n (fun _ ->
+        let k = Prng.choose g keywords in
+        let a = Prng.choose g vocab and b = Prng.choose g vocab in
+        match Prng.int g 5 with
+        | 0 ->
+            Rulegen.escape_literal k ^ ".*" ^ Rulegen.escape_literal (a ^ b)
+        | 1 ->
+            Rulegen.escape_literal (k ^ b) ^ "[0-9]{1,4}"
+            ^ Rulegen.escape_literal a
+        | 2 ->
+            Rulegen.escape_literal (k ^ a)
+            ^ "\\x0d\\x0a"
+            ^ Rulegen.escape_literal b
+        | 3 ->
+            Rulegen.escape_literal k
+            ^ Rulegen.escape_literal (Rulegen.mutate g ~edits:2 (a ^ b))
+            ^ "[a-z]+"
+        | _ ->
+            Rulegen.escape_literal (a ^ b) ^ "\\d+"
+            ^ Rulegen.escape_literal (Prng.choose g vocab))
+  in
+  { name = "TCP-ex. Homenet"; abbr = "TCP"; rules; seed; payload = Rulegen.printable }
+
+let all ?(scale = 1.0) () =
+  [
+    bro217 ~scale (); dotstar09 ~scale (); poweren ~scale (); protomata ~scale ();
+    ranges1 ~scale (); tcp ~scale ();
+  ]
+
+let find ?(scale = 1.0) abbr =
+  let target = String.uppercase_ascii abbr in
+  List.find_opt (fun d -> d.abbr = target) (all ~scale ())

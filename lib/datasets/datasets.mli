@@ -1,0 +1,50 @@
+(** Synthetic reproductions of the paper's six benchmark rulesets
+    (Table I).
+
+    The original rule files (Becchi et al.'s Bro217/Dotstar09/Ranges1/
+    TCP, ANMLZoo's PowerEN/Protomata) are not redistributable inside
+    this sealed build environment, so each generator synthesises a
+    ruleset with the same {e structural statistics} — number of REs,
+    average automaton size, character-class density, morphological
+    similarity regime — which is what the merging algorithm and the
+    engines actually observe (DESIGN.md, substitution 1). All
+    generators are deterministic in their seed.
+
+    - [bro217]: HTTP/ids signatures; short literal-heavy patterns in
+      families sharing request-line prefixes.
+    - [dotstar09]: pairs/triples of long tokens separated by [.*].
+    - [poweren]: medium literal patterns, few classes, light
+      alternation.
+    - [protomata]: PROSITE-style protein motifs — bracket classes of
+      amino acids and bounded [.{m,n}] gaps.
+    - [ranges1]: range-class-heavy patterns ([\[a-f\]] etc.).
+    - [tcp]: payload signatures mixing binary escapes, decimal fields
+      and keywords. *)
+
+type t = {
+  name : string;  (** Full name, e.g. "Bro217". *)
+  abbr : string;  (** Table I abbreviation, e.g. "BRO". *)
+  rules : string array;  (** The REs, parseable by {!Mfsa_frontend.Parser}. *)
+  seed : int;  (** Seed the ruleset was generated from. *)
+  payload : string;
+      (** Alphabet for the dataset's stream filler bytes
+          ({!Stream_gen.generate}'s [payload]): amino acids for PRO,
+          printable bytes elsewhere. *)
+}
+
+val bro217 : ?scale:float -> unit -> t
+val dotstar09 : ?scale:float -> unit -> t
+val poweren : ?scale:float -> unit -> t
+val protomata : ?scale:float -> unit -> t
+val ranges1 : ?scale:float -> unit -> t
+val tcp : ?scale:float -> unit -> t
+(** [scale] multiplies the number of rules (default 1.0 = the paper's
+    ruleset size, e.g. 217 rules for BRO); at least 2 rules are always
+    produced. *)
+
+val all : ?scale:float -> unit -> t list
+(** The six datasets in the paper's order: BRO, DS9, PEN, PRO, RG1,
+    TCP. *)
+
+val find : ?scale:float -> string -> t option
+(** Lookup by abbreviation (case-insensitive). *)

@@ -1,0 +1,53 @@
+module Prng = Mfsa_util.Prng
+module Charclass = Mfsa_charset.Charclass
+
+let alpha_lower = "abcdefghijklmnopqrstuvwxyz"
+let alpha_upper = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+let digits = "0123456789"
+let amino_acids = "ACDEFGHIKLMNPQRSTVWY"
+let printable = String.init 95 (fun i -> Char.chr (0x20 + i))
+
+let escape_literal s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '*' | '+' | '?' | '.'
+      | '^' | '$' | '\\' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c
+      | c when Char.code c >= 32 && Char.code c <= 126 -> Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let word g ~alphabet ~len =
+  String.init len (fun _ -> alphabet.[Prng.int g (String.length alphabet)])
+
+let vocab g ~n ~min_len ~max_len ~alphabet =
+  Array.init n (fun _ -> word g ~alphabet ~len:(Prng.int_in g min_len max_len))
+
+let mutate g ~edits s =
+  let s = ref s in
+  for _ = 1 to edits do
+    let cur = !s in
+    let n = String.length cur in
+    if n > 1 && Prng.bool g then begin
+      (* deletion *)
+      let i = Prng.int g n in
+      s := String.sub cur 0 i ^ String.sub cur (i + 1) (n - i - 1)
+    end
+    else begin
+      (* insertion of a byte already used in the string, to stay
+         within the dataset's alphabet *)
+      let c = if n = 0 then 'a' else cur.[Prng.int g n] in
+      let i = Prng.int g (n + 1) in
+      s := String.sub cur 0 i ^ String.make 1 c ^ String.sub cur i (n - i)
+    end
+  done;
+  if !s = "" then "a" else !s
+
+let pick_class g pool = Charclass.to_spec (Prng.choose g pool)

@@ -1,0 +1,46 @@
+(** Shared machinery for the synthetic ruleset generators.
+
+    The six dataset generators of {!Datasets} reproduce the structural
+    statistics of the paper's Table I by composing three ingredients
+    this module provides: (1) seeded {e vocabularies} of token strings
+    shared across the rules of a dataset — the sharing is what creates
+    the INDEL similarity of Fig. 1 and the mergeable sub-paths the MFSA
+    exploits; (2) {e mutation} of tokens (character insertions and
+    deletions) to spread similarity below identity; (3) {e escaping} of
+    literal bytes so the emitted rule text round-trips through the
+    POSIX ERE front-end. *)
+
+val escape_literal : string -> string
+(** Escape every ERE metacharacter and non-printable byte of a literal
+    so it parses back to exactly that byte sequence. *)
+
+val word : Mfsa_util.Prng.t -> alphabet:string -> len:int -> string
+(** Random word over the given byte alphabet. *)
+
+val vocab :
+  Mfsa_util.Prng.t ->
+  n:int ->
+  min_len:int ->
+  max_len:int ->
+  alphabet:string ->
+  string array
+(** [n] random words with independent lengths in [\[min_len, max_len\]]. *)
+
+val mutate : Mfsa_util.Prng.t -> edits:int -> string -> string
+(** Apply up to [edits] random single-character insertions/deletions —
+    the INDEL edit model of the similarity metric. Never returns the
+    empty string. *)
+
+val pick_class :
+  Mfsa_util.Prng.t -> Mfsa_charset.Charclass.t array -> string
+(** Render a random class of the pool as a bracket expression. *)
+
+val alpha_lower : string
+val alpha_upper : string
+val digits : string
+val amino_acids : string
+(** The 20 standard amino-acid one-letter codes, for the
+    Protomata-like generator. *)
+
+val printable : string
+(** Bytes 0x20–0x7e. *)

@@ -1,0 +1,79 @@
+module Prng = Mfsa_util.Prng
+module Parser = Mfsa_frontend.Parser
+module Ast = Mfsa_frontend.Ast
+
+let rec sample g ast =
+  match ast with
+  | Ast.Empty -> ""
+  | Ast.Char c -> String.make 1 c
+  | Ast.Class cls -> (
+      (* Uniform member via the class's byte list. *)
+      match Mfsa_charset.Charclass.to_list cls with
+      | [] -> ""
+      | members -> String.make 1 (List.nth members (Prng.int g (List.length members))))
+  | Ast.Concat (a, b) -> sample g a ^ sample g b
+  | Ast.Alt (a, b) -> if Prng.bool g then sample g a else sample g b
+  | Ast.Star a ->
+      String.concat "" (List.init (Prng.int g 3) (fun _ -> sample g a))
+  | Ast.Plus a ->
+      String.concat "" (List.init (1 + Prng.int g 2) (fun _ -> sample g a))
+  | Ast.Opt a -> if Prng.bool g then sample g a else ""
+  | Ast.Repeat (a, m, bound) ->
+      let extra =
+        match bound with
+        | Some n -> Prng.int g (min 3 (n - m + 1))
+        | None -> Prng.int g 3
+      in
+      String.concat "" (List.init (m + extra) (fun _ -> sample g a))
+
+let literals_of_rules rules =
+  Array.to_list rules
+  |> List.concat_map (fun pattern ->
+         match Parser.parse pattern with
+         | Ok rule ->
+             List.filter (fun l -> String.length l >= 2) (Ast.literals rule.Ast.ast)
+         | Error _ -> [])
+  |> Array.of_list
+
+let generate ?(seed = 7) ?(density = 0.05) ?(payload = Rulegen.printable) ~size
+    rules =
+  if String.length payload = 0 then
+    invalid_arg "Stream_gen.generate: empty payload alphabet";
+  let g = Prng.create seed in
+  let fragments = literals_of_rules rules in
+  let asts =
+    Array.to_list rules
+    |> List.filter_map (fun pattern ->
+           match Parser.parse pattern with
+           | Ok rule -> Some rule.Ast.ast
+           | Error _ -> None)
+    |> Array.of_list
+  in
+  let buf = Buffer.create size in
+  let add_payload () =
+    Buffer.add_char buf payload.[Prng.int g (String.length payload)]
+  in
+  while Buffer.length buf < size do
+    if
+      (Array.length fragments > 0 || Array.length asts > 0)
+      && Prng.chance g density
+    then begin
+      if Array.length asts > 0 && (Array.length fragments = 0 || Prng.chance g 0.4)
+      then
+        (* A full random member of some rule's language: a guaranteed
+           complete match. *)
+        Buffer.add_string buf (sample g (Prng.choose g asts))
+      else begin
+        (* A literal run, whole or truncated — partial-match pressure
+           that activates rules and lets most die. *)
+        let frag = Prng.choose g fragments in
+        let take =
+          if Prng.bool g then String.length frag
+          else 1 + Prng.int g (String.length frag)
+        in
+        Buffer.add_string buf (String.sub frag 0 take)
+      end
+    end
+    else add_payload ()
+  done;
+  Buffer.sub buf 0 size

@@ -1,0 +1,42 @@
+(** Synthetic input streams (paper §VI-C: a 1 MB data stream per
+    dataset).
+
+    The paper matches each compiled ruleset against a 1 MB stream
+    drawn from the benchmark suites. This generator synthesises a
+    stream for a ruleset by interleaving random payload bytes with
+    {e planted fragments} — literal runs extracted from the rules
+    themselves (whole and truncated) — so the engines see the mix of
+    partial and complete matches that drives realistic active-set
+    sizes (Table II) and throughput (Fig. 9/10). Deterministic in the
+    seed. *)
+
+val sample : Mfsa_util.Prng.t -> Mfsa_frontend.Ast.t -> string
+(** A random member of the pattern's language: alternation branches
+    picked uniformly, stars/plus iterated 0–2/1–2 times, class members
+    sampled uniformly. Bounded quantifiers use their lower bound plus
+    at most two repeats. *)
+
+val literals_of_rules : string array -> string array
+(** The literal runs (length ≥ 2) of every parseable rule, via
+    {!Mfsa_frontend.Ast.literals}; rules that fail to parse are
+    skipped. *)
+
+val generate :
+  ?seed:int ->
+  ?density:float ->
+  ?payload:string ->
+  size:int ->
+  string array ->
+  string
+(** [generate ~size rules] builds a [size]-byte stream. [payload]
+    is the alphabet random filler bytes are drawn from (default: the
+    printable bytes; a Protomata-like ruleset should pass the
+    amino-acid alphabet so its classes see realistic traffic).
+    [density]
+    (default 0.05) is the per-byte probability of starting a planted
+    fragment instead of emitting a random printable payload byte; with
+    typical fragment lengths the planted fraction of the stream is a
+    few times larger. Plants are a mix of rule-literal runs (whole and
+    truncated — partial-match pressure) and full random members of
+    rule languages via {!sample} (guaranteed full matches). A ruleset
+    with no parseable rules yields pure random payload. *)

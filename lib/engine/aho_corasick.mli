@@ -1,0 +1,35 @@
+(** Aho–Corasick multi-pattern string matching.
+
+    The classical answer to "match many patterns in one pass" when the
+    patterns are plain strings (paper §I: string matching is the
+    well-understood special case that REs generalise). It serves two
+    roles in this library: a correctness oracle and performance
+    baseline for MFSAs built from literal-only rulesets (where the
+    MFSA's merged-prefix structure and the AC trie coincide
+    conceptually), and the building block of decomposition-style
+    matchers à la Hyperscan that the paper compares against (§VII).
+
+    The automaton is the standard goto/fail/output construction with
+    the fail function flattened into a total byte-indexed transition
+    table, so matching is a strict one-lookup-per-byte scan. *)
+
+type t
+
+val build : string array -> t
+(** Build the matcher. Empty patterns are rejected; duplicate patterns
+    are fine (each keeps its own identifier = its index).
+    @raise Invalid_argument on an empty pattern. *)
+
+type match_event = { pattern : int; end_pos : int }
+
+val run : t -> string -> match_event list
+(** Every occurrence of every pattern, ordered by end position
+    (pattern-id order within one position). Overlapping and nested
+    occurrences are all reported. *)
+
+val count : t -> string -> int
+
+val count_per_pattern : t -> string -> int array
+
+val n_states : t -> int
+(** Trie nodes (for size comparisons against merged automata). *)

@@ -1,0 +1,48 @@
+(** Decomposition-based matching — the Hyperscan-style alternative the
+    paper positions MFSAs against (§I: "A different approach exploits
+    regex decomposition to split complex patterns into disjoint sets
+    of string and FSA components, thus alleviating the computation
+    load by delaying FSA execution until the string matching analysis
+    is required"; §VII, Wang et al.).
+
+    Each rule is decomposed into a {e mandatory literal prefix} (a
+    byte string every match must start with) and its full automaton.
+    The prefixes of all such rules go into one Aho–Corasick
+    pre-filter; the stream is scanned once with it, and a rule's
+    automaton runs only from positions where its prefix hit —
+    start-anchored, so each confirmation is a single deterministic-ish
+    sweep. Rules without a usable literal prefix fall back to a
+    conventional full scan with iNFAnt.
+
+    The engine is exact: its match set is specified to equal the union
+    of per-rule {!Infant} runs (the property suite checks it). Its
+    performance profile is the decomposition trade-off — nearly free
+    when literals are selective, degrading toward the dense-automaton
+    cost when they are not — which the benchmark harness contrasts
+    with the MFSA approach. *)
+
+type t
+
+type match_event = { rule : int; end_pos : int }
+
+val compile : Mfsa_automata.Nfa.t array -> t
+(** Decompose a ruleset of ε-free automata (the rules' source patterns
+    are re-analysed for literal prefixes via their [pattern] field;
+    unparseable or prefix-less rules use the fallback path).
+    @raise Invalid_argument on ε-arcs. *)
+
+val n_prefiltered : t -> int
+(** Rules handled through the literal pre-filter. *)
+
+val n_fallback : t -> int
+(** Rules scanned conventionally. *)
+
+val run : t -> string -> match_event list
+(** All matches, ordered by end position (rule within ties). *)
+
+val count : t -> string -> int
+
+val literal_prefix : Mfsa_frontend.Ast.t -> string
+(** The mandatory literal prefix of an AST ([""] when none): the
+    longest byte string [s] such that every match of the pattern
+    starts with [s]. Exposed for tests. *)

@@ -1,0 +1,62 @@
+module Nfa = Mfsa_automata.Nfa
+module Dfa = Mfsa_automata.Dfa
+module Charclass = Mfsa_charset.Charclass
+
+type t = {
+  dfa : Dfa.t;
+  anchored_end : bool;
+}
+
+(* Augment an ε-free NFA for unanchored scanning: a fresh start state
+   carries an all-bytes self-loop plus copies of the original start's
+   outgoing arcs, and is never accepting — so a subset is accepting
+   iff a genuine (≥ 1 byte) path reached an original final state. *)
+let augment (a : Nfa.t) =
+  if a.Nfa.anchored_start then a
+  else begin
+    let fresh = a.Nfa.n_states in
+    let copies =
+      Array.to_list a.Nfa.transitions
+      |> List.filter_map (fun tr ->
+             if tr.Nfa.src = a.Nfa.start then Some { tr with Nfa.src = fresh }
+             else None)
+    in
+    let self = { Nfa.src = fresh; label = Nfa.Cls Charclass.full; dst = fresh } in
+    Nfa.create ~n_states:(a.Nfa.n_states + 1)
+      ~transitions:(self :: copies @ Array.to_list a.Nfa.transitions)
+      ~start:fresh ~finals:(Nfa.final_states a)
+      ~anchored_start:a.Nfa.anchored_start ~anchored_end:a.Nfa.anchored_end
+      ~pattern:a.Nfa.pattern ()
+  end
+
+let compile ?(minimize = true) a =
+  if not (Nfa.is_eps_free a) then
+    invalid_arg "Dfa_engine.compile: automaton must be ε-free";
+  let dfa = Dfa.determinize (augment a) in
+  let dfa = if minimize then Dfa.minimize dfa else dfa in
+  { dfa; anchored_end = a.Nfa.anchored_end }
+
+let run t input =
+  let dfa = t.dfa in
+  let len = String.length input in
+  let acc = ref [] in
+  let q = ref dfa.Dfa.start in
+  for i = 0 to len - 1 do
+    q := Dfa.step dfa !q input.[i];
+    if dfa.Dfa.finals.(!q) && ((not t.anchored_end) || i = len - 1) then
+      acc := (i + 1) :: !acc
+  done;
+  List.rev !acc
+
+let count t input =
+  let dfa = t.dfa in
+  let len = String.length input in
+  let count = ref 0 in
+  let q = ref dfa.Dfa.start in
+  for i = 0 to len - 1 do
+    q := Dfa.step dfa !q input.[i];
+    if dfa.Dfa.finals.(!q) && ((not t.anchored_end) || i = len - 1) then incr count
+  done;
+  !count
+
+let n_states t = t.dfa.Dfa.n_states

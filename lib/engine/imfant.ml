@@ -1,0 +1,272 @@
+module Mfsa = Mfsa_model.Mfsa
+module Charclass = Mfsa_charset.Charclass
+module Bitset = Mfsa_util.Bitset
+module Vec = Mfsa_util.Vec
+
+type t = {
+  z : Mfsa.t;
+  trans_by_sym : int array array;
+      (* [trans_by_sym.(c)] = transition indices enabled by byte c. *)
+  anchored_end_mask : Bitset.t;
+      (* FSAs whose matches may only end at end-of-input. *)
+  any_end_anchor : bool;
+}
+
+type match_event = { fsa : int; end_pos : int }
+
+type stats = { positions : int; avg_active : float; max_active : int }
+
+let compile (z : Mfsa.t) =
+  let by_sym = Array.init 256 (fun _ -> Vec.create ()) in
+  Array.iteri
+    (fun t cls ->
+      Charclass.iter (fun c -> Vec.push by_sym.(Char.code c) t) cls)
+    z.Mfsa.idx;
+  let anchored_end_mask = Bitset.create z.Mfsa.n_fsas in
+  Array.iteri
+    (fun j anchored -> if anchored then Bitset.add anchored_end_mask j)
+    z.Mfsa.anchored_end;
+  {
+    z;
+    trans_by_sym = Array.map Vec.to_array by_sym;
+    anchored_end_mask;
+    any_end_anchor = not (Bitset.is_empty anchored_end_mask);
+  }
+
+let mfsa t = t.z
+
+(* Per-state initial sets, split by anchoring: at position 0 every FSA
+   may start; afterwards only the unanchored ones. *)
+let init_tables t =
+  let z = t.z in
+  let unanch = Array.init z.Mfsa.n_states (fun q -> Bitset.copy z.Mfsa.init_sets.(q)) in
+  Array.iteri
+    (fun j anchored ->
+      if anchored then Bitset.remove unanch.(z.Mfsa.init_of.(j)) j)
+    z.Mfsa.anchored_start;
+  (z.Mfsa.init_sets, unanch)
+
+(* Engine core. [on_match] receives each (fsa, end position) pair
+   exactly once, end positions in increasing order. [track] switches
+   the Table II active-set instrumentation on. *)
+let execute t input ~on_match ~track =
+  let z = t.z in
+  let n = z.Mfsa.n_states and nf = z.Mfsa.n_fsas in
+  let init_all, init_unanch = init_tables t in
+  let cur_sets = Array.init n (fun _ -> Bitset.create nf) in
+  let next_sets = Array.init n (fun _ -> Bitset.create nf) in
+  (* Epoch-stamped activity: state q is active in generation g iff
+     stamp.(q) = g. Bumping the generation deactivates every state in
+     O(1), instead of clearing an n-sized vector per input byte. *)
+  let cur_stamp = Array.make n (-1) in
+  let next_stamp = Array.make n (-1) in
+  let scratch = Bitset.create nf in
+  let match_now = Bitset.create nf in
+  let reported = Bitset.create nf in
+  let activity = Bitset.create nf in
+  let sum_active = ref 0 in
+  let max_active = ref 0 in
+  let len = String.length input in
+  (* Mutable swap targets. *)
+  let cur_sets = ref cur_sets and next_sets = ref next_sets in
+  let cur_stamp = ref cur_stamp and next_stamp = ref next_stamp in
+  let generation = ref 0 in
+  for i = 0 to len - 1 do
+    let c = Char.code input.[i] in
+    let enabled = t.trans_by_sym.(c) in
+    let inits = if i = 0 then init_all else init_unanch in
+    Bitset.clear reported;
+    if track then Bitset.clear activity;
+    for k = 0 to Array.length enabled - 1 do
+      let tr = enabled.(k) in
+      let s = z.Mfsa.row.(tr) in
+      let has_cur = !cur_stamp.(s) = !generation in
+      let init_b = inits.(s) in
+      if has_cur || not (Bitset.is_empty init_b) then begin
+        (* J' = (J(q1) ∪ init(q1)) ∩ bel(t)  — Equations 4 and 6. *)
+        Bitset.clear scratch;
+        if has_cur then ignore (Bitset.union_into ~dst:scratch !cur_sets.(s));
+        ignore (Bitset.union_into ~dst:scratch init_b);
+        Bitset.inter_into ~dst:scratch z.Mfsa.bel.(tr);
+        if not (Bitset.is_empty scratch) then begin
+          let d = z.Mfsa.col.(tr) in
+          if !next_stamp.(d) <> !generation + 1 then begin
+            !next_stamp.(d) <- !generation + 1;
+            Bitset.clear !next_sets.(d)
+          end;
+          ignore (Bitset.union_into ~dst:!next_sets.(d) scratch);
+          if track then ignore (Bitset.union_into ~dst:activity scratch);
+          (* Equation 5: matches for the FSAs final in q2 ∩ J'. *)
+          Bitset.clear match_now;
+          ignore (Bitset.union_into ~dst:match_now scratch);
+          Bitset.inter_into ~dst:match_now z.Mfsa.final_sets.(d);
+          if not (Bitset.is_empty match_now) then
+            Bitset.iter
+              (fun j ->
+                if
+                  (not (Bitset.mem reported j))
+                  && ((not z.Mfsa.anchored_end.(j)) || i + 1 = len)
+                then begin
+                  Bitset.add reported j;
+                  on_match j (i + 1)
+                end)
+              match_now
+        end
+      end
+    done;
+    if track then begin
+      let a = Bitset.cardinal activity in
+      sum_active := !sum_active + a;
+      if a > !max_active then max_active := a
+    end;
+    (* Swap the state vectors; advancing the generation deactivates
+       the previous one without touching memory. *)
+    let tmp_sets = !cur_sets and tmp_stamp = !cur_stamp in
+    cur_sets := !next_sets;
+    cur_stamp := !next_stamp;
+    next_sets := tmp_sets;
+    next_stamp := tmp_stamp;
+    incr generation
+  done;
+  let positions = len in
+  {
+    positions;
+    avg_active =
+      (if positions = 0 then 0.
+       else float_of_int !sum_active /. float_of_int positions);
+    max_active = !max_active;
+  }
+
+let run t input =
+  let acc = ref [] in
+  let _ = execute t input ~track:false ~on_match:(fun fsa e -> acc := { fsa; end_pos = e } :: !acc) in
+  List.rev !acc
+
+let count t input =
+  let c = ref 0 in
+  let _ = execute t input ~track:false ~on_match:(fun _ _ -> incr c) in
+  !c
+
+let run_with_stats t input =
+  let acc = ref [] in
+  let stats =
+    execute t input ~track:true ~on_match:(fun fsa e ->
+        acc := { fsa; end_pos = e } :: !acc)
+  in
+  (List.rev !acc, stats)
+
+let count_per_fsa t input =
+  let counts = Array.make t.z.Mfsa.n_fsas 0 in
+  let _ =
+    execute t input ~track:false ~on_match:(fun fsa _ ->
+        counts.(fsa) <- counts.(fsa) + 1)
+  in
+  counts
+
+(* ------------------------------------------------------- Streaming *)
+
+type session = {
+  eng : t;
+  init_all : Bitset.t array;
+  init_unanch : Bitset.t array;
+  mutable cur_sets : Bitset.t array;
+  mutable next_sets : Bitset.t array;
+  mutable cur_stamp : int array;
+  mutable next_stamp : int array;
+  mutable generation : int;
+  s_scratch : Bitset.t;
+  s_match : Bitset.t;
+  s_reported : Bitset.t;
+  mutable pos : int;
+  mutable pending_end : int list;
+      (* end-anchored FSAs matched exactly at [pos]; flushed by
+         [finish], discarded whenever the stream continues *)
+}
+
+let session eng =
+  let z = eng.z in
+  let n = z.Mfsa.n_states and nf = z.Mfsa.n_fsas in
+  let init_all, init_unanch = init_tables eng in
+  {
+    eng;
+    init_all;
+    init_unanch;
+    cur_sets = Array.init n (fun _ -> Bitset.create nf);
+    next_sets = Array.init n (fun _ -> Bitset.create nf);
+    cur_stamp = Array.make n (-1);
+    next_stamp = Array.make n (-1);
+    generation = 0;
+    s_scratch = Bitset.create nf;
+    s_match = Bitset.create nf;
+    s_reported = Bitset.create nf;
+    pos = 0;
+    pending_end = [];
+  }
+
+let reset s =
+  let n = s.eng.z.Mfsa.n_states in
+  Array.fill s.cur_stamp 0 n (-1);
+  Array.fill s.next_stamp 0 n (-1);
+  s.generation <- 0;
+  s.pos <- 0;
+  s.pending_end <- []
+
+let position s = s.pos
+
+let feed s chunk =
+  let z = s.eng.z in
+  let acc = ref [] in
+  String.iter
+    (fun ch ->
+      let c = Char.code ch in
+      (* Any continuation invalidates matches that were waiting for
+         end-of-stream. *)
+      s.pending_end <- [];
+      let enabled = s.eng.trans_by_sym.(c) in
+      let inits = if s.pos = 0 then s.init_all else s.init_unanch in
+      Bitset.clear s.s_reported;
+      for k = 0 to Array.length enabled - 1 do
+        let tr = enabled.(k) in
+        let q1 = z.Mfsa.row.(tr) in
+        let has_cur = s.cur_stamp.(q1) = s.generation in
+        let init_b = inits.(q1) in
+        if has_cur || not (Bitset.is_empty init_b) then begin
+          Bitset.clear s.s_scratch;
+          if has_cur then ignore (Bitset.union_into ~dst:s.s_scratch s.cur_sets.(q1));
+          ignore (Bitset.union_into ~dst:s.s_scratch init_b);
+          Bitset.inter_into ~dst:s.s_scratch z.Mfsa.bel.(tr);
+          if not (Bitset.is_empty s.s_scratch) then begin
+            let q2 = z.Mfsa.col.(tr) in
+            if s.next_stamp.(q2) <> s.generation + 1 then begin
+              s.next_stamp.(q2) <- s.generation + 1;
+              Bitset.clear s.next_sets.(q2)
+            end;
+            ignore (Bitset.union_into ~dst:s.next_sets.(q2) s.s_scratch);
+            Bitset.clear s.s_match;
+            ignore (Bitset.union_into ~dst:s.s_match s.s_scratch);
+            Bitset.inter_into ~dst:s.s_match z.Mfsa.final_sets.(q2);
+            Bitset.iter
+              (fun j ->
+                if not (Bitset.mem s.s_reported j) then begin
+                  Bitset.add s.s_reported j;
+                  if z.Mfsa.anchored_end.(j) then
+                    s.pending_end <- j :: s.pending_end
+                  else acc := { fsa = j; end_pos = s.pos + 1 } :: !acc
+                end)
+              s.s_match
+          end
+        end
+      done;
+      let tmp_sets = s.cur_sets and tmp_stamp = s.cur_stamp in
+      s.cur_sets <- s.next_sets;
+      s.cur_stamp <- s.next_stamp;
+      s.next_sets <- tmp_sets;
+      s.next_stamp <- tmp_stamp;
+      s.generation <- s.generation + 1;
+      s.pos <- s.pos + 1)
+    chunk;
+  List.rev !acc
+
+let finish s =
+  List.sort Int.compare s.pending_end
+  |> List.map (fun j -> { fsa = j; end_pos = s.pos })

@@ -1,0 +1,83 @@
+(** The iMFAnt execution algorithm — iNFAnt extended to MFSAs (paper
+    §V).
+
+    iMFAnt keeps iNFAnt's symbol-first transition table and state
+    vector, and adds to every active state the result of the
+    activation function [J] upon reaching it. For each input byte,
+    every transition [q1 --c--> q2] the byte enables is checked for
+    {e consistency}: the new activation set
+
+    [J' = (J(q1) ∪ {j | q1 initial for j}) ∩ bel(q1 --c--> q2)]
+
+    applies Equation 4 (an FSA j is pushed when leaving its initial
+    state) and Equation 6 (an FSA j is popped when the traversed
+    transition does not belong to it); the move is performed only when
+    [J' ≠ ∅]. Every [j ∈ J'] for which [q2] is final yields a match
+    for FSA [j] (Equation 5). This prevents the false-positive
+    over-matching of a naively merged automaton: a path is accepted
+    only if at least one FSA stays active along all of it (Equation 9).
+
+    Matching conventions are those of {!Infant}: unanchored (per-FSA
+    [^]/[$] flags honoured), non-empty matches, one report per
+    (FSA, end position). *)
+
+type t
+(** Compiled MFSA: pre-processing of the extended-ANML-level automaton
+    into the engine's table, done once per MFSA. *)
+
+type match_event = { fsa : int; end_pos : int }
+
+type stats = {
+  positions : int;  (** Input bytes processed. *)
+  avg_active : float;
+      (** Mean over input positions of the number of distinct FSAs
+          active after consuming the byte — the [Avg Nact] column of
+          the paper's Table II. *)
+  max_active : int;  (** Peak of the same quantity ([Max Nact]). *)
+}
+
+val compile : Mfsa_model.Mfsa.t -> t
+
+val mfsa : t -> Mfsa_model.Mfsa.t
+(** The underlying automaton. *)
+
+val run : t -> string -> match_event list
+(** All matches, ordered by end position (ties by FSA id). *)
+
+val count : t -> string -> int
+(** Total number of match events. *)
+
+val run_with_stats : t -> string -> match_event list * stats
+(** [run] plus the active-set instrumentation of Table II. *)
+
+val count_per_fsa : t -> string -> int array
+(** Match counts per merged FSA — used by the equivalence tests and
+    the per-rule reporting. *)
+
+(** {2 Streaming}
+
+    Deep-packet-inspection engines see traffic in chunks; a session
+    carries the state vector across {!feed} calls so matches spanning
+    chunk boundaries are found. Feeding chunks [c1, …, cn] and then
+    {!finish} produces exactly [run t (c1 ^ … ^ cn)] (end positions
+    are global stream offsets); end-anchored rules report at
+    {!finish}, when the end of the stream is known. *)
+
+type session
+
+val session : t -> session
+(** Fresh session at stream position 0. *)
+
+val feed : session -> string -> match_event list
+(** Consume one chunk; matches completed within or at the end of this
+    chunk (except end-anchored ones), ordered by end position. *)
+
+val finish : session -> match_event list
+(** End of stream: the pending matches of end-anchored FSAs. The
+    session stays valid for {!reset}. *)
+
+val reset : session -> unit
+(** Back to position 0 with an empty state vector. *)
+
+val position : session -> int
+(** Bytes consumed so far. *)

@@ -1,0 +1,92 @@
+module Nfa = Mfsa_automata.Nfa
+module Charclass = Mfsa_charset.Charclass
+module Vec = Mfsa_util.Vec
+
+type t = {
+  n_states : int;
+  start : int;
+  finals : bool array;
+  anchored_start : bool;
+  anchored_end : bool;
+  (* Symbol-first layout: [table.(c)] holds the (src, dst) pairs of
+     every transition byte [c] enables, packed as two parallel int
+     arrays for cache-friendly scanning. *)
+  src_table : int array array;
+  dst_table : int array array;
+}
+
+let compile (a : Nfa.t) =
+  if not (Nfa.is_eps_free a) then
+    invalid_arg "Infant.compile: automaton must be ε-free";
+  let srcs = Array.init 256 (fun _ -> Vec.create ()) in
+  let dsts = Array.init 256 (fun _ -> Vec.create ()) in
+  Array.iter
+    (fun tr ->
+      match tr.Nfa.label with
+      | Nfa.Eps -> assert false
+      | Nfa.Cls cls ->
+          Charclass.iter
+            (fun c ->
+              let i = Char.code c in
+              Vec.push srcs.(i) tr.Nfa.src;
+              Vec.push dsts.(i) tr.Nfa.dst)
+            cls)
+    a.Nfa.transitions;
+  {
+    n_states = a.Nfa.n_states;
+    start = a.Nfa.start;
+    finals = Array.copy a.Nfa.finals;
+    anchored_start = a.Nfa.anchored_start;
+    anchored_end = a.Nfa.anchored_end;
+    src_table = Array.map Vec.to_array srcs;
+    dst_table = Array.map Vec.to_array dsts;
+  }
+
+let n_states t = t.n_states
+
+(* Core loop shared by [run] and [count]: [on_match] sees each match
+   end position once, in increasing order. *)
+let execute t input ~on_match =
+  let n = t.n_states in
+  let cur = Array.make n false in
+  let next = Array.make n false in
+  let len = String.length input in
+  let i = ref 0 in
+  let live = ref true in
+  while !live && !i < len do
+    let c = Char.code input.[!i] in
+    let srcs = t.src_table.(c) and dsts = t.dst_table.(c) in
+    let inject_start = (not t.anchored_start) || !i = 0 in
+    let matched = ref false in
+    let any = ref false in
+    for k = 0 to Array.length srcs - 1 do
+      let s = srcs.(k) in
+      if cur.(s) || (inject_start && s = t.start) then begin
+        let d = dsts.(k) in
+        if not next.(d) then begin
+          next.(d) <- true;
+          any := true;
+          if t.finals.(d) then matched := true
+        end
+      end
+    done;
+    if !matched && ((not t.anchored_end) || !i = len - 1) then on_match (!i + 1);
+    (* Swap and clear: [cur] becomes the scratch for the next round.
+       A start-anchored scan whose active set empties can never match
+       again — stop early (this is what makes anchored confirmation
+       runs cheap in the decomposition engine). *)
+    Array.blit next 0 cur 0 n;
+    Array.fill next 0 n false;
+    if t.anchored_start && not !any then live := false;
+    incr i
+  done
+
+let run t input =
+  let acc = ref [] in
+  execute t input ~on_match:(fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let count t input =
+  let c = ref 0 in
+  execute t input ~on_match:(fun _ -> incr c);
+  !c

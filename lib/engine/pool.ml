@@ -1,0 +1,54 @@
+type 'a result = {
+  values : 'a array;
+  job_times : float array;
+  makespan : float;
+}
+
+let available_parallelism () = Domain.recommended_domain_count ()
+
+let now () = Unix.gettimeofday ()
+
+let run ~threads ~jobs =
+  if threads < 1 then invalid_arg "Pool.run: need at least one thread";
+  let n = Array.length jobs in
+  let values = Array.make n None in
+  let job_times = Array.make n 0. in
+  let cursor = Atomic.make 0 in
+  let failure = Atomic.make None in
+  (* Worker: greedily pull the next job index, as in the paper
+     ("each thread manages different automata asynchronously,
+     selecting an MFSA at a time from the remaining ones"). *)
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i >= n then continue := false
+      else begin
+        let t0 = now () in
+        (match jobs.(i) () with
+        | v ->
+            values.(i) <- Some v;
+            job_times.(i) <- now () -. t0
+        | exception e ->
+            job_times.(i) <- now () -. t0;
+            ignore (Atomic.compare_and_set failure None (Some e)))
+      end
+    done
+  in
+  let t0 = now () in
+  let spawned =
+    Array.init (min (threads - 1) (max 0 (n - 1))) (fun _ ->
+        Domain.spawn worker)
+  in
+  worker ();
+  Array.iter Domain.join spawned;
+  let makespan = now () -. t0 in
+  (match Atomic.get failure with Some e -> raise e | None -> ());
+  let values =
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Pool.run: job produced no value")
+      values
+  in
+  { values; job_times; makespan }

@@ -1,0 +1,27 @@
+(** Multi-threaded ruleset execution (paper §VI-C2).
+
+    The paper's multi-threaded evaluation distributes the (M)FSAs of a
+    benchmark over a pool of a fixed number of threads; each thread
+    repeatedly takes the next remaining automaton and executes it
+    against the whole input stream, and the measured latency is the
+    time for the whole ruleset. This module reproduces that executor
+    with OCaml 5 domains: a shared atomic cursor hands out job indices
+    in order; the pool's makespan and each job's own execution time are
+    reported. *)
+
+type 'a result = {
+  values : 'a array;  (** Per-job results, in job order. *)
+  job_times : float array;  (** Per-job wall-clock seconds. *)
+  makespan : float;  (** Wall-clock seconds for the whole pool. *)
+}
+
+val run : threads:int -> jobs:(unit -> 'a) array -> 'a result
+(** [run ~threads ~jobs] executes every job exactly once on a pool of
+    [threads] domains (the calling domain counts as one; [threads - 1]
+    are spawned). Jobs must not raise — a raising job aborts the run
+    with the same exception after the pool drains.
+    @raise Invalid_argument if [threads < 1]. *)
+
+val available_parallelism : unit -> int
+(** [Domain.recommended_domain_count ()]; the hardware bound the
+    paper's Fig. 10 marks at 8 threads on its i7-6700. *)

@@ -1,0 +1,35 @@
+let project ~threads times =
+  if threads < 1 then invalid_arg "Schedule.project: need at least one thread";
+  Array.iter
+    (fun t -> if t < 0. then invalid_arg "Schedule.project: negative duration")
+    times;
+  let n = Array.length times in
+  if n = 0 then 0.
+  else begin
+    (* Workers' next-free times; jobs are taken in order by whichever
+       worker frees first — the dynamic greedy queue of the pool. *)
+    let free = Array.make (min threads n) 0. in
+    for i = 0 to n - 1 do
+      (* Find the earliest-free worker (linear scan: thread counts in
+         the sweep are at most 128). *)
+      let w = ref 0 in
+      for k = 1 to Array.length free - 1 do
+        if free.(k) < free.(!w) then w := k
+      done;
+      free.(!w) <- free.(!w) +. times.(i)
+    done;
+    Array.fold_left max 0. free
+  end
+
+let speedup ~threads times =
+  let serial = project ~threads:1 times in
+  if serial = 0. then 1. else serial /. project ~threads times
+
+let best_threads_within ~tolerance ~target times =
+  let n = max 1 (Array.length times) in
+  let rec go t =
+    if t >= n then n
+    else if project ~threads:t times <= target *. (1. +. tolerance) then t
+    else go (t + 1)
+  in
+  go 1

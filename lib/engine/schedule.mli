@@ -1,0 +1,33 @@
+(** Greedy-scheduler latency projection for the multi-thread sweep
+    (paper Fig. 10).
+
+    The paper measures ruleset latency on a 4-core/8-thread machine
+    while sweeping the pool size from 1 to 128 threads. On hosts with
+    fewer cores than the sweep (this reproduction's container exposes
+    a single core) the wall clock cannot exhibit the scaling, so the
+    harness measures each automaton's single-thread execution time for
+    real and replays the pool's greedy in-order assignment to compute
+    the T-thread makespan: worker threads become free in time order
+    and each takes the next remaining automaton. This is exactly the
+    quantity Fig. 10 studies — how merging reshapes the distribution
+    of work across threads — decoupled from the host's core count
+    (DESIGN.md, substitution 3). *)
+
+val project : threads:int -> float array -> float
+(** [project ~threads times] is the makespan of greedy in-order list
+    scheduling of jobs with the given durations onto [threads] workers.
+    [project ~threads:1 times] = sum of [times]; with
+    [threads >= Array.length times] it is the maximum.
+    @raise Invalid_argument if [threads < 1] or any duration is
+    negative. *)
+
+val speedup : threads:int -> float array -> float
+(** Ratio [project ~threads:1 t /. project ~threads t]; 1.0 for the
+    empty job list. *)
+
+val best_threads_within : tolerance:float -> target:float -> float array -> int
+(** Smallest thread count whose projected makespan is within
+    [tolerance] (relative, e.g. 0.05) of [target] — the paper's
+    "best thread utilisation" marker (least threads matching the
+    single-FSA top performance). Returns the job count if even full
+    parallelism cannot reach the target. *)

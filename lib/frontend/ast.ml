@@ -1,0 +1,154 @@
+module Charclass = Mfsa_charset.Charclass
+
+type t =
+  | Empty
+  | Char of char
+  | Class of Charclass.t
+  | Concat of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+  | Repeat of t * int * int option
+
+type rule = {
+  pattern : string;
+  ast : t;
+  anchored_start : bool;
+  anchored_end : bool;
+}
+
+let rec equal a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Char x, Char y -> Char.equal x y
+  | Class x, Class y -> Charclass.equal x y
+  | Concat (x1, x2), Concat (y1, y2) | Alt (x1, x2), Alt (y1, y2) ->
+      equal x1 y1 && equal x2 y2
+  | Star x, Star y | Plus x, Plus y | Opt x, Opt y -> equal x y
+  | Repeat (x, ml, mh), Repeat (y, nl, nh) ->
+      ml = nl && mh = nh && equal x y
+  | (Empty | Char _ | Class _ | Concat _ | Alt _ | Star _ | Plus _ | Opt _
+    | Repeat _), _ ->
+      false
+
+let seq = function
+  | [] -> Empty
+  | x :: rest -> List.fold_left (fun acc e -> Concat (acc, e)) x rest
+
+let alt = function
+  | [] -> invalid_arg "Ast.alt: empty alternation"
+  | x :: rest -> List.fold_left (fun acc e -> Alt (acc, e)) x rest
+
+let rec size = function
+  | Empty | Char _ | Class _ -> 1
+  | Concat (a, b) | Alt (a, b) -> 1 + size a + size b
+  | Star a | Plus a | Opt a | Repeat (a, _, _) -> 1 + size a
+
+let literals ast =
+  (* Walk left-to-right accumulating runs of consecutive [Char] nodes;
+     any other node breaks the run. *)
+  let runs = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      runs := Buffer.contents buf :: !runs;
+      Buffer.clear buf
+    end
+  in
+  let rec go = function
+    | Empty -> ()
+    | Char c -> Buffer.add_char buf c
+    | Class _ -> flush ()
+    | Concat (a, b) ->
+        go a;
+        go b
+    | Alt (a, b) ->
+        flush ();
+        go a;
+        flush ();
+        go b;
+        flush ()
+    | Star a | Opt a ->
+        flush ();
+        go a;
+        flush ()
+    | Plus a | Repeat (a, _, _) ->
+        flush ();
+        go a;
+        flush ()
+  in
+  go ast;
+  flush ();
+  List.rev !runs
+
+let escape_char buf c =
+  match c with
+  | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '*' | '+' | '?' | '.' | '^'
+  | '$' | '\\' ->
+      Buffer.add_char buf '\\';
+      Buffer.add_char buf c
+  | c when Char.code c >= 32 && Char.code c <= 126 -> Buffer.add_char buf c
+  | '\n' -> Buffer.add_string buf "\\n"
+  | '\t' -> Buffer.add_string buf "\\t"
+  | '\r' -> Buffer.add_string buf "\\r"
+  | c -> Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+
+let rec render buf t =
+  (* Precedence: Alt < Concat < postfix. Parenthesise when a lower-
+     precedence construct appears where a higher one is expected. *)
+  match t with
+  | Alt (a, b) ->
+      render buf a;
+      Buffer.add_char buf '|';
+      render buf b
+  | t -> render_concat buf t
+
+and render_concat buf = function
+  | Concat (a, b) ->
+      render_concat buf a;
+      render_concat buf b
+  | Empty -> ()
+  | t -> render_postfix buf t
+
+and render_postfix buf = function
+  | Star a ->
+      render_atom buf a;
+      Buffer.add_char buf '*'
+  | Plus a ->
+      render_atom buf a;
+      Buffer.add_char buf '+'
+  | Opt a ->
+      render_atom buf a;
+      Buffer.add_char buf '?'
+  | Repeat (a, m, n) ->
+      render_atom buf a;
+      (match n with
+      | Some n when n = m -> Buffer.add_string buf (Printf.sprintf "{%d}" m)
+      | Some n -> Buffer.add_string buf (Printf.sprintf "{%d,%d}" m n)
+      | None -> Buffer.add_string buf (Printf.sprintf "{%d,}" m))
+  | t -> render_atom buf t
+
+and render_atom buf = function
+  | Char c -> escape_char buf c
+  | Class c ->
+      if Charclass.equal c Charclass.dot then Buffer.add_char buf '.'
+      else Buffer.add_string buf (Charclass.to_spec c)
+  | Empty -> Buffer.add_string buf "()"
+  | t ->
+      Buffer.add_char buf '(';
+      render buf t;
+      Buffer.add_char buf ')'
+
+let to_string t =
+  let buf = Buffer.create 64 in
+  render buf t;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let pp_rule fmt r =
+  Format.fprintf fmt "%s%a%s"
+    (if r.anchored_start then "^" else "")
+    pp r.ast
+    (if r.anchored_end then "$" else "")

@@ -1,0 +1,53 @@
+(** Abstract syntax trees for POSIX extended regular expressions.
+
+    The front-end (paper §IV-A) turns each input RE into one {!rule};
+    the middle-end consumes the rule's {!t} to build the FSA. Anchors
+    are only permitted at the pattern boundaries and are recorded as
+    rule-level flags, which is how the execution engines consume them. *)
+
+type t =
+  | Empty  (** ε — matches the empty string. *)
+  | Char of char  (** A literal byte. *)
+  | Class of Mfsa_charset.Charclass.t
+      (** A character class, including ['.'] and bracket expressions. *)
+  | Concat of t * t
+  | Alt of t * t
+  | Star of t  (** [e*] *)
+  | Plus of t  (** [e+] *)
+  | Opt of t  (** [e?] *)
+  | Repeat of t * int * int option
+      (** [Repeat (e, m, Some n)] is [e{m,n}]; [Repeat (e, m, None)] is
+          [e{m,}]. Invariant (enforced by the parser): [0 <= m] and
+          [m <= n] when bounded. *)
+
+type rule = {
+  pattern : string;  (** The source text the rule was parsed from. *)
+  ast : t;
+  anchored_start : bool;  (** Pattern began with [^]. *)
+  anchored_end : bool;  (** Pattern ended with [$]. *)
+}
+
+val equal : t -> t -> bool
+
+val seq : t list -> t
+(** Right-nested concatenation; [seq \[\] = Empty]. *)
+
+val alt : t list -> t
+(** Right-nested alternation. @raise Invalid_argument on []. *)
+
+val size : t -> int
+(** Number of AST nodes; used for complexity accounting and to bound
+    loop expansion. *)
+
+val literals : t -> string list
+(** Maximal literal character runs appearing in the AST, in left-to-
+    right order. Feeds the INDEL similarity estimate (paper Fig. 1) and
+    the synthetic stream generator. *)
+
+val pp : Format.formatter -> t -> unit
+(** Re-renders the AST as a parsable ERE (parenthesised
+    conservatively). *)
+
+val to_string : t -> string
+
+val pp_rule : Format.formatter -> rule -> unit

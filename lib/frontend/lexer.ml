@@ -1,0 +1,314 @@
+module Charclass = Mfsa_charset.Charclass
+module Vec = Mfsa_util.Vec
+
+type token =
+  | Char of char
+  | Class of Charclass.t
+  | Dot
+  | Star
+  | Plus
+  | Quest
+  | Repeat of int * int option
+  | Lparen
+  | Rparen
+  | Bar
+  | Caret
+  | Dollar
+
+type located = { token : token; pos : int }
+
+type error = { pos : int; message : string }
+
+exception Lex_error of error
+
+let max_bound = 1000
+
+let fail pos fmt =
+  Format.kasprintf (fun message -> raise (Lex_error { pos; message })) fmt
+
+type cursor = { src : string; mutable i : int }
+
+let peek cu = if cu.i < String.length cu.src then Some cu.src.[cu.i] else None
+
+let advance cu = cu.i <- cu.i + 1
+
+let expect cu c =
+  match peek cu with
+  | Some x when x = c -> advance cu
+  | _ -> fail cu.i "expected '%c'" c
+
+let hex_value pos c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail pos "invalid hexadecimal digit '%c'" c
+
+(* Escape sequences shared by the top level and bracket interiors.
+   Returns either a literal byte or a shorthand class. *)
+let lex_escape cu =
+  let pos = cu.i in
+  advance cu (* consume '\\' *);
+  match peek cu with
+  | None -> fail pos "dangling backslash"
+  | Some c -> (
+      advance cu;
+      match c with
+      | 'n' -> `Char '\n'
+      | 't' -> `Char '\t'
+      | 'r' -> `Char '\r'
+      | 'f' -> `Char '\012'
+      | 'v' -> `Char '\011'
+      | 'a' -> `Char '\007'
+      | 'e' -> `Char '\027'
+      | '0' -> `Char '\000'
+      | 'x' -> (
+          match (peek cu, cu.i + 1 < String.length cu.src) with
+          | Some h1, true ->
+              let h2 = cu.src.[cu.i + 1] in
+              let v = (hex_value cu.i h1 * 16) + hex_value (cu.i + 1) h2 in
+              advance cu;
+              advance cu;
+              `Char (Char.chr v)
+          | _ -> fail pos "\\x escape requires two hexadecimal digits")
+      | 'd' -> `Class (Charclass.range '0' '9')
+      | 'D' -> `Class (Charclass.complement (Charclass.range '0' '9'))
+      | 'w' ->
+          `Class
+            (Charclass.union
+               (Charclass.singleton '_')
+               (Option.get (Charclass.posix "alnum")))
+      | 'W' ->
+          `Class
+            (Charclass.complement
+               (Charclass.union
+                  (Charclass.singleton '_')
+                  (Option.get (Charclass.posix "alnum"))))
+      | 's' -> `Class (Option.get (Charclass.posix "space"))
+      | 'S' -> `Class (Charclass.complement (Option.get (Charclass.posix "space")))
+      | ('a' .. 'z' | 'A' .. 'Z') as c ->
+          fail pos "unknown escape sequence '\\%c'" c
+      | c -> `Char c)
+
+(* [[:name:]] inside a bracket expression; cursor is on the first ':'. *)
+let lex_posix_class cu =
+  let pos = cu.i in
+  advance cu (* ':' *);
+  let start = cu.i in
+  let rec scan () =
+    match peek cu with
+    | Some ('a' .. 'z') ->
+        advance cu;
+        scan ()
+    | _ -> ()
+  in
+  scan ();
+  let name = String.sub cu.src start (cu.i - start) in
+  expect cu ':';
+  expect cu ']';
+  match Charclass.posix name with
+  | Some cls -> cls
+  | None -> fail pos "unknown POSIX class name '%s'" name
+
+(* Bracket expression; cursor is just past '['. *)
+let lex_bracket cu open_pos =
+  let negated =
+    match peek cu with
+    | Some '^' ->
+        advance cu;
+        true
+    | _ -> false
+  in
+  let acc = ref Charclass.empty in
+  let add cls = acc := Charclass.union !acc cls in
+  (* A ']' directly after '[' or '[^' is a literal member. *)
+  (match peek cu with
+  | Some ']' ->
+      advance cu;
+      add (Charclass.singleton ']')
+  | _ -> ());
+  let rec items () =
+    match peek cu with
+    | None -> fail open_pos "unterminated bracket expression"
+    | Some ']' -> advance cu
+    | Some '[' when cu.i + 1 < String.length cu.src && cu.src.[cu.i + 1] = ':'
+      ->
+        advance cu;
+        add (lex_posix_class cu);
+        items ()
+    | Some c ->
+        let lo =
+          if c = '\\' then
+            match lex_escape cu with
+            | `Char c -> `Char c
+            | `Class cls -> `Class cls
+          else begin
+            advance cu;
+            `Char c
+          end
+        in
+        (match lo with
+        | `Class cls ->
+            add cls;
+            items ()
+        | `Char lo_c -> (
+            (* Possible range: lo-hi, unless '-' is last before ']'. *)
+            match (peek cu, cu.i + 1 < String.length cu.src) with
+            | Some '-', true when cu.src.[cu.i + 1] <> ']' ->
+                advance cu (* '-' *);
+                let hi_pos = cu.i in
+                let hi =
+                  match peek cu with
+                  | Some '\\' -> (
+                      match lex_escape cu with
+                      | `Char c -> c
+                      | `Class _ ->
+                          fail hi_pos "character class cannot bound a range")
+                  | Some c ->
+                      advance cu;
+                      c
+                  | None -> fail open_pos "unterminated bracket expression"
+                in
+                if hi < lo_c then
+                  fail hi_pos "reversed range '%c-%c'" lo_c hi;
+                add (Charclass.range lo_c hi);
+                items ()
+            | _ ->
+                add (Charclass.singleton lo_c);
+                items ()))
+  in
+  items ();
+  let cls = if negated then Charclass.complement !acc else !acc in
+  if Charclass.is_empty cls then fail open_pos "empty character class";
+  cls
+
+(* {m}, {m,}, {m,n}; cursor is just past '{'. A '{' not followed by a
+   well-formed bound is treated as a literal, as POSIX prescribes. *)
+let lex_repeat cu open_pos =
+  let read_int () =
+    let start = cu.i in
+    let rec scan () =
+      match peek cu with
+      | Some '0' .. '9' ->
+          advance cu;
+          scan ()
+      | _ -> ()
+    in
+    scan ();
+    if cu.i = start then None
+    else Some (int_of_string (String.sub cu.src start (cu.i - start)))
+  in
+  match read_int () with
+  | None -> None
+  | Some m -> (
+      if m > max_bound then
+        fail open_pos "repetition bound %d exceeds the maximum %d" m max_bound;
+      match peek cu with
+      | Some '}' ->
+          advance cu;
+          Some (Repeat (m, Some m))
+      | Some ',' -> (
+          advance cu;
+          match read_int () with
+          | None -> (
+              match peek cu with
+              | Some '}' ->
+                  advance cu;
+                  Some (Repeat (m, None))
+              | _ -> None)
+          | Some n -> (
+              if n > max_bound then
+                fail open_pos "repetition bound %d exceeds the maximum %d" n
+                  max_bound;
+              if n < m then
+                fail open_pos "repetition bounds reversed: {%d,%d}" m n;
+              match peek cu with
+              | Some '}' ->
+                  advance cu;
+                  Some (Repeat (m, Some n))
+              | _ -> None))
+      | _ -> None)
+
+let tokenize_exn src =
+  let cu = { src; i = 0 } in
+  let out = Vec.create () in
+  let emit pos token = Vec.push out { token; pos } in
+  let rec loop () =
+    match peek cu with
+    | None -> ()
+    | Some c ->
+        let pos = cu.i in
+        (match c with
+        | '.' ->
+            advance cu;
+            emit pos Dot
+        | '*' ->
+            advance cu;
+            emit pos Star
+        | '+' ->
+            advance cu;
+            emit pos Plus
+        | '?' ->
+            advance cu;
+            emit pos Quest
+        | '(' ->
+            advance cu;
+            emit pos Lparen
+        | ')' ->
+            advance cu;
+            emit pos Rparen
+        | '|' ->
+            advance cu;
+            emit pos Bar
+        | '^' ->
+            advance cu;
+            emit pos Caret
+        | '$' ->
+            advance cu;
+            emit pos Dollar
+        | '[' ->
+            advance cu;
+            emit pos (Class (lex_bracket cu pos))
+        | '{' -> (
+            advance cu;
+            let saved = cu.i in
+            match lex_repeat cu pos with
+            | Some tok -> emit pos tok
+            | None ->
+                cu.i <- saved;
+                emit pos (Char '{'))
+        | '\\' -> (
+            match lex_escape cu with
+            | `Char c -> emit pos (Char c)
+            | `Class cls -> emit pos (Class cls))
+        | '}' | ']' ->
+            (* POSIX: stray closers are literals. *)
+            advance cu;
+            emit pos (Char c)
+        | c ->
+            advance cu;
+            emit pos (Char c));
+        loop ()
+  in
+  loop ();
+  Vec.to_array out
+
+let tokenize src =
+  match tokenize_exn src with
+  | toks -> Ok toks
+  | exception Lex_error e -> Error e
+
+let pp_token fmt = function
+  | Char c -> Format.fprintf fmt "Char %C" c
+  | Class cls -> Format.fprintf fmt "Class %a" Charclass.pp cls
+  | Dot -> Format.pp_print_string fmt "Dot"
+  | Star -> Format.pp_print_string fmt "Star"
+  | Plus -> Format.pp_print_string fmt "Plus"
+  | Quest -> Format.pp_print_string fmt "Quest"
+  | Repeat (m, Some n) -> Format.fprintf fmt "Repeat{%d,%d}" m n
+  | Repeat (m, None) -> Format.fprintf fmt "Repeat{%d,}" m
+  | Lparen -> Format.pp_print_string fmt "Lparen"
+  | Rparen -> Format.pp_print_string fmt "Rparen"
+  | Bar -> Format.pp_print_string fmt "Bar"
+  | Caret -> Format.pp_print_string fmt "Caret"
+  | Dollar -> Format.pp_print_string fmt "Dollar"

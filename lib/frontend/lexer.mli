@@ -1,0 +1,41 @@
+(** Lexical analysis for POSIX extended regular expressions.
+
+    First stage of the front-end (paper §IV-A): the pattern text is
+    tokenised, with bracket expressions ([\[...\]], including ranges,
+    negation, POSIX named classes and escapes) and bounded repetitions
+    ([{m}], [{m,}], [{m,n}]) resolved into single tokens. Perl-style
+    class shorthands ([\d \D \w \W \s \S]) are accepted as they pervade
+    the deep-packet-inspection rulesets the paper evaluates on. *)
+
+type token =
+  | Char of char  (** Literal byte (possibly via an escape). *)
+  | Class of Mfsa_charset.Charclass.t
+      (** A bracket expression or class shorthand. *)
+  | Dot  (** [.] — any byte but newline. *)
+  | Star
+  | Plus
+  | Quest
+  | Repeat of int * int option  (** [{m,n}]; [None] = unbounded. *)
+  | Lparen
+  | Rparen
+  | Bar
+  | Caret
+  | Dollar
+
+type located = { token : token; pos : int  (** Byte offset in the pattern. *) }
+
+type error = { pos : int; message : string }
+
+exception Lex_error of error
+
+val tokenize : string -> (located array, error) result
+(** Tokenise a whole pattern. Errors report the offending byte offset:
+    unterminated brackets or repetitions, bad escapes, empty classes,
+    reversed ranges, unknown POSIX class names, repetition bounds with
+    [n < m] or values above {!max_bound}. *)
+
+val max_bound : int
+(** Largest accepted repetition bound (guards against pathological
+    [{m,n}] blow-up downstream); 1000, as in common RE engines. *)
+
+val pp_token : Format.formatter -> token -> unit

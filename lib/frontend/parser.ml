@@ -1,0 +1,140 @@
+module Charclass = Mfsa_charset.Charclass
+
+type error = { pos : int; message : string }
+
+exception Parse_error of error
+
+let fail pos fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { pos; message })) fmt
+
+type state = { toks : Lexer.located array; mutable i : int; src_len : int }
+
+let peek st = if st.i < Array.length st.toks then Some st.toks.(st.i) else None
+
+let advance st = st.i <- st.i + 1
+
+
+(* postfix ::= atom ('*' | '+' | '?' | repeat)* *)
+let rec parse_postfix st atom =
+  match peek st with
+  | Some { token = Lexer.Star; _ } ->
+      advance st;
+      parse_postfix st (Ast.Star atom)
+  | Some { token = Lexer.Plus; _ } ->
+      advance st;
+      parse_postfix st (Ast.Plus atom)
+  | Some { token = Lexer.Quest; _ } ->
+      advance st;
+      parse_postfix st (Ast.Opt atom)
+  | Some { token = Lexer.Repeat (m, n); _ } ->
+      advance st;
+      parse_postfix st (Ast.Repeat (atom, m, n))
+  | _ -> atom
+
+(* atom ::= char | class | '.' | '(' alt ')' *)
+and parse_atom st =
+  match peek st with
+  | Some { token = Lexer.Char c; _ } ->
+      advance st;
+      Some (Ast.Char c)
+  | Some { token = Lexer.Class cls; _ } ->
+      advance st;
+      Some (Ast.Class cls)
+  | Some { token = Lexer.Dot; _ } ->
+      advance st;
+      Some (Ast.Class Charclass.dot)
+  | Some { token = Lexer.Lparen; pos } -> (
+      advance st;
+      let inner = parse_alt st in
+      match peek st with
+      | Some { token = Lexer.Rparen; _ } ->
+          advance st;
+          Some inner
+      | _ -> fail pos "unmatched '('")
+  | Some { token = Lexer.Star | Lexer.Plus | Lexer.Quest | Lexer.Repeat _; pos }
+    ->
+      fail pos "quantifier with nothing to repeat"
+  | Some
+      {
+        token = Lexer.Rparen | Lexer.Bar | Lexer.Caret | Lexer.Dollar;
+        _;
+      }
+  | None ->
+      None
+
+and parse_alt st =
+  let first = parse_concat st in
+  let rec go acc =
+    match peek st with
+    | Some { token = Lexer.Bar; _ } ->
+        advance st;
+        let next = parse_concat st in
+        go (Ast.Alt (acc, next))
+    | _ -> acc
+  in
+  go first
+
+(* concat ::= postfix* ; an empty concatenation is ε. Each postfix
+   operator binds to the atom immediately before it. *)
+and parse_concat st =
+  let rec go acc =
+    match parse_atom st with
+    | None -> acc
+    | Some atom ->
+        let repeated = parse_postfix st atom in
+        go (repeated :: acc)
+  in
+  match go [] with [] -> Ast.Empty | items -> Ast.seq (List.rev items)
+
+let parse_tokens src toks =
+  let st = { toks; i = 0; src_len = String.length src } in
+  let anchored_start =
+    match peek st with
+    | Some { token = Lexer.Caret; _ } ->
+        advance st;
+        true
+    | _ -> false
+  in
+  let ast = parse_alt st in
+  let anchored_end =
+    match peek st with
+    | Some { token = Lexer.Dollar; _ } when st.i = Array.length st.toks - 1 ->
+        advance st;
+        true
+    | _ -> false
+  in
+  (match peek st with
+  | Some { token = Lexer.Rparen; pos } -> fail pos "unmatched ')'"
+  | Some { token = Lexer.Caret; pos } ->
+      fail pos "'^' is only supported at the start of the pattern"
+  | Some { token = Lexer.Dollar; pos } ->
+      fail pos "'$' is only supported at the end of the pattern"
+  | Some { pos; _ } -> fail pos "unexpected token"
+  | None -> ());
+  { Ast.pattern = src; ast; anchored_start; anchored_end }
+
+let parse_exn src =
+  match Lexer.tokenize src with
+  | Error { Lexer.pos; message } -> raise (Parse_error { pos; message })
+  | Ok toks -> parse_tokens src toks
+
+let parse src =
+  match parse_exn src with
+  | rule -> Ok rule
+  | exception Parse_error e -> Error e
+
+let parse_many patterns =
+  let rules = ref [] in
+  let rec go i = function
+    | [] -> Ok (Array.of_list (List.rev !rules))
+    | p :: rest -> (
+        match parse p with
+        | Ok r ->
+            rules := r :: !rules;
+            go (i + 1) rest
+        | Error e -> Error (i, e))
+  in
+  go 0 patterns
+
+let error_to_string { pos; message } =
+  Printf.sprintf "at offset %d: %s" pos message

@@ -1,0 +1,33 @@
+(** Syntactic analysis for POSIX extended regular expressions.
+
+    Second stage of the front-end (paper §IV-A): a recursive-descent
+    parser over the token stream produced by {!Lexer}, implementing the
+    ERE grammar
+
+    {v
+      pattern  ::= '^'? alt '$'?
+      alt      ::= concat ('|' concat)*
+      concat   ::= postfix*
+      postfix  ::= atom ('*' | '+' | '?' | '{m,n}')*
+      atom     ::= char | class | '.' | '(' alt ')'
+    v}
+
+    Anchors are accepted only at the pattern boundaries and surface as
+    rule flags (see {!Ast.rule}); an interior anchor is a parse error,
+    matching the regular (anchor-free) automata the paper compiles. *)
+
+type error = { pos : int; message : string }
+
+exception Parse_error of error
+
+val parse : string -> (Ast.rule, error) result
+(** Lex and parse one pattern. *)
+
+val parse_exn : string -> Ast.rule
+(** @raise Parse_error on lexical or syntactic errors. *)
+
+val parse_many : string list -> (Ast.rule array, int * error) result
+(** Parse a whole ruleset; on failure reports the index of the first
+    offending rule together with its error. *)
+
+val error_to_string : error -> string

@@ -1,0 +1,56 @@
+module Charclass = Mfsa_charset.Charclass
+module Bitset = Mfsa_util.Bitset
+
+module Pair = struct
+  type t = int * int (* state, fsa *)
+
+  let compare = compare
+end
+
+module Config = Set.Make (Pair)
+
+let run (z : Mfsa.t) input =
+  let nt = Mfsa.n_transitions z in
+  let len = String.length input in
+  let matches = ref [] in
+  let config = ref Config.empty in
+  for i = 0 to len - 1 do
+    let c = input.[i] in
+    (* Equation 4's push: FSAs may start at their initial state at
+       every position (position 0 only, when start-anchored). *)
+    let sources =
+      Array.to_list z.Mfsa.init_of
+      |> List.mapi (fun j q0 -> (q0, j))
+      |> List.filter (fun (_, j) -> (not z.Mfsa.anchored_start.(j)) || i = 0)
+      |> Config.of_list
+      |> Config.union !config
+    in
+    let next = ref Config.empty in
+    let reported = ref [] in
+    for t = 0 to nt - 1 do
+      if Charclass.mem z.Mfsa.idx.(t) c then begin
+        let q1 = z.Mfsa.row.(t) and q2 = z.Mfsa.col.(t) in
+        Config.iter
+          (fun (q, j) ->
+            (* Equation 6: j survives the move only if the transition
+               belongs to it. *)
+            if q = q1 && Bitset.mem z.Mfsa.bel.(t) j then begin
+              next := Config.add (q2, j) !next;
+              (* Equation 5: match when q2 is final for j. *)
+              if
+                Bitset.mem z.Mfsa.final_sets.(q2) j
+                && ((not z.Mfsa.anchored_end.(j)) || i + 1 = len)
+              then reported := j :: !reported
+            end)
+          sources
+      end
+    done;
+    List.sort_uniq Int.compare !reported
+    |> List.iter (fun j -> matches := (j, i + 1) :: !matches);
+    config := !next
+  done;
+  List.rev !matches
+  |> List.stable_sort (fun (j1, e1) (j2, e2) ->
+         if e1 <> e2 then Int.compare e1 e2 else Int.compare j1 j2)
+
+let count z input = List.length (run z input)

@@ -1,0 +1,29 @@
+(** Specification-level interpreter of the MFSA formal model (paper
+    §III-B, Equations 4–9).
+
+    This module executes an MFSA by transcribing the formal model
+    directly: a run-time configuration is a set of pairs [(q, j)] —
+    "FSA [j] is active at state [q]" — so that [J(q)] is the set of
+    [j] with [(q, j)] in the configuration. A move over byte [c]
+    applies, for every transition [q1 --C--> q2] with [c ∈ C] and
+    every [j ∈ (J(q1) ∪ {j | q1 initial for j}) ∩ bel]:
+
+    - Equation 4 (push on initial states), Equation 6 (pop when the
+      transition does not belong to [j]) via the set comprehension;
+    - Equation 5: a match for [j] is reported when [q2] is final for
+      [j];
+    - Equation 9: a path contributes only while some [j] stays active
+      along it, which the pairwise representation enforces by
+      construction.
+
+    It exists as the executable specification: slow, built on
+    {!Stdlib.Set}, free of the iMFAnt engine's symbol-first tables and
+    bitset state vectors — the property suite checks that
+    {!Mfsa_engine.Imfant} agrees with it exactly. *)
+
+val run : Mfsa.t -> string -> (int * int) list
+(** [(fsa, end position)] match events under the engine conventions
+    (unanchored per-FSA unless flagged, non-empty matches, one report
+    per (FSA, end) pair), ordered by end position then FSA id. *)
+
+val count : Mfsa.t -> string -> int

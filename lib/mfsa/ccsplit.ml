@@ -1,0 +1,54 @@
+module Nfa = Mfsa_automata.Nfa
+module Charclass = Mfsa_charset.Charclass
+
+let atoms fsas =
+  (* Successive refinement: start from the trivial partition of the
+     covered alphabet and split every block against every class. *)
+  let classes =
+    Array.to_list fsas
+    |> List.concat_map (fun a ->
+           Array.to_list a.Nfa.transitions
+           |> List.filter_map (fun tr ->
+                  match tr.Nfa.label with
+                  | Nfa.Eps -> None
+                  | Nfa.Cls c -> Some c))
+    |> List.sort_uniq Charclass.compare
+  in
+  let covered = List.fold_left Charclass.union Charclass.empty classes in
+  let refine partition cls =
+    List.concat_map
+      (fun block ->
+        let inside = Charclass.inter block cls in
+        let outside = Charclass.diff block cls in
+        List.filter (fun b -> not (Charclass.is_empty b)) [ inside; outside ])
+      partition
+  in
+  if Charclass.is_empty covered then []
+  else List.fold_left refine [ covered ] classes
+
+let split fsas =
+  Array.iter
+    (fun a ->
+      if not (Nfa.is_eps_free a) then
+        invalid_arg "Ccsplit.split: automata must be ε-free")
+    fsas;
+  let parts = atoms fsas in
+  Array.map
+    (fun a ->
+      let transitions =
+        Array.to_list a.Nfa.transitions
+        |> List.concat_map (fun tr ->
+               match tr.Nfa.label with
+               | Nfa.Eps -> assert false
+               | Nfa.Cls c ->
+                   List.filter_map
+                     (fun atom ->
+                       let piece = Charclass.inter c atom in
+                       if Charclass.is_empty piece then None
+                       else Some { tr with Nfa.label = Nfa.Cls piece })
+                     parts)
+      in
+      Nfa.create ~n_states:a.Nfa.n_states ~transitions ~start:a.Nfa.start
+        ~finals:(Nfa.final_states a) ~anchored_start:a.Nfa.anchored_start
+        ~anchored_end:a.Nfa.anchored_end ~pattern:a.Nfa.pattern ())
+    fsas

@@ -1,0 +1,30 @@
+(** Partial character-class merging — the optimisation the paper
+    sketches as future work in §VI-A: "in CCs [abce] and [bcd] it
+    could be possible to merge the common characters [bc] only".
+
+    Algorithm 1 merges two class transitions only when the classes are
+    {e equal}. This pass makes partial overlap mergeable by rewriting
+    the whole ruleset over the {e atoms} of the Boolean algebra its
+    classes generate: the alphabet is partitioned so that two bytes
+    fall in the same atom iff they occur in exactly the same set of
+    transition classes across all FSAs, and every class transition is
+    split into one parallel transition per atom it covers. [abce] and
+    [bcd] both contain the atom [bc], so after splitting their [bc]
+    parts are label-equal and Algorithm 1 merges them.
+
+    Splitting multiplies transitions (each class covering k atoms
+    becomes k arcs), so it is exposed as an optional pre-merging pass
+    and evaluated as an ablation in the benchmark harness. Languages
+    are unchanged: each split class is the disjoint union of its
+    atoms. *)
+
+val atoms : Mfsa_automata.Nfa.t array -> Mfsa_charset.Charclass.t list
+(** The alphabet partition induced by every class appearing on any
+    transition of the ruleset (bytes appearing on no transition form
+    at most one residual atom, which never labels an arc). Atoms are
+    pairwise disjoint, non-empty and cover every labelled byte. *)
+
+val split : Mfsa_automata.Nfa.t array -> Mfsa_automata.Nfa.t array
+(** Rewrite every FSA over the ruleset's atoms. State numbering is
+    unchanged; each automaton's language is preserved. Automata must
+    be ε-free. @raise Invalid_argument on ε-arcs. *)

@@ -1,0 +1,67 @@
+(** Merging a set of FSAs into a single MFSA — the paper's Algorithm 1
+    (§III-A).
+
+    FSAs are merged in a cascaded fashion: the first automaton is
+    copied into the evolving MFSA as-is; each subsequent automaton [a]
+    is compared against the MFSA [z] to find common sub-paths — chains
+    of transitions with pairwise-equal labels (single characters and
+    character classes are compared uniformly as classes, covering both
+    of the paper's tuple sets [X] and [Y]) — which are collected into
+    merging structures. The merging structures induce a relabeling of
+    [a]'s states onto [z]'s states; the relabeling is kept {e
+    injective in both directions} so that each input FSA's morphology
+    is preserved exactly (the paper's correctness condition: no
+    transition is removed or changed, and [Mfsa.project] recovers an
+    isomorphic copy of every input). Relabelled transitions of [a]
+    that coincide with an existing [z] transition update its belonging
+    vector with [a]'s identifier; the remaining transitions and states
+    are appended fresh.
+
+    The three outcomes of the paper's search are all covered: no
+    common sub-path (pure copy with disjoint relabeling), partial
+    overlap (belonging update on the shared prefix), and identical
+    automata (pure belonging update, no growth). *)
+
+type strategy =
+  | Greedy
+      (** Seed a merge chain at any label-equal transition pair — the
+          maximal reading of the paper's X/Y tuple sets. Highest
+          compression; can merge mid-rule sub-paths, which raises the
+          run-time activation pressure (Table II). *)
+  | Prefix
+      (** Seed chains only at initial states (the incoming FSA's start
+          against an existing initial state), producing trie-like
+          shared prefixes. Lower compression, lower activation
+          pressure — the conservative end of the design space,
+          evaluated as an ablation by the benchmark harness. *)
+
+type stats = {
+  seeds : int;  (** Label-equal transition pairs that started a chain. *)
+  chains : int;  (** Merging structures (maximal matched chains). *)
+  merged_transitions : int;
+      (** Transitions of incoming FSAs that landed on an existing MFSA
+          transition (belonging update instead of a copy). *)
+  merged_states : int;
+      (** States of incoming FSAs relabelled onto existing MFSA
+          states. *)
+}
+
+val merge :
+  ?strategy:strategy -> ?stats:stats ref -> Mfsa_automata.Nfa.t array -> Mfsa.t
+(** [merge fsas] merges all automata into one MFSA; identifier [j] is
+    the index of the automaton in [fsas]. Automata must be ε-free
+    ({!Mfsa_automata.Epsilon.remove} first). [strategy] defaults to
+    {!Greedy}.
+    @raise Invalid_argument on an empty array or ε-arcs. *)
+
+val merge_groups :
+  ?strategy:strategy ->
+  ?stats:stats ref ->
+  m:int ->
+  Mfsa_automata.Nfa.t array ->
+  Mfsa.t list
+(** Partitions the ruleset into ⌈N/M⌉ consecutive groups of (up to)
+    [m] automata, as in the paper's evaluation ("sampling the input M
+    REs sequentially from the dataset"), and merges each group.
+    [m = 0] or [m >= N] merges everything into one MFSA ([M = all]).
+    @raise Invalid_argument if [m < 0] or the array is empty. *)

@@ -1,0 +1,31 @@
+(** Insertion–deletion (INDEL) string distance and the normalised
+    similarity ratio used by the paper's Figure 1.
+
+    The INDEL distance is the Levenshtein distance restricted to
+    insertions and deletions (no substitutions); equivalently
+    [distance a b = |a| + |b| - 2 * lcs a b]. The paper's normalised
+    similarity between two rules is [1 - distance/(|a|+|b|)], e.g.
+    ["lewenstein"] vs ["levenshtein"] has distance 3 over length 21,
+    similarity 0.8571… (paper §I). *)
+
+val lcs : string -> string -> int
+(** Length of a longest common subsequence. *)
+
+val distance : string -> string -> int
+(** INDEL distance: the minimum number of single-character insertions
+    and deletions turning one string into the other. *)
+
+val normalized : string -> string -> float
+(** [distance a b /. (|a| + |b|)]; [0.] when both strings are empty. *)
+
+val similarity : string -> string -> float
+(** [1. -. normalized a b]; 1 for identical strings, 0 for strings
+    sharing no character. *)
+
+val average_pairwise_similarity :
+  ?sample:int -> ?seed:int -> string array -> float
+(** Mean of [similarity a b] over unordered pairs of distinct entries,
+    the quantity plotted in the paper's Fig. 1. With [~sample:k] at most
+    [k] random pairs (seeded by [seed], default 42) are averaged, which
+    keeps large rulesets tractable. Returns [0.] for fewer than two
+    strings. *)

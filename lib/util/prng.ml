@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy g = { state = g.state }
+
+(* splitmix64 finaliser (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Take the top bits, which are the best-mixed ones, and reduce. The
+     modulo bias is negligible for the bounds used in this library
+     (bound << 2^62). *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  r mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let chance g p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float g 1.0 < p
+
+let byte g = Char.chr (int g 256)
+
+let choose g arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int g (Array.length arr))
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split g =
+  let s = next_int64 g in
+  { state = mix s }

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, self-contained splitmix64 generator. Every stochastic
+    component of the library (dataset synthesis, stream generation,
+    property-test corpora) draws from an explicit [t] so that whole
+    experiments are reproducible from a single seed and independent of
+    the global {!Stdlib.Random} state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output of the splitmix64 step function. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance g p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val byte : t -> char
+(** Uniform byte. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. @raise Invalid_argument on
+    an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a statistically independent
+    child generator; useful to give each dataset/worker its own
+    stream. *)

@@ -1,0 +1,102 @@
+type 'a t = { mutable len : int; mutable data : 'a array }
+
+let create () = { len = 0; data = [||] }
+
+let make n x = { len = n; data = Array.make (max n 1) x }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let check t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of range [0,%d)" i t.len)
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let grow t x =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let data = Array.make ncap x in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    t.len <- t.len - 1;
+    Some t.data.(t.len)
+  end
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let clear t = t.len <- 0
+
+let copy t = { len = t.len; data = Array.copy t.data }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let append dst src = iter (push dst) src
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let map f t =
+  let r = create () in
+  iter (fun x -> push r (f x)) t;
+  r
+
+let fold_left f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let exists p t =
+  let rec go i = i < t.len && (p t.data.(i) || go (i + 1)) in
+  go 0
+
+let find_opt p t =
+  let rec go i =
+    if i >= t.len then None
+    else if p t.data.(i) then Some t.data.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let find_index p t =
+  let rec go i =
+    if i >= t.len then None else if p t.data.(i) then Some i else go (i + 1)
+  in
+  go 0
+
+let of_list l =
+  let t = create () in
+  List.iter (push t) l;
+  t
+
+let to_list t = List.rev (fold_left (fun acc x -> x :: acc) [] t)
+
+let of_array a = { len = Array.length a; data = Array.copy a }
+
+let to_array t = Array.sub t.data 0 t.len
+
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.len

@@ -1,0 +1,61 @@
+(** Growable vectors.
+
+    OCaml 5.1's standard library has no [Dynarray] (it arrived in 5.2),
+    so this is the project's growable-array substrate. Used for the COO
+    transition vectors ([row]/[col]/[idx]/[bel], paper Fig. 2) and for
+    all automaton construction phases, which append heavily. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of [n] copies of [x]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element. *)
+
+val last : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val copy : 'a t -> 'a t
+
+val append : 'a t -> 'a t -> unit
+(** [append dst src] pushes all of [src] onto [dst]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+
+val find_index : ('a -> bool) -> 'a t -> int option
+
+val of_list : 'a list -> 'a t
+
+val to_list : 'a t -> 'a list
+
+val of_array : 'a array -> 'a t
+
+val to_array : 'a t -> 'a array
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place sort. *)

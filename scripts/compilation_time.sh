@@ -1,0 +1,7 @@
+#!/bin/sh
+# Reproduces Fig. 8 (compilation stage times) — the analogue of the
+# paper artifact's compilation_time.sh. Use --reps 30 for the paper's
+# repetition count.
+set -e
+cd "$(dirname "$0")/.."
+exec dune exec bin/mfsa_report.exe -- fig8 complexity "$@"

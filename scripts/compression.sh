@@ -1,0 +1,7 @@
+#!/bin/sh
+# Reproduces Fig. 7 (automata compression) — the analogue of the
+# paper artifact's compression.sh. Scale with MFSA_SCALE=1 for the
+# paper's ruleset sizes.
+set -e
+cd "$(dirname "$0")/.."
+exec dune exec bin/mfsa_report.exe -- fig7 ablation-ccsplit "$@"

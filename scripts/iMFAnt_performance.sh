@@ -1,0 +1,8 @@
+#!/bin/sh
+# Reproduces Figs. 9 and 10 plus Table II (execution performance) —
+# the analogue of the paper artifact's iMFAnt_performance.sh.
+# MFSA_SCALE=1 MFSA_STREAM_KB=1024 MFSA_REPS=15 approaches the paper's
+# configuration (expect hours on one core).
+set -e
+cd "$(dirname "$0")/.."
+exec dune exec bin/mfsa_report.exe -- table2 fig9 fig10 baselines "$@"

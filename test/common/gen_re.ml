@@ -1,0 +1,122 @@
+module Ast = Mfsa_frontend.Ast
+module Charclass = Mfsa_charset.Charclass
+module Gen = QCheck2.Gen
+
+let ( >>= ) = Gen.( >>= )
+
+let clazz =
+  Gen.oneofl
+    [
+      Charclass.of_string "ab";
+      Charclass.of_string "bc";
+      Charclass.of_string "abc";
+      Charclass.range 'a' 'c';
+    ]
+
+let ast =
+  (* Cap the tree size: nested bounded quantifiers multiply during
+     loop expansion, and ε-removal is quadratic in the automaton, so
+     unbounded QCheck sizes produce pathological cases that test
+     nothing new but dominate the suite's runtime. *)
+  Gen.sized @@ fun n ->
+  (Gen.fix (fun self n ->
+      let leaf =
+        Gen.oneof
+          [
+            Gen.map (fun c -> Ast.Char c) (Gen.oneofl [ 'a'; 'b'; 'c' ]);
+            Gen.map (fun cls -> Ast.Class cls) clazz;
+            Gen.return Ast.Empty;
+          ]
+      in
+      if n <= 1 then leaf
+      else
+        let sub = self (n / 2) in
+        Gen.oneof
+          [
+            leaf;
+            Gen.map2 (fun a b -> Ast.Concat (a, b)) sub sub;
+            Gen.map2 (fun a b -> Ast.Alt (a, b)) sub sub;
+            Gen.map (fun a -> Ast.Star a) sub;
+            Gen.map (fun a -> Ast.Plus a) sub;
+            Gen.map (fun a -> Ast.Opt a) sub;
+            Gen.map2
+              (fun a (m, extra) -> Ast.Repeat (a, m, Some (m + extra)))
+              sub
+              (Gen.pair (Gen.int_range 0 2) (Gen.int_range 0 2));
+            Gen.map2
+              (fun a m -> Ast.Repeat (a, m, None))
+              sub (Gen.int_range 0 2);
+          ]))
+    (min n 14)
+
+let rule =
+  Gen.map3
+    (fun ast anchored_start anchored_end ->
+      {
+        Ast.pattern = Ast.to_string ast;
+        ast;
+        anchored_start;
+        anchored_end;
+      })
+    ast
+    (Gen.frequency [ (4, Gen.return false); (1, Gen.return true) ])
+    (Gen.frequency [ (4, Gen.return false); (1, Gen.return true) ])
+
+let ruleset ?(max_rules = 8) () =
+  Gen.int_range 2 max_rules >>= fun n -> Gen.list_size (Gen.return n) rule
+
+let input =
+  Gen.int_range 0 40 >>= fun n ->
+  Gen.string_size ~gen:(Gen.oneofl [ 'a'; 'b'; 'c' ]) (Gen.return n)
+
+let wide_clazz =
+  Gen.oneofl
+    [
+      Charclass.singleton '\x00';
+      Charclass.singleton '\xff';
+      Charclass.range '\x00' '\x1f';
+      Charclass.range '\x80' '\xff';
+      Charclass.of_string "a\x00\xff";
+      Charclass.dot;
+    ]
+
+let wide_ast =
+  Gen.sized @@ fun n ->
+  (Gen.fix (fun self n ->
+       let leaf =
+         Gen.oneof
+           [
+             Gen.map (fun c -> Ast.Char c) (Gen.map Char.chr (Gen.int_range 0 255));
+             Gen.map (fun cls -> Ast.Class cls) wide_clazz;
+           ]
+       in
+       if n <= 1 then leaf
+       else
+         let sub = self (n / 2) in
+         Gen.oneof
+           [
+             leaf;
+             Gen.map2 (fun a b -> Ast.Concat (a, b)) sub sub;
+             Gen.map2 (fun a b -> Ast.Alt (a, b)) sub sub;
+             Gen.map (fun a -> Ast.Star a) sub;
+             Gen.map (fun a -> Ast.Opt a) sub;
+           ]))
+    (min n 10)
+
+let wide_rule =
+  Gen.map
+    (fun ast ->
+      { Ast.pattern = Ast.to_string ast; ast; anchored_start = false; anchored_end = false })
+    wide_ast
+
+let wide_input =
+  let ( >>= ) = Gen.( >>= ) in
+  Gen.int_range 0 40 >>= fun n ->
+  Gen.string_size ~gen:(Gen.map Char.chr (Gen.int_range 0 255)) (Gen.return n)
+
+let print_rule r = Printf.sprintf "%S" (Format.asprintf "%a" Ast.pp_rule r)
+
+let print_ruleset_input (rules, input) =
+  Printf.sprintf "rules=[%s] input=%S"
+    (String.concat "; " (List.map print_rule rules))
+    input

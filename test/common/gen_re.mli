@@ -1,0 +1,33 @@
+(** QCheck generators shared by the property-test suites.
+
+    Regular expressions are generated as ASTs over the tiny alphabet
+    [{a, b, c}] (plus a couple of classes) so that random rules collide
+    often — collisions are what exercise the merging algorithm and the
+    activation function. Inputs are random strings over the same
+    alphabet, again to make matches likely. *)
+
+val ast : Mfsa_frontend.Ast.t QCheck2.Gen.t
+(** Random AST, size-bounded; quantifier bounds kept small so loop
+    expansion stays cheap. *)
+
+val rule : Mfsa_frontend.Ast.rule QCheck2.Gen.t
+(** Random rule: an [ast] rendered to its pattern text, with random
+    boundary anchors. *)
+
+val ruleset : ?max_rules:int -> unit -> Mfsa_frontend.Ast.rule list QCheck2.Gen.t
+(** 2 to [max_rules] (default 8) random rules. *)
+
+val input : string QCheck2.Gen.t
+(** Random input over [{a, b, c}], length ≤ 40. *)
+
+val wide_rule : Mfsa_frontend.Ast.rule QCheck2.Gen.t
+(** Like {!rule} but over classes spanning the full byte range,
+    exercising the 256-symbol tables and binary-byte handling. *)
+
+val wide_input : string QCheck2.Gen.t
+(** Random input over all 256 byte values, length ≤ 40. *)
+
+val print_rule : Mfsa_frontend.Ast.rule -> string
+
+val print_ruleset_input :
+  Mfsa_frontend.Ast.rule list * string -> string

@@ -1,0 +1,29 @@
+Deterministic evaluation artefacts pin the dataset generators and the
+merging algorithm: any change to either shows up as a diff here.
+
+  $ mfsa-report fig1
+  == Fig. 1: average normalised INDEL similarity per dataset ==
+  Dataset  Similarity [0,1]
+  -------  ----------------
+  BRO      0.263
+  DS9      0.277
+  PEN      0.209
+  PRO      0.395
+  RG1      0.431
+  TCP      0.229
+  
+
+The Table I shape (rule counts at the default scale 0.2):
+
+  $ mfsa-report table1 | grep -oE "(BRO|DS9|PEN|PRO|RG1|TCP) +[0-9]+" | tr -s ' '
+  BRO 44
+  DS9 60
+  PEN 60
+  PRO 60
+  RG1 60
+  TCP 60
+
+Compression at M=all is deterministic:
+
+  $ mfsa-report fig7 | grep "^Average"
+  Average at M=all: 91.98% states, 62.12% transitions (paper: 71.95% / 38.88%)

@@ -1,0 +1,386 @@
+(* Unit tests for the XML substrate and the extended-ANML back-end. *)
+
+module Xml = Mfsa_anml.Xml
+module Anml = Mfsa_anml.Anml
+module C = Mfsa_charset.Charclass
+module Mfsa = Mfsa_model.Mfsa
+module Merge = Mfsa_model.Merge
+module Im = Mfsa_engine.Imfant
+module P = Mfsa_frontend.Parser
+
+let check = Alcotest.check
+
+let cls = Alcotest.testable C.pp C.equal
+
+let fsa_of src =
+  Mfsa_automata.Multiplicity.fuse
+    (Mfsa_automata.Epsilon.remove
+       (Mfsa_automata.Thompson.build
+          (Mfsa_automata.Simplify.char_classes_rule
+             (Mfsa_automata.Loops.expand_rule (P.parse_exn src)))))
+
+let parse_xml src =
+  match Xml.parse src with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "unexpected XML error: %s" (Xml.error_to_string e)
+
+(* ------------------------------------------------------------- Xml *)
+
+let test_xml_element () =
+  match parse_xml "<a x=\"1\" y=\"two\"><b/><c>text</c></a>" with
+  | Xml.Element ("a", attrs, kids) ->
+      check Alcotest.(list (pair string string)) "attrs" [ ("x", "1"); ("y", "two") ] attrs;
+      check Alcotest.int "two element children" 2
+        (List.length (List.filter (function Xml.Element _ -> true | _ -> false) kids))
+  | _ -> Alcotest.fail "expected element"
+
+let test_xml_helpers () =
+  let t = parse_xml "<root a=\"v\"><x/><y/><x k=\"1\"/></root>" in
+  check Alcotest.(option string) "attr" (Some "v") (Xml.attr t "a");
+  check Alcotest.(option string) "missing attr" None (Xml.attr t "zz");
+  check Alcotest.int "children" 3 (List.length (Xml.children t));
+  check Alcotest.int "find_all" 2 (List.length (Xml.find_all t "x"));
+  check Alcotest.(option string) "tag" (Some "root") (Xml.tag t)
+
+let test_xml_declaration_comments () =
+  let t =
+    parse_xml
+      "<?xml version=\"1.0\"?>\n<!-- hello -->\n<r><!-- inner --><k/></r>"
+  in
+  check Alcotest.(option string) "root found" (Some "r") (Xml.tag t);
+  check Alcotest.int "comment skipped" 1 (List.length (Xml.children t))
+
+let test_xml_entities () =
+  match parse_xml "<r a=\"&lt;&amp;&gt;&quot;&apos;\">x&amp;y&#65;&#x42;</r>" with
+  | Xml.Element (_, [ (_, v) ], kids) ->
+      check Alcotest.string "attr entities" "<&>\"'" v;
+      (match kids with
+      | [ Xml.Text s ] -> check Alcotest.string "text entities" "x&yAB" s
+      | _ -> Alcotest.fail "expected one text child")
+  | _ -> Alcotest.fail "expected element"
+
+let test_xml_errors () =
+  let fails src =
+    match Xml.parse src with
+    | Ok _ -> Alcotest.failf "expected %S to fail" src
+    | Error e -> e
+  in
+  check Alcotest.bool "unterminated" true
+    (String.length (fails "<a><b></a>").Xml.message > 0);
+  check Alcotest.bool "trailing" true
+    ((fails "<a/><b/>").Xml.message = "trailing content after the root element");
+  check Alcotest.bool "bad entity" true
+    (String.length (fails "<a>&bogus;</a>").Xml.message > 0);
+  let e = fails "<a\nx></a>" in
+  check Alcotest.int "line tracking" 2 e.Xml.line
+
+let test_xml_roundtrip () =
+  let t =
+    Xml.Element
+      ( "net",
+        [ ("name", "a<b&c\"d") ],
+        [ Xml.Element ("leaf", [ ("v", "1") ], []); Xml.Text "payload & more" ] )
+  in
+  let printed = Xml.to_string t in
+  match parse_xml printed with
+  | Xml.Element ("net", [ ("name", n) ], kids) ->
+      check Alcotest.string "attr escaped and restored" "a<b&c\"d" n;
+      check Alcotest.int "children survive" 2 (List.length kids)
+  | _ -> Alcotest.fail "bad roundtrip"
+
+let test_xml_compact_output () =
+  let t = Xml.Element ("a", [], [ Xml.Element ("b", [], []) ]) in
+  check Alcotest.string "no indent" "<a><b/></a>" (Xml.to_string ~indent:false t)
+
+let prop_xml_total_on_garbage =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"xml: total on arbitrary bytes" ~count:500
+       ~print:(Printf.sprintf "%S")
+       QCheck2.Gen.(
+         string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 60))
+       (fun src ->
+         match Xml.parse src with Ok _ | Error _ -> true | exception _ -> false))
+
+(* ---------------------------------------------------- symbol codec *)
+
+let test_symbols_codec_examples () =
+  check Alcotest.string "singleton" "61" (Anml.symbols_to_string (C.singleton 'a'));
+  check Alcotest.string "range" "61-66" (Anml.symbols_to_string (C.range 'a' 'f'));
+  check Alcotest.string "mixed" "0a,61-63"
+    (Anml.symbols_to_string (C.add (C.range 'a' 'c') '\n'));
+  check cls "parse singleton" (C.singleton 'a') (Anml.symbols_of_string "61");
+  check cls "parse mixed" (C.add (C.range 'a' 'c') '\n')
+    (Anml.symbols_of_string "0a,61-63")
+
+let test_symbols_codec_errors () =
+  List.iter
+    (fun bad ->
+      match Anml.symbols_of_string bad with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "expected %S to be rejected" bad)
+    [ ""; "xyz"; "6"; "61-"; "66-61"; "61-66-6a" ]
+
+let byte = QCheck2.Gen.map Char.chr (QCheck2.Gen.int_range 0 255)
+
+let prop_symbols_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"anml: symbols codec roundtrip" ~count:300
+       (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 32) byte)
+       (fun bytes ->
+         let cls = C.of_list bytes in
+         C.equal cls (Anml.symbols_of_string (Anml.symbols_to_string cls))))
+
+(* ------------------------------------------------------------ Anml *)
+
+let mfsa_example () =
+  Merge.merge [| fsa_of "a[gj](lm|cd)"; fsa_of "kja[gj]cd"; fsa_of "^ab$" |]
+
+let test_anml_write_read_roundtrip () =
+  let z = mfsa_example () in
+  let doc = Anml.write [ z ] in
+  match Anml.read doc with
+  | Error e -> Alcotest.failf "read failed: %s" e
+  | Ok [ z' ] ->
+      check Alcotest.int "states" z.Mfsa.n_states z'.Mfsa.n_states;
+      check Alcotest.int "fsas" z.Mfsa.n_fsas z'.Mfsa.n_fsas;
+      check Alcotest.int "transitions" (Mfsa.n_transitions z) (Mfsa.n_transitions z');
+      check Alcotest.(array string) "patterns" z.Mfsa.patterns z'.Mfsa.patterns;
+      check Alcotest.(array bool) "anchors" z.Mfsa.anchored_start z'.Mfsa.anchored_start;
+      check Alcotest.bool "validates" true (Mfsa.validate z' = Ok ())
+  | Ok l -> Alcotest.failf "expected 1 mfsa, got %d" (List.length l)
+
+let test_anml_execution_equivalence () =
+  (* Reloaded automata must produce identical matches. *)
+  let z = mfsa_example () in
+  let doc = Anml.write [ z ] in
+  let z' = match Anml.read doc with Ok [ z' ] -> z' | _ -> Alcotest.fail "read" in
+  let e = Im.compile z and e' = Im.compile z' in
+  List.iter
+    (fun input ->
+      check Alcotest.int
+        (Printf.sprintf "matches on %S" input)
+        (Im.count e input) (Im.count e' input))
+    [ "aglm"; "kjagcd"; "ab"; "kjaglm"; "abajcd" ]
+
+let test_anml_multiple_mfsas () =
+  let zs = Merge.merge_groups ~m:2 [| fsa_of "ab"; fsa_of "cd"; fsa_of "ef" |] in
+  let doc = Anml.write ~name:"test-net" zs in
+  match Anml.read doc with
+  | Ok zs' -> check Alcotest.int "count preserved" (List.length zs) (List.length zs')
+  | Error e -> Alcotest.failf "read failed: %s" e
+
+let test_anml_read_errors () =
+  (match Anml.read "<wrong/>" with
+  | Error e -> check Alcotest.string "root check"
+      "Anml.read: expected an <automata-network> root" e
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Anml.read "not xml at all" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected xml error");
+  match
+    Anml.read
+      "<automata-network><mfsa states=\"1\" fsas=\"1\"><fsa id=\"0\" \
+       initial=\"5\" pattern=\"x\" anchored-start=\"false\" \
+       anchored-end=\"false\"/></mfsa></automata-network>"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range initial state must be rejected"
+
+let test_anml_adversarial_documents () =
+  (* Malformed documents must produce Error, never raise or produce a
+     structurally invalid MFSA. *)
+  let doc body =
+    "<automata-network>" ^ body ^ "</automata-network>"
+  in
+  let mfsa ?(states = "2") ?(fsas = "1")
+      ?(fsa = "<fsa id=\"0\" initial=\"0\" pattern=\"x\" \
+               anchored-start=\"false\" anchored-end=\"false\"/>")
+      ?(body = "") () =
+    doc
+      (Printf.sprintf "<mfsa states=%S fsas=%S>%s%s</mfsa>" states fsas fsa
+         body)
+  in
+  List.iter
+    (fun (name, document) ->
+      match Anml.read document with
+      | Error _ -> ()
+      | Ok zs ->
+          List.iter
+            (fun z ->
+              match Mfsa.validate z with
+              | Ok () -> ()
+              | Error e -> Alcotest.failf "%s: invalid MFSA accepted: %s" name e)
+            zs)
+    [
+      ("missing states attr", doc "<mfsa fsas=\"1\"/>");
+      ("non-integer states", mfsa ~states:"many" ());
+      ("zero fsas", mfsa ~fsas:"0" ());
+      ("fsa id out of range",
+       mfsa ~fsa:"<fsa id=\"7\" initial=\"0\" pattern=\"x\" \
+                  anchored-start=\"false\" anchored-end=\"false\"/>" ());
+      ("initial out of range",
+       mfsa ~fsa:"<fsa id=\"0\" initial=\"9\" pattern=\"x\" \
+                  anchored-start=\"false\" anchored-end=\"false\"/>" ());
+      ("missing fsa element", mfsa ~fsa:"" ());
+      ("bad boolean",
+       mfsa ~fsa:"<fsa id=\"0\" initial=\"0\" pattern=\"x\" \
+                  anchored-start=\"yep\" anchored-end=\"false\"/>" ());
+      ("transition bad state",
+       mfsa ~body:"<transition from=\"0\" to=\"5\" symbols=\"61\" belongs=\"0\"/>" ());
+      ("transition bad symbols",
+       mfsa ~body:"<transition from=\"0\" to=\"1\" symbols=\"zz\" belongs=\"0\"/>" ());
+      ("transition empty belongs",
+       mfsa ~body:"<transition from=\"0\" to=\"1\" symbols=\"61\" belongs=\"\"/>" ());
+      ("transition belongs out of range",
+       mfsa ~body:"<transition from=\"0\" to=\"1\" symbols=\"61\" belongs=\"3\"/>" ());
+      ("final out of range", mfsa ~body:"<final state=\"9\" fsas=\"0\"/>" ());
+      ("truncated document", "<automata-network><mfsa states=\"1\"");
+    ]
+
+let test_anml_file_io () =
+  let z = mfsa_example () in
+  let path = Filename.temp_file "mfsa_test" ".anml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Anml.write_file path [ z ];
+      match Anml.read_file path with
+      | Ok [ z' ] -> check Alcotest.int "states" z.Mfsa.n_states z'.Mfsa.n_states
+      | Ok _ -> Alcotest.fail "wrong count"
+      | Error e -> Alcotest.failf "read_file: %s" e);
+  match Anml.read_file "/nonexistent/path.anml" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must error"
+
+let test_anml_binary_symbols () =
+  (* Classes containing bytes that are special in XML or non-printable
+     must survive the file format. *)
+  let a = fsa_of "\\x00[<>&\"]\\xff" in
+  let z = Mfsa.of_fsa a in
+  let doc = Anml.write [ z ] in
+  match Anml.read doc with
+  | Ok [ z' ] ->
+      let e = Im.compile z and e' = Im.compile z' in
+      let input = "\x00<\xff rest \x00>\xff" in
+      check Alcotest.int "binary matches" (Im.count e input) (Im.count e' input);
+      check Alcotest.bool "some match exists" true (Im.count e input > 0)
+  | _ -> Alcotest.fail "roundtrip failed"
+
+(* ----------------------------------------------------- Homogeneous *)
+
+module H = Mfsa_anml.Homogeneous
+
+let test_homogeneous_structure () =
+  let z = mfsa_example () in
+  let h = H.of_mfsa z in
+  check Alcotest.int "one STE per transition" (Mfsa.n_transitions z)
+    (H.n_elements h);
+  check Alcotest.int "mfsa accessor" z.Mfsa.n_states (H.mfsa h).Mfsa.n_states
+
+let test_homogeneous_anml_well_formed () =
+  let h = H.of_mfsa (mfsa_example ()) in
+  match Xml.parse (H.to_anml h) with
+  | Error e -> Alcotest.failf "unparseable ANML: %s" (Xml.error_to_string e)
+  | Ok root ->
+      check Alcotest.(option string) "root" (Some "automata-network") (Xml.tag root);
+      let stes = Xml.find_all root "state-transition-element" in
+      check Alcotest.int "all STEs present" (H.n_elements h) (List.length stes);
+      List.iter
+        (fun ste ->
+          check Alcotest.bool "symbol-set present" true
+            (Xml.attr ste "symbol-set" <> None))
+        stes;
+      check Alcotest.bool "has start elements" true
+        (List.exists (fun ste -> Xml.attr ste "start" = Some "all-input") stes);
+      check Alcotest.bool "has report elements" true
+        (List.exists
+           (fun ste -> Xml.find_all ste "report-on-match" <> [])
+           stes)
+
+let test_homogeneous_runs_like_imfant () =
+  let z = mfsa_example () in
+  let h = H.of_mfsa z in
+  let eng = Im.compile z in
+  List.iter
+    (fun input ->
+      let expected =
+        Im.run eng input |> List.map (fun e -> (e.Im.fsa, e.Im.end_pos))
+      in
+      let got = H.run h input |> List.map (fun e -> (e.H.fsa, e.H.end_pos)) in
+      check
+        Alcotest.(list (pair int int))
+        (Printf.sprintf "matches on %S" input)
+        (List.sort compare expected) (List.sort compare got);
+      check Alcotest.int "count agrees" (Im.count eng input) (H.count h input))
+    [ "aglm"; "kjagcd"; "ab"; "kjaglm"; ""; "ajcdab" ]
+
+let prop_homogeneous_equals_imfant =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100
+       ~name:"homogeneous STE execution = iMFAnt"
+       ~print:Gen_re.print_ruleset_input
+       QCheck2.Gen.(pair (Gen_re.ruleset ()) Gen_re.input)
+       (fun (rules, input) ->
+         let fsas =
+           Array.of_list
+             (List.map
+                (fun r ->
+                  Mfsa_automata.Multiplicity.fuse
+                    (Mfsa_automata.Epsilon.remove
+                       (Mfsa_automata.Thompson.build
+                          (Mfsa_automata.Simplify.char_classes_rule
+                             (Mfsa_automata.Loops.expand_rule r)))))
+                rules)
+         in
+         let z = Merge.merge fsas in
+         let expected =
+           Im.run (Im.compile z) input
+           |> List.map (fun e -> (e.Im.fsa, e.Im.end_pos))
+           |> List.sort compare
+         in
+         let got =
+           H.run (H.of_mfsa z) input
+           |> List.map (fun e -> (e.H.fsa, e.H.end_pos))
+           |> List.sort compare
+         in
+         expected = got))
+
+let () =
+  Alcotest.run "anml"
+    [
+      ( "xml",
+        [
+          Alcotest.test_case "element parsing" `Quick test_xml_element;
+          Alcotest.test_case "helpers" `Quick test_xml_helpers;
+          Alcotest.test_case "declaration and comments" `Quick test_xml_declaration_comments;
+          Alcotest.test_case "entities" `Quick test_xml_entities;
+          Alcotest.test_case "errors" `Quick test_xml_errors;
+          Alcotest.test_case "roundtrip" `Quick test_xml_roundtrip;
+          Alcotest.test_case "compact output" `Quick test_xml_compact_output;
+          prop_xml_total_on_garbage;
+        ] );
+      ( "symbols",
+        [
+          Alcotest.test_case "codec examples" `Quick test_symbols_codec_examples;
+          Alcotest.test_case "codec errors" `Quick test_symbols_codec_errors;
+          prop_symbols_roundtrip;
+        ] );
+      ( "homogeneous",
+        [
+          Alcotest.test_case "structure" `Quick test_homogeneous_structure;
+          Alcotest.test_case "well-formed ANML" `Quick test_homogeneous_anml_well_formed;
+          Alcotest.test_case "runs like iMFAnt" `Quick test_homogeneous_runs_like_imfant;
+          prop_homogeneous_equals_imfant;
+        ] );
+      ( "anml",
+        [
+          Alcotest.test_case "write/read roundtrip" `Quick test_anml_write_read_roundtrip;
+          Alcotest.test_case "execution equivalence" `Quick test_anml_execution_equivalence;
+          Alcotest.test_case "multiple mfsas" `Quick test_anml_multiple_mfsas;
+          Alcotest.test_case "read errors" `Quick test_anml_read_errors;
+          Alcotest.test_case "adversarial documents" `Quick
+            test_anml_adversarial_documents;
+          Alcotest.test_case "file io" `Quick test_anml_file_io;
+          Alcotest.test_case "binary symbols" `Quick test_anml_binary_symbols;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* Unit and property tests for the 256-byte character classes. *)
+
+module C = Mfsa_charset.Charclass
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let cls = Alcotest.testable C.pp C.equal
+
+let test_empty_full () =
+  check Alcotest.bool "empty is empty" true (C.is_empty C.empty);
+  check Alcotest.bool "full is full" true (C.is_full C.full);
+  check Alcotest.int "empty cardinal" 0 (C.cardinal C.empty);
+  check Alcotest.int "full cardinal" 256 (C.cardinal C.full);
+  check Alcotest.bool "full has NUL" true (C.mem C.full '\000');
+  check Alcotest.bool "full has 0xff" true (C.mem C.full '\255')
+
+let test_singleton () =
+  let s = C.singleton 'x' in
+  check Alcotest.bool "mem" true (C.mem s 'x');
+  check Alcotest.bool "not mem" false (C.mem s 'y');
+  check Alcotest.int "cardinal" 1 (C.cardinal s);
+  check Alcotest.(option char) "is_singleton" (Some 'x') (C.is_singleton s);
+  check Alcotest.(option char) "not singleton" None
+    (C.is_singleton (C.of_string "xy"))
+
+let test_range () =
+  let r = C.range 'a' 'f' in
+  check Alcotest.int "cardinal" 6 (C.cardinal r);
+  check Alcotest.bool "lo" true (C.mem r 'a');
+  check Alcotest.bool "hi" true (C.mem r 'f');
+  check Alcotest.bool "outside" false (C.mem r 'g');
+  check cls "degenerate range" (C.singleton 'q') (C.range 'q' 'q');
+  Alcotest.check_raises "reversed" (Invalid_argument "Charclass.range: hi < lo")
+    (fun () -> ignore (C.range 'f' 'a'))
+
+let test_boolean_algebra () =
+  let a = C.of_string "abc" and b = C.of_string "bcd" in
+  check cls "union" (C.of_string "abcd") (C.union a b);
+  check cls "inter" (C.of_string "bc") (C.inter a b);
+  check cls "diff" (C.singleton 'a') (C.diff a b);
+  check cls "complement twice" a (C.complement (C.complement a));
+  check cls "de morgan"
+    (C.complement (C.union a b))
+    (C.inter (C.complement a) (C.complement b))
+
+let test_add_remove () =
+  let s = C.add C.empty 'k' in
+  check Alcotest.bool "added" true (C.mem s 'k');
+  check Alcotest.bool "removed" false (C.mem (C.remove s 'k') 'k')
+
+let test_subset_disjoint () =
+  check Alcotest.bool "subset" true (C.subset (C.of_string "ab") (C.of_string "abc"));
+  check Alcotest.bool "not subset" false (C.subset (C.of_string "ax") (C.of_string "abc"));
+  check Alcotest.bool "disjoint" true (C.disjoint (C.of_string "ab") (C.of_string "xy"));
+  check Alcotest.bool "not disjoint" false (C.disjoint (C.of_string "ab") (C.of_string "bx"));
+  check Alcotest.bool "empty subset of all" true (C.subset C.empty C.empty)
+
+let test_iter_fold_choose () =
+  let s = C.of_string "cab" in
+  let collected = ref [] in
+  C.iter (fun c -> collected := c :: !collected) s;
+  check Alcotest.(list char) "iter ascending" [ 'a'; 'b'; 'c' ] (List.rev !collected);
+  check Alcotest.int "fold count" 3 (C.fold (fun _ n -> n + 1) s 0);
+  check Alcotest.(option char) "choose" (Some 'a') (C.choose s);
+  check Alcotest.(option char) "choose empty" None (C.choose C.empty);
+  check Alcotest.(list char) "to_list" [ 'a'; 'b'; 'c' ] (C.to_list s)
+
+let test_to_ranges () =
+  let s = C.union (C.range 'a' 'c') (C.singleton 'k') in
+  check
+    Alcotest.(list (pair char char))
+    "two ranges"
+    [ ('a', 'c'); ('k', 'k') ]
+    (C.to_ranges s);
+  check cls "of_ranges inverse" s (C.of_ranges (C.to_ranges s));
+  check Alcotest.(list (pair char char)) "empty" [] (C.to_ranges C.empty);
+  check
+    Alcotest.(list (pair char char))
+    "full is one range"
+    [ ('\000', '\255') ]
+    (C.to_ranges C.full)
+
+let test_posix () =
+  check Alcotest.int "digit" 10 (C.cardinal (Option.get (C.posix "digit")));
+  check Alcotest.int "alpha" 52 (C.cardinal (Option.get (C.posix "alpha")));
+  check Alcotest.int "alnum" 62 (C.cardinal (Option.get (C.posix "alnum")));
+  check Alcotest.int "xdigit" 22 (C.cardinal (Option.get (C.posix "xdigit")));
+  check Alcotest.int "upper" 26 (C.cardinal (Option.get (C.posix "upper")));
+  check Alcotest.int "space" 6 (C.cardinal (Option.get (C.posix "space")));
+  check Alcotest.bool "punct has no letters" false
+    (C.mem (Option.get (C.posix "punct")) 'a');
+  check Alcotest.bool "unknown" true (C.posix "bogus" = None);
+  (* alnum ∪ punct = graph *)
+  check cls "graph decomposition"
+    (Option.get (C.posix "graph"))
+    (C.union (Option.get (C.posix "alnum")) (Option.get (C.posix "punct")))
+
+let test_dot () =
+  check Alcotest.bool "dot has a" true (C.mem C.dot 'a');
+  check Alcotest.bool "dot lacks newline" false (C.mem C.dot '\n');
+  check Alcotest.int "dot cardinal" 255 (C.cardinal C.dot)
+
+let test_pp () =
+  check Alcotest.string "singleton" "x" (C.to_spec (C.singleton 'x'));
+  check Alcotest.string "range" "[a-f]" (C.to_spec (C.range 'a' 'f'));
+  check Alcotest.string "two-element" "[ab]" (C.to_spec (C.of_string "ab"));
+  check Alcotest.string "escaped single" "\\]" (C.to_spec (C.singleton ']'));
+  check Alcotest.string "non-printable" "[\\x00-\\x03]"
+    (C.to_spec (C.range '\000' '\003'))
+
+let test_equal_compare_hash () =
+  let a = C.of_string "mn" and b = C.of_string "nm" in
+  check Alcotest.bool "order-insensitive equal" true (C.equal a b);
+  check Alcotest.int "compare equal" 0 (C.compare a b);
+  check Alcotest.int "hash equal" (C.hash a) (C.hash b);
+  check Alcotest.bool "different" false (C.equal a (C.of_string "mo"))
+
+let byte = QCheck2.Gen.map Char.chr (QCheck2.Gen.int_range 0 255)
+
+let gen_class =
+  QCheck2.Gen.map C.of_list (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 24) byte)
+
+let prop_union_cardinal =
+  QCheck2.Test.make ~name:"charclass: |a∪b| = |a|+|b|-|a∩b|" ~count:300
+    (QCheck2.Gen.pair gen_class gen_class) (fun (a, b) ->
+      C.cardinal (C.union a b) = C.cardinal a + C.cardinal b - C.cardinal (C.inter a b))
+
+let prop_mem_union =
+  QCheck2.Test.make ~name:"charclass: membership distributes over ops" ~count:300
+    (QCheck2.Gen.triple gen_class gen_class byte) (fun (a, b, c) ->
+      C.mem (C.union a b) c = (C.mem a c || C.mem b c)
+      && C.mem (C.inter a b) c = (C.mem a c && C.mem b c)
+      && C.mem (C.diff a b) c = (C.mem a c && not (C.mem b c))
+      && C.mem (C.complement a) c = not (C.mem a c))
+
+let prop_ranges_roundtrip =
+  QCheck2.Test.make ~name:"charclass: to_ranges/of_ranges roundtrip" ~count:300
+    gen_class (fun a -> C.equal a (C.of_ranges (C.to_ranges a)))
+
+let () =
+  Alcotest.run "charclass"
+    [
+      ( "charclass",
+        [
+          Alcotest.test_case "empty and full" `Quick test_empty_full;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "boolean algebra" `Quick test_boolean_algebra;
+          Alcotest.test_case "add and remove" `Quick test_add_remove;
+          Alcotest.test_case "subset and disjoint" `Quick test_subset_disjoint;
+          Alcotest.test_case "iteration" `Quick test_iter_fold_choose;
+          Alcotest.test_case "to_ranges" `Quick test_to_ranges;
+          Alcotest.test_case "posix classes" `Quick test_posix;
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "pretty-printing" `Quick test_pp;
+          Alcotest.test_case "equal, compare, hash" `Quick test_equal_compare_hash;
+          qtest prop_union_cardinal;
+          qtest prop_mem_union;
+          qtest prop_ranges_roundtrip;
+        ] );
+    ]

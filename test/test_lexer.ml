@@ -1,0 +1,169 @@
+(* Unit tests for the POSIX ERE lexer. *)
+
+module L = Mfsa_frontend.Lexer
+module C = Mfsa_charset.Charclass
+
+let check = Alcotest.check
+
+let token = Alcotest.testable L.pp_token (fun a b -> a = b)
+
+let tokens src =
+  match L.tokenize src with
+  | Ok toks -> Array.to_list (Array.map (fun (l : L.located) -> l.L.token) toks)
+  | Error e -> Alcotest.failf "unexpected lex error at %d: %s" e.L.pos e.L.message
+
+let positions src =
+  match L.tokenize src with
+  | Ok toks -> Array.to_list (Array.map (fun (l : L.located) -> l.L.pos) toks)
+  | Error e -> Alcotest.failf "unexpected lex error at %d: %s" e.L.pos e.L.message
+
+let lex_fails src =
+  match L.tokenize src with
+  | Ok _ -> Alcotest.failf "expected %S to fail lexing" src
+  | Error e -> e
+
+let test_literals () =
+  check (Alcotest.list token) "plain" [ L.Char 'a'; L.Char 'b' ] (tokens "ab");
+  check (Alcotest.list token) "digits and punct"
+    [ L.Char '1'; L.Char '-'; L.Char ','; L.Char '=' ]
+    (tokens "1-,=")
+
+let test_operators () =
+  check (Alcotest.list token) "all operators"
+    [ L.Lparen; L.Char 'a'; L.Bar; L.Char 'b'; L.Rparen; L.Star; L.Plus; L.Quest; L.Dot ]
+    (tokens "(a|b)*+?.")
+
+let test_anchors () =
+  check (Alcotest.list token) "anchors" [ L.Caret; L.Char 'a'; L.Dollar ] (tokens "^a$")
+
+let test_positions () =
+  check (Alcotest.list Alcotest.int) "byte offsets" [ 0; 1; 5; 6 ] (positions "a[bc]d*")
+
+let test_escapes () =
+  check (Alcotest.list token) "control escapes"
+    [ L.Char '\n'; L.Char '\t'; L.Char '\r'; L.Char '\000' ]
+    (tokens "\\n\\t\\r\\0");
+  check (Alcotest.list token) "meta escapes"
+    [ L.Char '.'; L.Char '*'; L.Char '\\'; L.Char '(' ]
+    (tokens "\\.\\*\\\\\\(");
+  check (Alcotest.list token) "hex escape" [ L.Char 'A'; L.Char '\255' ]
+    (tokens "\\x41\\xff")
+
+let test_escape_errors () =
+  let e = lex_fails "\\" in
+  check Alcotest.string "dangling" "dangling backslash" e.L.message;
+  let e = lex_fails "\\x4" in
+  check Alcotest.bool "short hex" true
+    (e.L.message = "\\x escape requires two hexadecimal digits");
+  let e = lex_fails "\\q" in
+  check Alcotest.string "unknown escape" "unknown escape sequence '\\q'" e.L.message
+
+let test_class_shorthands () =
+  check (Alcotest.list token) "\\d" [ L.Class (C.range '0' '9') ] (tokens "\\d");
+  (match tokens "\\w" with
+  | [ L.Class c ] ->
+      check Alcotest.bool "w has underscore" true (C.mem c '_');
+      check Alcotest.int "w cardinal" 63 (C.cardinal c)
+  | _ -> Alcotest.fail "expected one class token");
+  match (tokens "\\D", tokens "\\S") with
+  | [ L.Class d ], [ L.Class s ] ->
+      check Alcotest.bool "D complements d" false (C.mem d '5');
+      check Alcotest.bool "S complements s" false (C.mem s ' ')
+  | _ -> Alcotest.fail "expected class tokens"
+
+let test_brackets_basic () =
+  check (Alcotest.list token) "set" [ L.Class (C.of_string "abc") ] (tokens "[cba]");
+  check (Alcotest.list token) "range" [ L.Class (C.range '0' '9') ] (tokens "[0-9]");
+  check (Alcotest.list token) "multi-range"
+    [ L.Class (C.union (C.range 'a' 'f') (C.range 'A' 'F')) ]
+    (tokens "[a-fA-F]")
+
+let test_brackets_negation () =
+  match tokens "[^ab]" with
+  | [ L.Class c ] ->
+      check Alcotest.bool "excludes a" false (C.mem c 'a');
+      check Alcotest.bool "includes c" true (C.mem c 'c');
+      check Alcotest.int "cardinal" 254 (C.cardinal c)
+  | _ -> Alcotest.fail "expected one class token"
+
+let test_brackets_special_members () =
+  check (Alcotest.list token) "leading ]" [ L.Class (C.of_string "]a") ] (tokens "[]a]");
+  check (Alcotest.list token) "negated leading ]"
+    [ L.Class (C.complement (C.singleton ']')) ]
+    (tokens "[^]]");
+  check (Alcotest.list token) "trailing hyphen" [ L.Class (C.of_string "a-") ]
+    (tokens "[a-]");
+  check (Alcotest.list token) "escapes inside" [ L.Class (C.of_string "\n\t") ]
+    (tokens "[\\n\\t]");
+  check (Alcotest.list token) "shorthand inside"
+    [ L.Class (C.add (C.range '0' '9') 'x') ]
+    (tokens "[\\dx]")
+
+let test_brackets_posix () =
+  check (Alcotest.list token) "posix digit" [ L.Class (C.range '0' '9') ]
+    (tokens "[[:digit:]]");
+  check (Alcotest.list token) "posix mixed"
+    [ L.Class (C.add (Option.get (C.posix "alpha")) '_') ]
+    (tokens "[[:alpha:]_]")
+
+let test_brackets_errors () =
+  let e = lex_fails "[abc" in
+  check Alcotest.string "unterminated" "unterminated bracket expression" e.L.message;
+  let e = lex_fails "[z-a]" in
+  check Alcotest.string "reversed" "reversed range 'z-a'" e.L.message;
+  let e = lex_fails "[[:bogus:]]" in
+  check Alcotest.string "unknown posix" "unknown POSIX class name 'bogus'" e.L.message;
+  let e = lex_fails "[^\\x00-\\xff]" in
+  check Alcotest.string "empty after negation" "empty character class" e.L.message
+
+let test_repetitions () =
+  check (Alcotest.list token) "{m}" [ L.Char 'a'; L.Repeat (3, Some 3) ] (tokens "a{3}");
+  check (Alcotest.list token) "{m,}" [ L.Char 'a'; L.Repeat (2, None) ] (tokens "a{2,}");
+  check (Alcotest.list token) "{m,n}" [ L.Char 'a'; L.Repeat (2, Some 5) ]
+    (tokens "a{2,5}");
+  check (Alcotest.list token) "{0,0}" [ L.Char 'a'; L.Repeat (0, Some 0) ]
+    (tokens "a{0,0}")
+
+let test_repetition_fallback () =
+  (* POSIX: a '{' that does not start a valid bound is a literal. *)
+  check (Alcotest.list token) "bare brace" [ L.Char 'a'; L.Char '{'; L.Char 'b' ]
+    (tokens "a{b");
+  check (Alcotest.list token) "unclosed bound"
+    [ L.Char 'a'; L.Char '{'; L.Char '1'; L.Char 'x' ]
+    (tokens "a{1x");
+  check (Alcotest.list token) "stray closers" [ L.Char '}'; L.Char ']' ] (tokens "}]")
+
+let test_repetition_errors () =
+  let e = lex_fails "a{5,2}" in
+  check Alcotest.string "reversed bounds" "repetition bounds reversed: {5,2}" e.L.message;
+  let e = lex_fails (Printf.sprintf "a{%d}" (L.max_bound + 1)) in
+  check Alcotest.bool "bound too large" true
+    (e.L.message = Printf.sprintf "repetition bound %d exceeds the maximum %d"
+                      (L.max_bound + 1) L.max_bound)
+
+let test_empty_pattern () =
+  check (Alcotest.list token) "empty" [] (tokens "")
+
+let () =
+  Alcotest.run "lexer"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "literals" `Quick test_literals;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "anchors" `Quick test_anchors;
+          Alcotest.test_case "positions" `Quick test_positions;
+          Alcotest.test_case "escapes" `Quick test_escapes;
+          Alcotest.test_case "escape errors" `Quick test_escape_errors;
+          Alcotest.test_case "class shorthands" `Quick test_class_shorthands;
+          Alcotest.test_case "brackets: basics" `Quick test_brackets_basic;
+          Alcotest.test_case "brackets: negation" `Quick test_brackets_negation;
+          Alcotest.test_case "brackets: special members" `Quick test_brackets_special_members;
+          Alcotest.test_case "brackets: POSIX names" `Quick test_brackets_posix;
+          Alcotest.test_case "brackets: errors" `Quick test_brackets_errors;
+          Alcotest.test_case "repetitions" `Quick test_repetitions;
+          Alcotest.test_case "repetition fallback" `Quick test_repetition_fallback;
+          Alcotest.test_case "repetition errors" `Quick test_repetition_errors;
+          Alcotest.test_case "empty pattern" `Quick test_empty_pattern;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+(* Unit and property tests for the POSIX ERE parser. *)
+
+module P = Mfsa_frontend.Parser
+module Ast = Mfsa_frontend.Ast
+module C = Mfsa_charset.Charclass
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let ast = Alcotest.testable Ast.pp Ast.equal
+
+let parse src =
+  match P.parse src with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "unexpected parse error: %s" (P.error_to_string e)
+
+let parse_ast src = (parse src).Ast.ast
+
+let parse_fails src =
+  match P.parse src with
+  | Ok r -> Alcotest.failf "expected %S to fail, got %s" src (Ast.to_string r.Ast.ast)
+  | Error e -> e
+
+let test_atoms () =
+  check ast "char" (Ast.Char 'a') (parse_ast "a");
+  check ast "class" (Ast.Class (C.of_string "ab")) (parse_ast "[ab]");
+  check ast "dot" (Ast.Class C.dot) (parse_ast ".");
+  check ast "empty" Ast.Empty (parse_ast "");
+  check ast "empty group" Ast.Empty (parse_ast "()")
+
+let test_concat () =
+  check ast "two" (Ast.Concat (Ast.Char 'a', Ast.Char 'b')) (parse_ast "ab");
+  check ast "three left-nested"
+    (Ast.Concat (Ast.Concat (Ast.Char 'a', Ast.Char 'b'), Ast.Char 'c'))
+    (parse_ast "abc")
+
+let test_alternation () =
+  check ast "simple" (Ast.Alt (Ast.Char 'a', Ast.Char 'b')) (parse_ast "a|b");
+  check ast "alt of concats"
+    (Ast.Alt (Ast.Concat (Ast.Char 'a', Ast.Char 'b'), Ast.Char 'c'))
+    (parse_ast "ab|c");
+  check ast "empty branch" (Ast.Alt (Ast.Char 'a', Ast.Empty)) (parse_ast "a|");
+  check ast "leading empty branch" (Ast.Alt (Ast.Empty, Ast.Char 'b')) (parse_ast "|b")
+
+let test_precedence () =
+  (* Star binds tighter than concat, concat tighter than alt. *)
+  check ast "star over concat"
+    (Ast.Concat (Ast.Char 'a', Ast.Star (Ast.Char 'b')))
+    (parse_ast "ab*");
+  check ast "group changes binding"
+    (Ast.Star (Ast.Concat (Ast.Char 'a', Ast.Char 'b')))
+    (parse_ast "(ab)*");
+  check ast "alt lowest"
+    (Ast.Alt (Ast.Char 'a', Ast.Concat (Ast.Char 'b', Ast.Star (Ast.Char 'c'))))
+    (parse_ast "a|bc*")
+
+let test_quantifiers () =
+  check ast "star" (Ast.Star (Ast.Char 'a')) (parse_ast "a*");
+  check ast "plus" (Ast.Plus (Ast.Char 'a')) (parse_ast "a+");
+  check ast "opt" (Ast.Opt (Ast.Char 'a')) (parse_ast "a?");
+  check ast "repeat exact" (Ast.Repeat (Ast.Char 'a', 3, Some 3)) (parse_ast "a{3}");
+  check ast "repeat range" (Ast.Repeat (Ast.Char 'a', 1, Some 4)) (parse_ast "a{1,4}");
+  check ast "repeat open" (Ast.Repeat (Ast.Char 'a', 2, None)) (parse_ast "a{2,}");
+  check ast "stacked quantifiers" (Ast.Opt (Ast.Star (Ast.Char 'a'))) (parse_ast "a*?");
+  check ast "quantified group"
+    (Ast.Repeat (Ast.Alt (Ast.Char 'a', Ast.Char 'b'), 2, Some 2))
+    (parse_ast "(a|b){2}")
+
+let test_nesting () =
+  check ast "nested groups"
+    (Ast.Concat (Ast.Char 'x', Ast.Alt (Ast.Char 'a', Ast.Star (Ast.Char 'b'))))
+    (parse_ast "x(a|(b)*)")
+
+let test_anchors () =
+  let r = parse "^abc$" in
+  check Alcotest.bool "start" true r.Ast.anchored_start;
+  check Alcotest.bool "end" true r.Ast.anchored_end;
+  let r = parse "abc" in
+  check Alcotest.bool "no start" false r.Ast.anchored_start;
+  check Alcotest.bool "no end" false r.Ast.anchored_end;
+  let r = parse "^a" in
+  check Alcotest.bool "only start" true r.Ast.anchored_start;
+  check Alcotest.bool "only start, no end" false r.Ast.anchored_end
+
+let test_anchor_errors () =
+  let e = parse_fails "a^b" in
+  check Alcotest.bool "interior caret" true
+    (e.P.message = "'^' is only supported at the start of the pattern");
+  let e = parse_fails "a$b" in
+  check Alcotest.bool "interior dollar" true
+    (e.P.message = "'$' is only supported at the end of the pattern")
+
+let test_syntax_errors () =
+  let e = parse_fails "(ab" in
+  check Alcotest.string "unmatched open" "unmatched '('" e.P.message;
+  check Alcotest.int "error position" 0 e.P.pos;
+  let e = parse_fails "ab)" in
+  check Alcotest.string "unmatched close" "unmatched ')'" e.P.message;
+  let e = parse_fails "*a" in
+  check Alcotest.string "leading star" "quantifier with nothing to repeat" e.P.message;
+  let e = parse_fails "a|*" in
+  check Alcotest.string "star after bar" "quantifier with nothing to repeat" e.P.message;
+  let e = parse_fails "(+)" in
+  check Alcotest.string "quantifier in empty group" "quantifier with nothing to repeat"
+    e.P.message
+
+let test_lex_errors_surface () =
+  let e = parse_fails "[abc" in
+  check Alcotest.string "lex error propagates" "unterminated bracket expression"
+    e.P.message
+
+let test_pattern_recorded () =
+  check Alcotest.string "pattern field" "a(b|c)*" (parse "a(b|c)*").Ast.pattern
+
+let test_parse_many () =
+  (match P.parse_many [ "ab"; "c|d" ] with
+  | Ok rules -> check Alcotest.int "two rules" 2 (Array.length rules)
+  | Error _ -> Alcotest.fail "expected success");
+  match P.parse_many [ "ab"; "(c"; "d" ] with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error (i, e) ->
+      check Alcotest.int "failing index" 1 i;
+      check Alcotest.string "message" "unmatched '('" e.P.message
+
+let test_ast_helpers () =
+  check ast "seq right assoc"
+    (Ast.Concat (Ast.Concat (Ast.Char 'a', Ast.Char 'b'), Ast.Char 'c'))
+    (Ast.seq [ Ast.Char 'a'; Ast.Char 'b'; Ast.Char 'c' ]);
+  check ast "seq empty" Ast.Empty (Ast.seq []);
+  check Alcotest.int "size" 6 (Ast.size (parse_ast "ab|c*"));
+  Alcotest.check_raises "alt empty" (Invalid_argument "Ast.alt: empty alternation")
+    (fun () -> ignore (Ast.alt []))
+
+let test_ast_literals () =
+  check Alcotest.(list string) "plain" [ "abc" ] (Ast.literals (parse_ast "abc"));
+  check Alcotest.(list string) "split by class" [ "ab"; "cd" ]
+    (Ast.literals (parse_ast "ab[xy]cd"));
+  check Alcotest.(list string) "alternation branches" [ "ab"; "cd" ]
+    (Ast.literals (parse_ast "ab|cd"));
+  check Alcotest.(list string) "quantified runs split" [ "a"; "b"; "c" ]
+    (Ast.literals (parse_ast "a(b)*c"))
+
+let test_roundtrip_examples () =
+  (* to_string must re-parse to a language-equal AST; for these simple
+     examples the AST is exactly equal. *)
+  List.iter
+    (fun src ->
+      let a = parse_ast src in
+      let re = Ast.to_string a in
+      check ast (Printf.sprintf "%s -> %s" src re) a (parse_ast re))
+    [ "abc"; "a|b"; "a*b+c?"; "[ab]c{2,3}"; "x(a|b)y"; "a\\.b"; "a{2,}" ]
+
+(* Property: rendering any generated AST and re-parsing yields the
+   same recognised language (checked on random inputs via the
+   reference simulator). *)
+let prop_render_reparse =
+  QCheck2.Test.make ~name:"parser: to_string/parse language roundtrip" ~count:150
+    ~print:Gen_re.print_ruleset_input
+    QCheck2.Gen.(map2 (fun r i -> ([ r ], i)) Gen_re.rule Gen_re.input)
+    (fun (rules, input) ->
+      let rule = List.hd rules in
+      let rule = { rule with Ast.anchored_start = false; anchored_end = false } in
+      let printed = Ast.to_string rule.Ast.ast in
+      match P.parse printed with
+      | Error _ -> false
+      | Ok reparsed ->
+          let module T = Mfsa_automata.Thompson in
+          let module S = Mfsa_automata.Simulate in
+          let a = T.build rule and b = T.build reparsed in
+          S.accepts a input = S.accepts b input)
+
+(* Robustness: arbitrary byte strings must produce Ok or a clean
+   Error — never an escaping exception — and successful parses must
+   build a well-formed automaton. *)
+let prop_no_crash_on_garbage =
+  QCheck2.Test.make ~name:"parser: total on arbitrary bytes" ~count:500
+    ~print:(Printf.sprintf "%S")
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 30))
+    (fun src ->
+      match P.parse src with
+      | Ok rule -> (
+          match Mfsa_automata.Thompson.build rule with
+          | _ -> true
+          | exception _ -> false)
+      | Error _ -> true
+      | exception _ -> false)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "atoms" `Quick test_atoms;
+          Alcotest.test_case "concatenation" `Quick test_concat;
+          Alcotest.test_case "alternation" `Quick test_alternation;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+          Alcotest.test_case "nesting" `Quick test_nesting;
+          Alcotest.test_case "anchors" `Quick test_anchors;
+          Alcotest.test_case "anchor errors" `Quick test_anchor_errors;
+          Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+          Alcotest.test_case "lexical errors surface" `Quick test_lex_errors_surface;
+          Alcotest.test_case "pattern recorded" `Quick test_pattern_recorded;
+          Alcotest.test_case "parse_many" `Quick test_parse_many;
+          Alcotest.test_case "ast helpers" `Quick test_ast_helpers;
+          Alcotest.test_case "ast literals" `Quick test_ast_literals;
+          Alcotest.test_case "roundtrip examples" `Quick test_roundtrip_examples;
+          qtest prop_render_reparse;
+          qtest prop_no_crash_on_garbage;
+        ] );
+    ]
