@@ -22,6 +22,8 @@ module Imfant = Mfsa_engine.Imfant
 module Infant = Mfsa_engine.Infant
 module Schedule = Mfsa_engine.Schedule
 module Indel = Mfsa_util.Indel
+module Report = Mfsa_core.Report
+module Live = Mfsa_live.Live
 
 (* ------------------------------------------------------- Bechamel *)
 
@@ -127,6 +129,95 @@ let run_bechamel () =
         results)
     (tests ())
 
+(* ------------------------------------------------- Live updates *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* Incremental ruleset updates vs full recompilation (M=all), per
+   dataset: the cost of reaching a new serving generation by
+   Live.add_rule on an already-loaded ruleset, against compiling the
+   whole ruleset from scratch; plus the retirement and forced
+   compaction costs of the removal path. *)
+let live_update cfg =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Live updates: incremental add/remove vs full recompile (M=all)\n\n";
+  let rows =
+    List.map
+      (fun ds ->
+        let rules = ds.Datasets.rules in
+        let n = Array.length rules in
+        (* Full recompile: parse + build + merge + freeze all N rules,
+           i.e. what a static deployment redoes on every feed update. *)
+        let t_full =
+          let reps = max 1 cfg.E.reps in
+          let acc = ref 0. in
+          for _ = 1 to reps do
+            let t, lv = time (fun () -> Live.of_rules rules) in
+            ignore (Result.get_ok lv);
+            acc := !acc +. t
+          done;
+          !acc /. float_of_int reps
+        in
+        (* Incremental: load all but the last k rules, then time each
+           remaining add individually — every timed add produces a
+           complete new generation over all rules seen so far. *)
+        let k = max 1 (min 10 (n / 2)) in
+        let lv =
+          Result.get_ok
+            (Live.of_rules ~gc_threshold:1.0 (Array.sub rules 0 (n - k)))
+        in
+        let t_add =
+          let acc = ref 0. in
+          for i = n - k to n - 1 do
+            let t, _ = time (fun () -> Live.add_rule_exn lv rules.(i)) in
+            acc := !acc +. t
+          done;
+          !acc /. float_of_int k
+        in
+        (* Retirement of those k rules (threshold 1.0: no compaction
+           inside the timed region), then one forced compaction. *)
+        let t_remove =
+          let acc = ref 0. in
+          for id = n - k to n - 1 do
+            let t, ok = time (fun () -> Live.remove_rule lv id) in
+            assert ok;
+            acc := !acc +. t
+          done;
+          !acc /. float_of_int k
+        in
+        let t_compact, () = time (fun () -> Live.compact lv) in
+        let s = Live.stats lv in
+        assert (s.Live.dead_transitions = 0 && s.Live.live_rules = n - k);
+        [
+          ds.Datasets.abbr;
+          string_of_int n;
+          Report.fmt_time t_full;
+          Report.fmt_time t_add;
+          Printf.sprintf "%.1fx" (t_full /. t_add);
+          Report.fmt_time t_remove;
+          Report.fmt_time t_compact;
+        ])
+      (Datasets.all ~scale:cfg.E.scale ())
+  in
+  Buffer.add_string buf
+    (Report.table
+       ~header:
+         [
+           "dataset"; "rules"; "full compile"; "incr add"; "speedup";
+           "remove"; "compact";
+         ]
+       rows);
+  Buffer.add_string buf
+    "\nfull compile: Live.of_rules over the whole ruleset; incr add: one\n\
+     Live.add_rule against the already-merged rest (average over the last\n\
+     adds); remove: retirement without compaction; compact: one forced\n\
+     compaction pass after the removals.\n";
+  Buffer.contents buf
+
 (* ---------------------------------------------------- Entry point *)
 
 let experiments =
@@ -137,7 +228,7 @@ let experiments =
     ("ablation-cluster", E.ablation_cluster);
     ("ablation-strategy", E.ablation_strategy);
     ("ablation-bisim", E.ablation_bisim); ("baselines", E.baselines);
-    ("complexity", E.complexity);
+    ("complexity", E.complexity); ("live-update", live_update);
   ]
 
 let () =
@@ -152,6 +243,8 @@ let () =
          --paper-scale for the paper's full configuration.\n\n"
         cfg.E.scale cfg.E.stream_kb cfg.E.reps;
       print_string (E.run_all cfg);
+      print_newline ();
+      print_string (live_update cfg);
       print_newline ();
       run_bechamel ()
   | names ->

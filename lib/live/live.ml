@@ -1,0 +1,241 @@
+module Builder = Mfsa_model.Builder
+module Mfsa = Mfsa_model.Mfsa
+module Merge = Mfsa_model.Merge
+module Imfant = Mfsa_engine.Imfant
+module Pipeline = Mfsa_core.Pipeline
+
+let log_src = Logs.Src.create "mfsa.live" ~doc:"Live ruleset updates"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type match_event = { rule : int; end_pos : int }
+
+type stats = {
+  generation : int;
+  live_rules : int;
+  states : int;
+  transitions : int;
+  dead_transitions : int;
+  compactions : int;
+}
+
+(* A compiled generation. [rule_of_fsa] maps the snapshot's merged-FSA
+   identifiers back to stable rule ids; the engine is compiled lazily
+   so a burst of updates pays for table construction once, at the
+   first match after it. *)
+type payload = {
+  z : Mfsa.t;
+  engine : Imfant.t Lazy.t;
+  rule_of_fsa : int array;
+}
+
+type snapshot = { sgen : int; payload : payload option }
+
+type t = {
+  gc_threshold : float;
+  builder : Builder.t;
+  slot_of : (int, int) Hashtbl.t;  (* stable rule id -> builder slot *)
+  rule_of : (int, int) Hashtbl.t;  (* builder slot -> stable rule id *)
+  patterns_tbl : (int, string) Hashtbl.t;
+  mutable next_id : int;
+  mutable gen : int;
+  mutable compactions : int;
+  mutable snap : snapshot;
+}
+
+(* Rebuild the current snapshot from the builder. This is the atomic
+   generation swap: [t.snap] flips from one immutable value to the
+   next, so readers either see the old generation or the new one,
+   never a mixture. *)
+let refresh t =
+  let payload =
+    match Builder.freeze t.builder with
+    | None -> None
+    | Some (z, slot_of_id) ->
+        Some
+          {
+            z;
+            engine = lazy (Imfant.compile z);
+            rule_of_fsa =
+              Array.map (fun slot -> Hashtbl.find t.rule_of slot) slot_of_id;
+          }
+  in
+  t.snap <- { sgen = t.gen; payload }
+
+let create ?strategy ?(gc_threshold = 0.25) () =
+  if gc_threshold < 0. || gc_threshold > 1. then
+    invalid_arg "Live.create: gc_threshold must be within [0, 1]";
+  {
+    gc_threshold;
+    builder = Builder.create ?strategy ();
+    slot_of = Hashtbl.create 64;
+    rule_of = Hashtbl.create 64;
+    patterns_tbl = Hashtbl.create 64;
+    next_id = 0;
+    gen = 0;
+    compactions = 0;
+    snap = { sgen = 0; payload = None };
+  }
+
+let register t pattern slot =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.slot_of id slot;
+  Hashtbl.replace t.rule_of slot id;
+  Hashtbl.replace t.patterns_tbl id pattern;
+  id
+
+let of_rules ?strategy ?gc_threshold patterns =
+  let t = create ?strategy ?gc_threshold () in
+  match Pipeline.build_fsas patterns with
+  | Error e -> Error e
+  | Ok fsas ->
+      Array.iteri
+        (fun i a ->
+          let slot = Builder.add t.builder a in
+          ignore (register t patterns.(i) slot))
+        fsas;
+      refresh t;
+      Ok t
+
+let add_rule t pattern =
+  match Pipeline.build_fsa pattern with
+  | Error e -> Error e
+  | Ok a ->
+      let slot = Builder.add t.builder a in
+      let id = register t pattern slot in
+      t.gen <- t.gen + 1;
+      refresh t;
+      Log.debug (fun m ->
+          m "gen %d: added rule %d %S (slot %d)" t.gen id pattern slot);
+      Ok id
+
+let add_rule_exn t pattern =
+  match add_rule t pattern with
+  | Ok id -> id
+  | Error e -> failwith (Pipeline.error_to_string e)
+
+(* Compaction renumbers builder slots; rethread the stable-id maps
+   through the relocation map. *)
+let compact_now t =
+  let slot_map = Builder.compact t.builder in
+  Hashtbl.reset t.rule_of;
+  let moves =
+    Hashtbl.fold (fun id slot acc -> (id, slot_map.(slot)) :: acc) t.slot_of []
+  in
+  List.iter
+    (fun (id, slot') ->
+      assert (slot' >= 0);
+      Hashtbl.replace t.slot_of id slot';
+      Hashtbl.replace t.rule_of slot' id)
+    moves;
+  t.compactions <- t.compactions + 1
+
+let remove_rule t id =
+  match Hashtbl.find_opt t.slot_of id with
+  | None -> false
+  | Some slot ->
+      Builder.retire t.builder slot;
+      Hashtbl.remove t.slot_of id;
+      Hashtbl.remove t.rule_of slot;
+      Hashtbl.remove t.patterns_tbl id;
+      if Builder.garbage_ratio t.builder > t.gc_threshold then compact_now t;
+      t.gen <- t.gen + 1;
+      refresh t;
+      Log.debug (fun m ->
+          m "gen %d: removed rule %d (garbage %.2f)" t.gen id
+            (Builder.garbage_ratio t.builder));
+      true
+
+let compact t =
+  compact_now t;
+  t.gen <- t.gen + 1;
+  refresh t
+
+let generation t = t.gen
+
+let n_rules t = Hashtbl.length t.slot_of
+
+let rules t =
+  Hashtbl.fold (fun id p acc -> (id, p) :: acc) t.patterns_tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let pattern t id = Hashtbl.find_opt t.patterns_tbl id
+
+let stats t =
+  {
+    generation = t.gen;
+    live_rules = n_rules t;
+    states = Builder.n_states t.builder;
+    transitions = Builder.n_transitions t.builder;
+    dead_transitions = Builder.dead_transitions t.builder;
+    compactions = t.compactions;
+  }
+
+(* ------------------------------------------------------- Matching *)
+
+let sort_events =
+  List.stable_sort (fun a b ->
+      if a.end_pos <> b.end_pos then Int.compare a.end_pos b.end_pos
+      else Int.compare a.rule b.rule)
+
+let remap payload events =
+  List.map
+    (fun e ->
+      { rule = payload.rule_of_fsa.(e.Imfant.fsa); end_pos = e.Imfant.end_pos })
+    events
+  |> sort_events
+
+let snapshot t = t.snap
+
+let snapshot_generation s = s.sgen
+
+let snapshot_mfsa s = Option.map (fun p -> p.z) s.payload
+
+let snapshot_run s input =
+  match s.payload with
+  | None -> []
+  | Some p -> remap p (Imfant.run (Lazy.force p.engine) input)
+
+let run t input = snapshot_run t.snap input
+
+let count t input = List.length (run t input)
+
+(* ------------------------------------------------------ Streaming *)
+
+type session = {
+  owner : t;
+  mutable snap : snapshot;
+  mutable inner : Imfant.session option;
+  mutable empty_pos : int;  (* stream position when the generation is empty *)
+}
+
+let make_inner snap =
+  Option.map (fun p -> Imfant.session (Lazy.force p.engine)) snap.payload
+
+let session (t : t) =
+  let snap = t.snap in
+  { owner = t; snap; inner = make_inner snap; empty_pos = 0 }
+
+let session_generation s = s.snap.sgen
+
+let position s =
+  match s.inner with Some i -> Imfant.position i | None -> s.empty_pos
+
+let feed s chunk =
+  match (s.inner, s.snap.payload) with
+  | Some i, Some p -> remap p (Imfant.feed i chunk)
+  | _ ->
+      s.empty_pos <- s.empty_pos + String.length chunk;
+      []
+
+let finish s =
+  match (s.inner, s.snap.payload) with
+  | Some i, Some p -> remap p (Imfant.finish i)
+  | _ -> []
+
+let reset s =
+  let snap = s.owner.snap in
+  s.snap <- snap;
+  s.inner <- make_inner snap;
+  s.empty_pos <- 0

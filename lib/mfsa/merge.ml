@@ -3,196 +3,20 @@ module Nfa = Mfsa_automata.Nfa
 let log_src = Logs.Src.create "mfsa.merge" ~doc:"MFSA merging (Algorithm 1)"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
-module Charclass = Mfsa_charset.Charclass
-module Bitset = Mfsa_util.Bitset
-module Vec = Mfsa_util.Vec
 
-type strategy = Greedy | Prefix
+type strategy = Builder.strategy = Greedy | Prefix
 
-type stats = {
+type stats = Builder.stats = {
   seeds : int;
   chains : int;
   merged_transitions : int;
   merged_states : int;
 }
 
-(* The evolving MFSA z of Algorithm 1, with the indexes the search
-   needs: [by_label] finds seed candidates in O(1) per label, [out]
-   drives the chain-extension loop, and [by_triple] detects that a
-   relabelled incoming transition coincides with an existing one. *)
-type builder = {
-  n_fsas : int;
-  mutable n_states : int;
-  row : int Vec.t;
-  col : int Vec.t;
-  idx : Charclass.t Vec.t;
-  bel : Bitset.t Vec.t;
-  by_label : (Charclass.t, int list ref) Hashtbl.t;
-  out : (int, int list ref) Hashtbl.t;
-  by_triple : (int * Charclass.t * int, int) Hashtbl.t;
-  init_of : int array;
-  final_acc : (int * int) Vec.t;  (* (fsa, state) pairs *)
-}
-
-let multi_add table key v =
-  match Hashtbl.find_opt table key with
-  | Some cell -> cell := v :: !cell
-  | None -> Hashtbl.add table key (ref [ v ])
-
-let multi_find table key =
-  match Hashtbl.find_opt table key with Some cell -> !cell | None -> []
-
-let push_transition b ~src ~cls ~dst ~fsa =
-  let t = Vec.length b.row in
-  Vec.push b.row src;
-  Vec.push b.col dst;
-  Vec.push b.idx cls;
-  let belongs = Bitset.create b.n_fsas in
-  Bitset.add belongs fsa;
-  Vec.push b.bel belongs;
-  multi_add b.by_label cls t;
-  multi_add b.out src t;
-  Hashtbl.add b.by_triple (src, cls, dst) t;
-  t
-
-let fresh_state b =
-  let q = b.n_states in
-  b.n_states <- q + 1;
-  q
-
-let class_of_label = function
-  | Nfa.Eps -> invalid_arg "Merge: automata must be ε-free"
-  | Nfa.Cls c -> c
-
-(* Merge one incoming FSA [a] (identifier [fsa]) into the builder.
-   Implements the body of Algorithm 1's outer loop: search for common
-   sub-paths (lines 5-19), relabel (line 20), generateNew (line 21). *)
-let merge_into b (a : Nfa.t) ~strategy ~fsa ~seeds ~chains ~merged_transitions
-    ~merged_states =
-  (* Under the Prefix strategy, chains may only start where both
-     automata start: the incoming FSA's initial transitions against
-     transitions leaving an already-merged FSA's initial state. *)
-  let z_inits =
-    lazy
-      (let t = Hashtbl.create 8 in
-       Array.iter (fun q -> if q >= 0 then Hashtbl.replace t q ()) b.init_of;
-       t)
-  in
-  let seed_allowed tz ta =
-    match strategy with
-    | Greedy -> true
-    | Prefix ->
-        a.Nfa.transitions.(ta).Nfa.src = a.Nfa.start
-        && Hashtbl.mem (Lazy.force z_inits) (Vec.get b.row tz)
-  in
-  let a_out = Nfa.out a in
-  let nt_a = Array.length a.Nfa.transitions in
-  (* The relabeling under construction. [amap]: a-state → z-state;
-     [zmap]: z-state → a-state. Keeping both directions single-valued
-     is what preserves each FSA's morphology inside the MFSA. *)
-  let amap = Hashtbl.create 64 in
-  let zmap = Hashtbl.create 64 in
-  let matched_a = Array.make (max nt_a 1) false in
-  (* Transition pair (tz : p →[C] q, ta : u →[C] v) is admissible iff
-     relabeling u↦p and v↦q is consistent with the mapping so far. *)
-  let pair_consistent tz ta =
-    let p = Vec.get b.row tz and q = Vec.get b.col tz in
-    let tr = a.Nfa.transitions.(ta) in
-    let u = tr.Nfa.src and v = tr.Nfa.dst in
-    let state_ok u p =
-      (match Hashtbl.find_opt amap u with
-      | Some p' -> p' = p
-      | None -> not (Hashtbl.mem zmap p))
-    in
-    (* Self-loop alignment: if u = v the images must coincide too. *)
-    state_ok u p && state_ok v q && (u <> v || p = q) && (p <> q || u = v)
-  in
-  let commit tz ta =
-    let p = Vec.get b.row tz and q = Vec.get b.col tz in
-    let tr = a.Nfa.transitions.(ta) in
-    let bind u p =
-      if not (Hashtbl.mem amap u) then begin
-        Hashtbl.add amap u p;
-        Hashtbl.add zmap p u;
-        incr merged_states
-      end
-    in
-    bind tr.Nfa.src p;
-    bind tr.Nfa.dst q;
-    matched_a.(ta) <- true
-  in
-  (* Chain extension (Algorithm 1 lines 11-16): from a committed pair,
-     keep walking matching successor transitions. *)
-  let rec extend tz ta =
-    let q_z = Vec.get b.col tz in
-    let v_a = a.Nfa.transitions.(ta).Nfa.dst in
-    let next =
-      List.find_map
-        (fun ta' ->
-          if matched_a.(ta') then None
-          else
-            let cls_a = class_of_label a.Nfa.transitions.(ta').Nfa.label in
-            List.find_map
-              (fun tz' ->
-                if
-                  Charclass.equal (Vec.get b.idx tz') cls_a
-                  && pair_consistent tz' ta'
-                then Some (tz', ta')
-                else None)
-              (multi_find b.out q_z))
-        (Array.to_list a_out.(v_a))
-    in
-    match next with
-    | Some (tz', ta') ->
-        commit tz' ta';
-        extend tz' ta'
-    | None -> ()
-  in
-  (* Seed search (Algorithm 1 lines 6-10): first admissible label-equal
-     pair for each yet-unmatched incoming transition starts a chain. *)
-  for ta = 0 to nt_a - 1 do
-    if not matched_a.(ta) then begin
-      let cls = class_of_label a.Nfa.transitions.(ta).Nfa.label in
-      match
-        List.find_opt
-          (fun tz -> seed_allowed tz ta && pair_consistent tz ta)
-          (List.rev (multi_find b.by_label cls))
-      with
-      | Some tz ->
-          incr seeds;
-          incr chains;
-          commit tz ta;
-          extend tz ta
-      | None -> ()
-    end
-  done;
-  (* Relabel: merged states keep their z image, the rest get fresh
-     labels disjoint from the current MFSA states. *)
-  let label_of u =
-    match Hashtbl.find_opt amap u with
-    | Some p -> p
-    | None ->
-        let p = fresh_state b in
-        Hashtbl.add amap u p;
-        Hashtbl.add zmap p u;
-        p
-  in
-  (* generateNew: update belonging of coinciding transitions, append
-     the others. *)
-  Array.iter
-    (fun tr ->
-      let cls = class_of_label tr.Nfa.label in
-      let src = label_of tr.Nfa.src and dst = label_of tr.Nfa.dst in
-      match Hashtbl.find_opt b.by_triple (src, cls, dst) with
-      | Some t ->
-          Bitset.add (Vec.get b.bel t) fsa;
-          incr merged_transitions
-      | None -> ignore (push_transition b ~src ~cls ~dst ~fsa))
-    a.Nfa.transitions;
-  b.init_of.(fsa) <- label_of a.Nfa.start;
-  List.iter
-    (fun qf -> Vec.push b.final_acc (fsa, label_of qf))
-    (Nfa.final_states a)
+let freeze_exn b =
+  match Builder.freeze b with
+  | Some (z, _) -> z
+  | None -> assert false (* every caller adds at least one FSA *)
 
 let merge ?(strategy = Greedy) ?stats fsas =
   let n_fsas = Array.length fsas in
@@ -202,55 +26,31 @@ let merge ?(strategy = Greedy) ?stats fsas =
       if not (Nfa.is_eps_free a) then
         invalid_arg "Merge.merge: automata must be ε-free")
     fsas;
-  let b =
-    {
-      n_fsas;
-      n_states = 0;
-      row = Vec.create ();
-      col = Vec.create ();
-      idx = Vec.create ();
-      bel = Vec.create ();
-      by_label = Hashtbl.create 256;
-      out = Hashtbl.create 256;
-      by_triple = Hashtbl.create 256;
-      init_of = Array.make n_fsas (-1);
-      final_acc = Vec.create ();
-    }
-  in
-  let seeds = ref 0
-  and chains = ref 0
-  and merged_transitions = ref 0
-  and merged_states = ref 0 in
-  (* The first automaton is copied as-is (Algorithm 1 line 3); running
-     merge_into on an empty builder does exactly that, since no seed
-     can be found. *)
-  Array.iteri
-    (fun fsa a ->
-      merge_into b a ~strategy ~fsa ~seeds ~chains ~merged_transitions
-        ~merged_states)
-    fsas;
+  let b = Builder.create ~strategy () in
+  (* The first automaton is copied as-is (Algorithm 1 line 3); adding
+     to an empty builder does exactly that, since no seed can be
+     found. *)
+  Array.iter (fun a -> ignore (Builder.add b a)) fsas;
   Log.debug (fun m ->
       m "merged %d FSAs: %d states, %d transitions (%d seeds, %d shared transitions)"
-        n_fsas b.n_states (Vec.length b.row) !seeds !merged_transitions);
-  (match stats with
-  | Some cell ->
-      cell :=
-        {
-          seeds = !seeds;
-          chains = !chains;
-          merged_transitions = !merged_transitions;
-          merged_states = !merged_states;
-        }
-  | None -> ());
-  let final_sets = Array.init b.n_states (fun _ -> Bitset.create n_fsas) in
-  Vec.iter (fun (fsa, q) -> Bitset.add final_sets.(q) fsa) b.final_acc;
-  Mfsa.of_arrays ~n_states:(max 1 b.n_states) ~n_fsas
-    ~row:(Vec.to_array b.row) ~col:(Vec.to_array b.col)
-    ~idx:(Vec.to_array b.idx) ~bel:(Vec.to_array b.bel) ~init_of:b.init_of
-    ~final_sets
-    ~anchored_start:(Array.map (fun a -> a.Nfa.anchored_start) fsas)
-    ~anchored_end:(Array.map (fun a -> a.Nfa.anchored_end) fsas)
-    ~patterns:(Array.map (fun a -> a.Nfa.pattern) fsas)
+        n_fsas (Builder.n_states b) (Builder.n_transitions b)
+        (Builder.stats b).seeds (Builder.stats b).merged_transitions);
+  (match stats with Some cell -> cell := Builder.stats b | None -> ());
+  freeze_exn b
+
+let merge_into ?(strategy = Greedy) ?stats z a j =
+  if not (Nfa.is_eps_free a) then
+    invalid_arg "Merge.merge_into: automata must be ε-free";
+  if j <> z.Mfsa.n_fsas then
+    invalid_arg
+      (Printf.sprintf
+         "Merge.merge_into: identifier %d must be the next free one (%d)" j
+         z.Mfsa.n_fsas);
+  let b = Builder.of_mfsa ~strategy z in
+  let slot = Builder.add b a in
+  assert (slot = j);
+  (match stats with Some cell -> cell := Builder.stats b | None -> ());
+  freeze_exn b
 
 let add_stats a b =
   {

@@ -22,7 +22,7 @@
     overlap (belonging update on the shared prefix), and identical
     automata (pure belonging update, no growth). *)
 
-type strategy =
+type strategy = Builder.strategy =
   | Greedy
       (** Seed a merge chain at any label-equal transition pair — the
           maximal reading of the paper's X/Y tuple sets. Highest
@@ -35,7 +35,7 @@ type strategy =
           pressure — the conservative end of the design space,
           evaluated as an ablation by the benchmark harness. *)
 
-type stats = {
+type stats = Builder.stats = {
   seeds : int;  (** Label-equal transition pairs that started a chain. *)
   chains : int;  (** Merging structures (maximal matched chains). *)
   merged_transitions : int;
@@ -53,6 +53,27 @@ val merge :
     ({!Mfsa_automata.Epsilon.remove} first). [strategy] defaults to
     {!Greedy}.
     @raise Invalid_argument on an empty array or ε-arcs. *)
+
+val merge_into :
+  ?strategy:strategy ->
+  ?stats:stats ref ->
+  Mfsa.t ->
+  Mfsa_automata.Nfa.t ->
+  int ->
+  Mfsa.t
+(** [merge_into z a j] adds one more compiled FSA to an {e existing}
+    MFSA, reusing the cascaded body of Algorithm 1 instead of
+    re-merging the whole group: the incoming automaton is searched
+    against [z] for common sub-paths, relabelled, and appended, so the
+    cost is that of one merge step — independent of how many FSAs [z]
+    already holds. [j] is the merged-FSA identifier assigned to [a]
+    and must be [z.n_fsas] (identifiers stay the positions of the
+    merge sequence). The input MFSA is unchanged.
+
+    This is the one-shot entry point; callers performing many updates
+    should hold a persistent {!Builder.t} (as [lib/live] does) to
+    avoid re-indexing [z] on every addition.
+    @raise Invalid_argument on ε-arcs or [j <> z.n_fsas]. *)
 
 val merge_groups :
   ?strategy:strategy ->

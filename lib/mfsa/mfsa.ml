@@ -244,6 +244,81 @@ let of_arrays ~n_states ~n_fsas ~row ~col ~idx ~bel ~init_of ~final_sets
   | Ok () -> z
   | Error msg -> invalid_arg ("Mfsa.of_arrays: " ^ msg)
 
+let retire z j =
+  if j < 0 || j >= z.n_fsas then invalid_arg "Mfsa.retire: FSA id out of range";
+  if z.n_fsas = 1 then None
+  else begin
+    let nf = z.n_fsas - 1 in
+    let remap_fsa i = if i < j then i else i - 1 in
+    (* Belonging sets with j cleared; transitions left empty are dead. *)
+    let keep = ref [] in
+    for t = n_transitions z - 1 downto 0 do
+      let b = Bitset.create nf in
+      Bitset.iter (fun i -> if i <> j then Bitset.add b (remap_fsa i)) z.bel.(t);
+      if not (Bitset.is_empty b) then keep := (t, b) :: !keep
+    done;
+    let keep = !keep in
+    (* Compaction: renumber the states live structure still touches
+       (surviving transitions plus surviving initial/final states). *)
+    let used = Array.make z.n_states false in
+    List.iter
+      (fun (t, _) ->
+        used.(z.row.(t)) <- true;
+        used.(z.col.(t)) <- true)
+      keep;
+    Array.iteri (fun i q -> if i <> j then used.(q) <- true) z.init_of;
+    Array.iteri
+      (fun q fs -> Bitset.iter (fun i -> if i <> j then used.(q) <- true) fs)
+      z.final_sets;
+    let state_map = Array.make z.n_states (-1) in
+    let n_states = ref 0 in
+    Array.iteri
+      (fun q u ->
+        if u then begin
+          state_map.(q) <- !n_states;
+          incr n_states
+        end)
+      used;
+    let nt = List.length keep in
+    let row = Array.make (max nt 1) 0
+    and col = Array.make (max nt 1) 0
+    and idx = Array.make (max nt 1) Charclass.empty
+    and bel = Array.make (max nt 1) (Bitset.create nf) in
+    List.iteri
+      (fun i (t, b) ->
+        row.(i) <- state_map.(z.row.(t));
+        col.(i) <- state_map.(z.col.(t));
+        idx.(i) <- z.idx.(t);
+        bel.(i) <- b)
+      keep;
+    let row = Array.sub row 0 nt
+    and col = Array.sub col 0 nt
+    and idx = Array.sub idx 0 nt
+    and bel = Array.sub bel 0 nt in
+    let init_of = Array.make nf 0 in
+    Array.iteri
+      (fun i q -> if i <> j then init_of.(remap_fsa i) <- state_map.(q))
+      z.init_of;
+    let final_sets =
+      Array.init (max 1 !n_states) (fun _ -> Bitset.create nf)
+    in
+    Array.iteri
+      (fun q fs ->
+        if state_map.(q) >= 0 then
+          Bitset.iter
+            (fun i -> if i <> j then Bitset.add final_sets.(state_map.(q)) (remap_fsa i))
+            fs)
+      z.final_sets;
+    let drop a =
+      Array.init nf (fun i -> a.(if i < j then i else i + 1))
+    in
+    Some
+      (of_arrays ~n_states:(max 1 !n_states) ~n_fsas:nf ~row ~col ~idx ~bel
+         ~init_of ~final_sets
+         ~anchored_start:(drop z.anchored_start)
+         ~anchored_end:(drop z.anchored_end) ~patterns:(drop z.patterns))
+  end
+
 let states_compression ~before ~after =
   if before = 0 then 0.
   else float_of_int (before - after) /. float_of_int before *. 100.

@@ -84,6 +84,19 @@ val project : t -> int -> Mfsa_automata.Nfa.t
     isomorphic to the [j]-th input FSA — the property tests check
     exactly this. @raise Invalid_argument if [j] is out of range. *)
 
+val retire : t -> int -> t option
+(** [retire z j] removes merged FSA [j] from the automaton: [j] is
+    cleared from every belonging vector and from the initial/final
+    structures, transitions whose belonging set became empty are
+    dropped, states nothing live touches are compacted away, and the
+    surviving identifiers above [j] shift down by one (staying the
+    positions of the original merge sequence). [None] when [j] was the
+    last FSA — an MFSA is never empty; the live layer represents the
+    empty ruleset without an automaton. The input is unchanged.
+    Projections of the survivors are preserved: [project (retire z j) k']
+    is isomorphic to [project z k] for every surviving [k].
+    @raise Invalid_argument if [j] is out of range. *)
+
 val validate : t -> (unit, string) result
 (** Structural invariants: vector lengths agree, states and FSA ids in
     range, no empty class, no empty belonging set, [init_sets] is the

@@ -16,6 +16,20 @@ let capacity t = t.n
 
 let copy t = { n = t.n; words = Array.copy t.words }
 
+let resize t n =
+  if n < 0 then invalid_arg "Bitset.resize: negative capacity";
+  let r = create n in
+  let k = min (Array.length r.words) (Array.length t.words) in
+  Array.blit t.words 0 r.words 0 k;
+  (* When shrinking, drop the elements >= n by masking the word that
+     straddles the new boundary (words never carry bits >= capacity,
+     so nothing else can leak). *)
+  let full = n / bits_per_word and rem = n mod bits_per_word in
+  if full < Array.length r.words then
+    r.words.(full) <-
+      (if rem = 0 then 0 else r.words.(full) land ((1 lsl rem) - 1));
+  r
+
 let check t i =
   if i < 0 || i >= t.n then
     invalid_arg (Printf.sprintf "Bitset: index %d out of range [0,%d)" i t.n)

@@ -17,6 +17,12 @@ val capacity : t -> int
 
 val copy : t -> t
 
+val resize : t -> int -> t
+(** [resize s n] is a set of capacity [n] holding the elements of [s]
+    that are smaller than [n]; [s] is unchanged. Used by the live
+    ruleset layer when the merged-FSA universe grows or shrinks.
+    @raise Invalid_argument if [n < 0]. *)
+
 val singleton : int -> int -> t
 (** [singleton n i] is [{i}] over universe [\[0, n)]. *)
 

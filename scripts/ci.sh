@@ -1,0 +1,18 @@
+#!/bin/sh
+# Continuous-integration entry point: full build, the whole test
+# suite (unit, property and cram tests — the repo's tier-1 gate),
+# then the live-update benchmark in smoke mode, i.e. at a small
+# ruleset scale with few repetitions so the whole script stays in CI
+# territory. Override MFSA_SCALE / MFSA_REPS to stress harder.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== live-update bench (smoke) =="
+MFSA_SCALE="${MFSA_SCALE:-0.1}" MFSA_REPS="${MFSA_REPS:-2}" \
+  dune exec bench/main.exe -- live-update

@@ -132,3 +132,58 @@ the ablation-strategy artefact):
   states:       29 -> 20 (31.03% compression)
   $ mfsa-compile rules.txt --strategy prefix -v -o /dev/null 2>&1 | grep "^states:"
   states:       29 -> 19 (34.48% compression)
+
+Live ruleset updates: incremental adds, retirement and a streaming
+session pinned to the generation it opened on.
+
+  $ cat > live.txt <<LIVE
+  > add abc
+  > add bca
+  > # stream on generation 2, then update under it
+  > feed abca
+  > add cab
+  > remove 0
+  > feed bca
+  > match abcabca
+  > reset
+  > feed abcabca
+  > finish
+  > stats
+  > compact
+  > stats
+  > rules
+  > LIVE
+  $ mfsa-live live.txt
+  added rule 0 (gen 1)
+  added rule 1 (gen 2)
+  match rule=0 pattern=abc end=3
+  match rule=1 pattern=bca end=4
+  fed 4 bytes (session gen 2, pos 4)
+  added rule 2 (gen 3)
+  removed rule 0 (gen 4)
+  match rule=0 pattern=abc end=6
+  match rule=1 pattern=bca end=7
+  fed 3 bytes (session gen 2, pos 7)
+  match rule=1 pattern=bca end=4
+  match rule=2 pattern=cab end=5
+  match rule=1 pattern=bca end=7
+  3 matches (gen 4)
+  session reset (gen 4)
+  match rule=1 pattern=bca end=4
+  match rule=2 pattern=cab end=5
+  match rule=1 pattern=bca end=7
+  fed 7 bytes (session gen 4, pos 7)
+  stream finished at 7 bytes
+  gen 4: 2 rules, 6 states, 5 transitions (1 dead), 0 compactions
+  compacted (gen 5)
+  gen 5: 2 rules, 5 states, 4 transitions (0 dead), 1 compactions
+  rule 1  bca
+  rule 2  cab
+
+A malformed rule is rejected without touching the ruleset; unknown ids
+are refused:
+
+  $ printf 'add (broken\nremove 7\nstats\n' | mfsa-live --gc-threshold 0
+  error: rule 0 ((broken): at offset 0: unmatched '('
+  error: no live rule 7
+  gen 0: 0 rules, 0 states, 0 transitions (0 dead), 0 compactions

@@ -271,13 +271,40 @@ let test_pool_rejects_bad_threads () =
     (Invalid_argument "Pool.run: need at least one thread") (fun () ->
       ignore (Pool.run ~threads:0 ~jobs:[| (fun () -> ()) |]))
 
+(* The documented contract for raising jobs: the pool drains — every
+   other job still executes exactly once — and only then is the
+   exception re-raised on the caller. *)
 let test_pool_propagates_exception () =
-  match
-    Pool.run ~threads:2
-      ~jobs:[| (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) |]
-  with
+  let ran = Array.make 8 0 in
+  let jobs =
+    Array.init 8 (fun i () ->
+        if i = 3 then failwith "boom"
+        else begin
+          ran.(i) <- ran.(i) + 1;
+          i
+        end)
+  in
+  (match Pool.run ~threads:2 ~jobs with
   | _ -> Alcotest.fail "expected exception"
-  | exception Failure msg -> check Alcotest.string "propagated" "boom" msg
+  | exception Failure msg -> check Alcotest.string "propagated" "boom" msg);
+  Array.iteri
+    (fun i n ->
+      check Alcotest.int
+        (Printf.sprintf "job %d ran %s" i
+           (if i = 3 then "zero times (it raised)" else "once despite the abort"))
+        (if i = 3 then 0 else 1)
+        n)
+    ran;
+  (* Same contract when the raising job is the last one handed out. *)
+  let tail_ran = ref 0 in
+  (match
+     Pool.run ~threads:3
+       ~jobs:[| (fun () -> incr tail_ran); (fun () -> incr tail_ran);
+                (fun () -> failwith "late") |]
+   with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure msg -> check Alcotest.string "late propagated" "late" msg);
+  check Alcotest.int "earlier jobs all ran" 2 !tail_ran
 
 let test_pool_matches_match_sequential () =
   (* Pool execution of MFSAs returns the same counts as sequential. *)

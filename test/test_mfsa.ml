@@ -155,7 +155,32 @@ let test_merge_groups_partitioning () =
   check Alcotest.int "m=1 means none" 7 (List.length (Merge.merge_groups ~m:1 fsas));
   Alcotest.check_raises "negative m"
     (Invalid_argument "Merge.merge_groups: negative merging factor") (fun () ->
-      ignore (Merge.merge_groups ~m:(-1) fsas))
+      ignore (Merge.merge_groups ~m:(-1) fsas));
+  (* The edge cases must also assign the right rules to each group, in
+     the original order. *)
+  let pats = List.map (fun z -> Array.to_list z.Mfsa.patterns) in
+  let all = List.init 7 (fun i -> String.make (i + 1) 'a') in
+  check
+    Alcotest.(list (list string))
+    "m=0 packs everything into one MFSA, in order" [ all ]
+    (pats (Merge.merge_groups ~m:0 fsas));
+  check
+    Alcotest.(list (list string))
+    "m>n behaves exactly like m=0" [ all ]
+    (pats (Merge.merge_groups ~m:100 fsas));
+  check
+    Alcotest.(list (list string))
+    "m=1 keeps each rule alone, in order"
+    (List.map (fun p -> [ p ]) all)
+    (pats (Merge.merge_groups ~m:1 fsas));
+  List.iter
+    (fun z ->
+      check Alcotest.bool "singleton groups are trivial MFSAs" true
+        (z.Mfsa.n_fsas = 1 && Mfsa.validate z = Ok ()))
+    (Merge.merge_groups ~m:1 fsas);
+  Alcotest.check_raises "empty set"
+    (Invalid_argument "Merge.merge_groups: empty FSA set") (fun () ->
+      ignore (Merge.merge_groups ~m:3 [||]))
 
 let test_merge_preserves_patterns_and_anchors () =
   let a = fsa_of "abc" in
@@ -196,6 +221,33 @@ let test_project () =
   Alcotest.check_raises "out of range"
     (Invalid_argument "Mfsa.project: FSA id out of range") (fun () ->
       ignore (Mfsa.project z 4))
+
+(* Incrementally extending a frozen MFSA must keep every projection
+   faithful, exactly as the one-shot merge does. *)
+let test_merge_into_projections () =
+  let fsas = [| fsa_of "abc"; fsa_of "abd"; fsa_of "xyz"; fsa_of "a(b|c)*" |] in
+  let z =
+    Array.fold_left
+      (fun z a ->
+        match z with
+        | None -> Some (Mfsa.of_fsa a)
+        | Some z -> Some (Merge.merge_into z a z.Mfsa.n_fsas))
+      None fsas
+    |> Option.get
+  in
+  check Alcotest.bool "validates" true (Mfsa.validate z = Ok ());
+  assert_projection_faithful fsas z
+
+(* Retirement + compaction must leave the survivors' projections
+   isomorphic to the original inputs (shifted down by one id). *)
+let test_retire_projections () =
+  let fsas = [| fsa_of "abc"; fsa_of "abd"; fsa_of "xyz"; fsa_of "a(b|c)*" |] in
+  let z = Merge.merge fsas in
+  let z' = Option.get (Mfsa.retire z 1) in
+  check Alcotest.bool "validates after retire" true (Mfsa.validate z' = Ok ());
+  assert_projection_faithful [| fsas.(0); fsas.(2); fsas.(3) |] z';
+  (* The original automaton is untouched. *)
+  assert_projection_faithful fsas z
 
 (* ------------------------------------------- Paper worked examples *)
 
@@ -378,6 +430,10 @@ let () =
           Alcotest.test_case "merge_groups partitioning" `Quick test_merge_groups_partitioning;
           Alcotest.test_case "patterns and anchors" `Quick test_merge_preserves_patterns_and_anchors;
           Alcotest.test_case "projection" `Quick test_project;
+          Alcotest.test_case "incremental merge projections" `Quick
+            test_merge_into_projections;
+          Alcotest.test_case "retirement projections" `Quick
+            test_retire_projections;
           Alcotest.test_case "many shared prefixes" `Quick test_merge_many_same_prefix;
           Alcotest.test_case "prefix strategy" `Quick test_merge_prefix_strategy;
         ] );
