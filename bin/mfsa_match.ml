@@ -8,8 +8,11 @@
 module Anml = Mfsa_anml.Anml
 module Mfsa = Mfsa_model.Mfsa
 module Im = Mfsa_engine.Imfant
+module Hybrid = Mfsa_engine.Hybrid
 module Pool = Mfsa_engine.Pool
 module Report = Mfsa_core.Report
+
+let now () = Mfsa_util.Clock.now ()
 
 let read_file path =
   let ic = open_in_bin path in
@@ -43,6 +46,53 @@ let run anml_path input_path threads list_events stats engine =
   | Error msg ->
       Printf.eprintf "mfsa-match: cannot load %s: %s\n" anml_path msg;
       1
+  | Ok mfsas when engine = "hybrid" ->
+      let input = read_file input_path in
+      let engines = Array.of_list (List.map Hybrid.compile mfsas) in
+      let t0 = now () in
+      let result =
+        Pool.run ~threads
+          ~jobs:(Array.map (fun eng () -> Hybrid.run eng input) engines)
+      in
+      let elapsed = now () -. t0 in
+      let total = ref 0 in
+      Array.iteri
+        (fun gi events ->
+          let z = Hybrid.mfsa engines.(gi) in
+          let counts = Array.make z.Mfsa.n_fsas 0 in
+          List.iter
+            (fun e ->
+              counts.(e.Hybrid.fsa) <- counts.(e.Hybrid.fsa) + 1;
+              if list_events then
+                Printf.printf "match mfsa=%d rule=%d pattern=%s end=%d\n" gi
+                  e.Hybrid.fsa z.Mfsa.patterns.(e.Hybrid.fsa) e.Hybrid.end_pos)
+            events;
+          Array.iteri
+            (fun j c ->
+              total := !total + c;
+              Printf.printf "rule %d.%d  %-40s %d matches\n" gi j
+                z.Mfsa.patterns.(j) c)
+            counts;
+          if stats then begin
+            let s = Hybrid.stats engines.(gi) in
+            Printf.printf
+              "mfsa %d: cache hit rate %.4f, %d configs (%d interned, %d \
+               flushes), ~%d KiB\n"
+              gi
+              (if s.Hybrid.steps = 0 then 0.
+               else
+                 float_of_int s.Hybrid.hits /. float_of_int s.Hybrid.steps)
+              s.Hybrid.resident_configs s.Hybrid.configs_interned
+              s.Hybrid.flushes
+              (s.Hybrid.cache_bytes / 1024)
+          end)
+        result.Pool.values;
+      Printf.printf "total: %d matches over %d bytes in %s (hybrid engine, %d thread%s)\n"
+        !total (String.length input)
+        (Report.fmt_time elapsed)
+        threads
+        (if threads = 1 then "" else "s");
+      0
   | Ok mfsas when engine <> "imfant" ->
       let kind =
         match engine with
@@ -53,12 +103,13 @@ let run anml_path input_path threads list_events stats engine =
       (match kind with
       | Error other ->
           Printf.eprintf
-            "mfsa-match: unknown engine %S (expected imfant, dfa or decomposed)\n"
+            "mfsa-match: unknown engine %S (expected imfant, hybrid, dfa or \
+             decomposed)\n"
             other;
           1
       | Ok kind ->
           let input = read_file input_path in
-          let t0 = Unix.gettimeofday () in
+          let t0 = now () in
           let total = ref 0 in
           List.iteri
             (fun gi z ->
@@ -72,13 +123,13 @@ let run anml_path input_path threads list_events stats engine =
             mfsas;
           Printf.printf "total: %d matches over %d bytes in %s (%s engine)\n"
             !total (String.length input)
-            (Report.fmt_time (Unix.gettimeofday () -. t0))
+            (Report.fmt_time (now () -. t0))
             engine;
           0)
   | Ok mfsas ->
       let input = read_file input_path in
       let engines = Array.of_list (List.map Im.compile mfsas) in
-      let t0 = Unix.gettimeofday () in
+      let t0 = now () in
       let result =
         Pool.run ~threads
           ~jobs:
@@ -90,7 +141,7 @@ let run anml_path input_path threads list_events stats engine =
                  else (Im.run eng input, None))
                engines)
       in
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let elapsed = now () -. t0 in
       let total = ref 0 in
       Array.iteri
         (fun gi (events, s) ->
@@ -154,6 +205,7 @@ let engine =
     value & opt string "imfant"
     & info [ "e"; "engine" ] ~docv:"ENGINE"
         ~doc:"Matching engine: imfant (default, the merged-automaton engine), \
+              hybrid (lazy-DFA configuration cache over the same automaton), \
               dfa (per-rule scanning DFAs projected from the MFSA) or \
               decomposed (literal pre-filter + confirmation). The alternative \
               engines exist for comparison; match counts are identical.")

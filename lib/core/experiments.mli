@@ -90,6 +90,30 @@ val ablation_strategy : config -> string
     by side. This probes the compression/activation trade-off behind
     the paper's DS9/PRO anomalies (§VI-C1). *)
 
+type engine_row = {
+  er_dataset : string;  (** Dataset abbreviation. *)
+  er_engine : string;  (** ["imfant"] or ["hybrid"]. *)
+  er_time : float;  (** Seconds per pass over the stream. *)
+  er_mbps : float;  (** Stream megabytes per second. *)
+  er_hit_rate : float;
+      (** Warm configuration-cache hit rate; 0 for iMFAnt. *)
+  er_matches : int;  (** Total match events on the stream. *)
+  er_agree : bool;
+      (** Per-FSA match counts identical across both engines. *)
+}
+
+val engine_rows : config -> engine_row list
+(** Machine-readable form of {!engine_compare}: two rows (one per
+    engine) per dataset, M = all. Consumed by the benchmark driver's
+    JSON export. *)
+
+val engine_compare : config -> string
+(** iMFAnt versus the lazy-DFA {!Mfsa_engine.Hybrid} engine on every
+    dataset at M = all: execution time, throughput, warm cache hit
+    rate, resident configurations, flushes, and a per-dataset
+    agreement check of the per-FSA match counts (rows disagreeing are
+    marked [DIVERGED] — grepped for by the CI smoke gate). *)
+
 val complexity : config -> string
 (** Empirical validation of the merging cost model (paper §III-A,
     Eq. 3): wall-clock time of Algorithm 1 over growing prefixes of

@@ -39,7 +39,7 @@ let error_to_string { rule_index; pattern; message } =
 
 exception Stop of error
 
-let now () = Unix.gettimeofday ()
+let now () = Mfsa_util.Clock.now ()
 
 let timed cell f =
   let t0 = now () in

@@ -1,0 +1,394 @@
+module Mfsa = Mfsa_model.Mfsa
+module Bitset = Mfsa_util.Bitset
+
+type match_event = { fsa : int; end_pos : int }
+
+type stats = {
+  steps : int;
+  hits : int;
+  misses : int;
+  configs_interned : int;
+  resident_configs : int;
+  flushes : int;
+  cache_bytes : int;
+}
+
+(* A configuration is iMFAnt's entire runtime state at one input
+   position: the active states (ascending) with their activation sets
+   J(q). States with empty J are not active (Equation 6 popped every
+   FSA), so they never appear. *)
+type config = { c_states : int array; c_sets : Bitset.t array }
+
+let empty_cfg = { c_states = [||]; c_sets = [||] }
+
+module Key = struct
+  type t = config
+
+  let equal a b =
+    let n = Array.length a.c_states in
+    n = Array.length b.c_states
+    &&
+    let rec go i =
+      i >= n
+      || a.c_states.(i) = b.c_states.(i)
+         && Bitset.equal a.c_sets.(i) b.c_sets.(i)
+         && go (i + 1)
+    in
+    go 0
+
+  let hash c =
+    let h = ref (Array.length c.c_states) in
+    Array.iteri
+      (fun i q ->
+        h := ((!h * 31) + q) land max_int;
+        h := ((!h * 31) + Bitset.hash c.c_sets.(i)) land max_int)
+      c.c_states;
+    !h
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(* One memo row per interned configuration: the successor id and the
+   FSAs matching on the edge, per byte. -1 = not computed yet. *)
+type row = { cfg : config; next : int array; edge_matches : int array array }
+
+let mk_row cfg =
+  { cfg; next = Array.make 256 (-1); edge_matches = Array.make 256 [||] }
+
+(* Row 0 is the position-0 start configuration (inits include the
+   start-anchored FSAs); row 1 is the dead configuration (empty,
+   reached mid-stream). Both are empty as (state, set) maps but step
+   differently, so they get distinct permanent ids; only the dead one
+   is registered in the intern table. *)
+let start_id = 0
+
+type t = {
+  im : Imfant.t;
+  z : Mfsa.t;
+  cache_size : int;
+  any_end_anchor : bool;
+  init_all : Bitset.t array;
+  init_unanch : Bitset.t array;
+  init_states_all : int array;
+      (* States initial for some FSA — fallback sources even when
+         inactive (Equation 4: an FSA is pushed when leaving its
+         initial state, at any input position). *)
+  init_states_unanch : int array;
+  csr_off : int array;
+  csr_tr : int array;
+  tbl : int Tbl.t;
+  mutable rows : row array;
+  mutable n_rows : int;
+  mutable last_edge : int array;
+      (* Matches of the edge the latest [step] traversed. *)
+  (* Fallback scratch, allocated once per engine. *)
+  acc_sets : Bitset.t array;
+  acc_stamp : int array;
+  active_stamp : int array;
+  touched : int array;
+  src_scratch : Bitset.t;
+  tr_scratch : Bitset.t;
+  match_acc : Bitset.t;
+  mutable gen : int;
+  (* Counters. *)
+  mutable steps : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable interned : int;
+  mutable flushes : int;
+}
+
+let add_row t cfg ~register =
+  if t.n_rows = Array.length t.rows then begin
+    let bigger = Array.make (2 * Array.length t.rows) t.rows.(0) in
+    Array.blit t.rows 0 bigger 0 t.n_rows;
+    t.rows <- bigger
+  end;
+  let id = t.n_rows in
+  t.rows.(id) <- mk_row cfg;
+  t.n_rows <- id + 1;
+  if register then Tbl.replace t.tbl cfg id;
+  id
+
+let seed t =
+  t.n_rows <- 0;
+  ignore (add_row t empty_cfg ~register:false);
+  (* start *)
+  ignore (add_row t empty_cfg ~register:true)
+(* dead *)
+
+let of_imfant ?(cache_size = 4096) im =
+  if cache_size < 1 then invalid_arg "Hybrid.of_imfant: cache_size < 1";
+  let z = Imfant.mfsa im in
+  let init_all, init_unanch = Imfant.init_tables im in
+  let csr_off, csr_tr = Imfant.csr im in
+  let nonempty inits =
+    let acc = ref [] in
+    for q = Array.length inits - 1 downto 0 do
+      if not (Bitset.is_empty inits.(q)) then acc := q :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let n = z.Mfsa.n_states and nf = z.Mfsa.n_fsas in
+  let t =
+    {
+      im;
+      z;
+      cache_size;
+      any_end_anchor = Array.exists Fun.id z.Mfsa.anchored_end;
+      init_all;
+      init_unanch;
+      init_states_all = nonempty init_all;
+      init_states_unanch = nonempty init_unanch;
+      csr_off;
+      csr_tr;
+      tbl = Tbl.create 256;
+      rows = Array.make 16 (mk_row empty_cfg);
+      n_rows = 0;
+      last_edge = [||];
+      acc_sets = Array.init n (fun _ -> Bitset.create nf);
+      acc_stamp = Array.make n (-1);
+      active_stamp = Array.make n (-1);
+      touched = Array.make n 0;
+      src_scratch = Bitset.create nf;
+      tr_scratch = Bitset.create nf;
+      match_acc = Bitset.create nf;
+      gen = 0;
+      steps = 0;
+      hits = 0;
+      misses = 0;
+      interned = 0;
+      flushes = 0;
+    }
+  in
+  seed t;
+  t
+
+let compile ?cache_size z = of_imfant ?cache_size (Imfant.compile z)
+
+let mfsa t = t.z
+
+let imfant t = t.im
+
+let flush t =
+  Tbl.reset t.tbl;
+  t.rows <- Array.make 16 (mk_row empty_cfg);
+  seed t;
+  t.flushes <- t.flushes + 1
+
+let intern t cfg =
+  match Tbl.find_opt t.tbl cfg with
+  | Some id -> (id, false)
+  | None ->
+      let full = t.n_rows - 2 >= t.cache_size in
+      if full then flush t;
+      let id = add_row t cfg ~register:true in
+      t.interned <- t.interned + 1;
+      (id, full)
+
+(* The NFA step from one explicit configuration: Equations 4–6 over
+   the active states' (and initial states') outgoing arcs for byte
+   [c], via the CSR — never the full byte-enabled transition list. *)
+let fallback t cfg c ~at_start =
+  let z = t.z in
+  let inits = if at_start then t.init_all else t.init_unanch in
+  let init_states =
+    if at_start then t.init_states_all else t.init_states_unanch
+  in
+  let csr_off = t.csr_off and csr_tr = t.csr_tr in
+  t.gen <- t.gen + 1;
+  let g = t.gen in
+  let ntouch = ref 0 in
+  let fire q src =
+    let base = (q * 256) + c in
+    for k = csr_off.(base) to csr_off.(base + 1) - 1 do
+      let tr = csr_tr.(k) in
+      (* J' = src ∩ bel(t); the move is valid iff J' ≠ ∅. *)
+      Bitset.clear t.tr_scratch;
+      ignore (Bitset.union_into ~dst:t.tr_scratch src);
+      Bitset.inter_into ~dst:t.tr_scratch z.Mfsa.bel.(tr);
+      if not (Bitset.is_empty t.tr_scratch) then begin
+        let d = z.Mfsa.col.(tr) in
+        if t.acc_stamp.(d) <> g then begin
+          t.acc_stamp.(d) <- g;
+          Bitset.clear t.acc_sets.(d);
+          t.touched.(!ntouch) <- d;
+          incr ntouch
+        end;
+        ignore (Bitset.union_into ~dst:t.acc_sets.(d) t.tr_scratch)
+      end
+    done
+  in
+  Array.iteri
+    (fun i q ->
+      t.active_stamp.(q) <- g;
+      Bitset.clear t.src_scratch;
+      ignore (Bitset.union_into ~dst:t.src_scratch cfg.c_sets.(i));
+      ignore (Bitset.union_into ~dst:t.src_scratch inits.(q));
+      fire q t.src_scratch)
+    cfg.c_states;
+  Array.iter
+    (fun q -> if t.active_stamp.(q) <> g then fire q inits.(q))
+    init_states;
+  let states = Array.sub t.touched 0 !ntouch in
+  Array.sort Int.compare states;
+  Bitset.clear t.match_acc;
+  let sets =
+    Array.map
+      (fun d ->
+        let s = Bitset.copy t.acc_sets.(d) in
+        (* Equation 5: matches for the FSAs final in d ∩ J'. *)
+        Bitset.clear t.tr_scratch;
+        ignore (Bitset.union_into ~dst:t.tr_scratch s);
+        Bitset.inter_into ~dst:t.tr_scratch z.Mfsa.final_sets.(d);
+        ignore (Bitset.union_into ~dst:t.match_acc t.tr_scratch);
+        s)
+      states
+  in
+  let matches =
+    if Bitset.is_empty t.match_acc then [||]
+    else Array.of_list (Bitset.to_list t.match_acc)
+  in
+  ({ c_states = states; c_sets = sets }, matches)
+
+(* Consume one byte from configuration [cur]: memo lookup, or NFA
+   fallback + intern + memoize. Returns the successor id and leaves
+   the edge's match set in [t.last_edge]. *)
+let step t cur c =
+  t.steps <- t.steps + 1;
+  let r = t.rows.(cur) in
+  let nxt = r.next.(c) in
+  if nxt >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.last_edge <- r.edge_matches.(c);
+    nxt
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let cfg', ms = fallback t r.cfg c ~at_start:(cur = start_id) in
+    let id, flushed = intern t cfg' in
+    (* On flush [r] belongs to the dropped table: skip the memo. *)
+    if not flushed then begin
+      r.next.(c) <- id;
+      r.edge_matches.(c) <- ms
+    end;
+    t.last_edge <- ms;
+    id
+  end
+
+let execute t input ~on_match =
+  let z = t.z in
+  let len = String.length input in
+  let cur = ref start_id in
+  for i = 0 to len - 1 do
+    let c = Char.code (String.unsafe_get input i) in
+    cur := step t !cur c;
+    let ms = t.last_edge in
+    let n = Array.length ms in
+    if n > 0 then
+      if not t.any_end_anchor then
+        for k = 0 to n - 1 do
+          on_match ms.(k) (i + 1)
+        done
+      else
+        for k = 0 to n - 1 do
+          let j = ms.(k) in
+          if (not z.Mfsa.anchored_end.(j)) || i + 1 = len then on_match j (i + 1)
+        done
+  done
+
+let run t input =
+  let acc = ref [] in
+  execute t input ~on_match:(fun fsa e -> acc := { fsa; end_pos = e } :: !acc);
+  List.rev !acc
+
+let count t input =
+  let c = ref 0 in
+  execute t input ~on_match:(fun _ _ -> incr c);
+  !c
+
+let count_per_fsa t input =
+  let counts = Array.make t.z.Mfsa.n_fsas 0 in
+  execute t input ~on_match:(fun fsa _ -> counts.(fsa) <- counts.(fsa) + 1);
+  counts
+
+(* ---------------------------------------------------------- Stats *)
+
+let stats t =
+  let word_bytes = 8 in
+  let bitset_bytes =
+    word_bytes * (((t.z.Mfsa.n_fsas + 61) / 62) + 3)
+  in
+  let bytes = ref 0 in
+  for i = 0 to t.n_rows - 1 do
+    let r = t.rows.(i) in
+    (* next + edge_matches pointer arrays, row and config headers. *)
+    bytes := !bytes + (word_bytes * ((2 * 256) + 8));
+    Array.iter
+      (fun ms -> bytes := !bytes + (word_bytes * Array.length ms))
+      r.edge_matches;
+    bytes := !bytes + (word_bytes * Array.length r.cfg.c_states);
+    bytes := !bytes + (bitset_bytes * Array.length r.cfg.c_sets)
+  done;
+  {
+    steps = t.steps;
+    hits = t.hits;
+    misses = t.misses;
+    configs_interned = t.interned;
+    resident_configs = t.n_rows;
+    flushes = t.flushes;
+    cache_bytes = !bytes;
+  }
+
+let reset_stats t =
+  t.steps <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.interned <- 0;
+  t.flushes <- 0
+
+(* ------------------------------------------------------- Streaming *)
+
+type session = {
+  eng : t;
+  mutable cur : int;
+  mutable pos : int;
+  mutable pending_end : int list;
+      (* end-anchored FSAs matched exactly at [pos]; flushed by
+         [finish], discarded whenever the stream continues *)
+}
+
+let session eng = { eng; cur = start_id; pos = 0; pending_end = [] }
+
+let reset s =
+  s.cur <- start_id;
+  s.pos <- 0;
+  s.pending_end <- []
+
+let position s = s.pos
+
+let feed s chunk =
+  let t = s.eng in
+  let z = t.z in
+  let acc = ref [] in
+  String.iter
+    (fun ch ->
+      let c = Char.code ch in
+      (* Any continuation invalidates matches that were waiting for
+         end-of-stream. *)
+      s.pending_end <- [];
+      let nxt = step t s.cur c in
+      let ms = t.last_edge in
+      for k = 0 to Array.length ms - 1 do
+        let j = ms.(k) in
+        if z.Mfsa.anchored_end.(j) then s.pending_end <- j :: s.pending_end
+        else acc := { fsa = j; end_pos = s.pos + 1 } :: !acc
+      done;
+      s.cur <- nxt;
+      s.pos <- s.pos + 1)
+    chunk;
+  List.rev !acc
+
+let finish s =
+  List.sort Int.compare s.pending_end
+  |> List.map (fun j -> { fsa = j; end_pos = s.pos })

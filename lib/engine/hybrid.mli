@@ -1,0 +1,106 @@
+(** Lazy-DFA execution over an MFSA: RE2-style subset construction,
+    done configuration by configuration, on demand.
+
+    {!Imfant} is transition-centric: every input byte scans all
+    transitions the byte enables and performs bitset algebra per
+    transition (Equations 4–6), even when the active configuration is
+    tiny and repeats across millions of positions. This engine
+    memoizes that work. A {e configuration} is the entire runtime
+    state of iMFAnt at one input position — the map from active
+    states to their activation sets [J(q)] — represented canonically
+    (states ascending, one belonging bitset each) and {e hash-consed}
+    so equal configurations share one integer id. For every
+    (configuration, byte) pair seen, the successor configuration and
+    the set of FSAs that match on that edge are computed once with
+    the NFA fallback and cached; from then on, processing that byte
+    in that configuration is a table lookup.
+
+    The fallback walks only the {e active} states' outgoing arcs
+    through the CSR layout of {!Imfant.csr} — O(active arcs), not
+    O(byte-enabled transitions) — so even a cold cache tracks the
+    input's real activity. The cache is bounded: when the number of
+    interned configurations passes the budget, the whole cache is
+    flushed and rebuilt from the current configuration (RE2's
+    eviction policy — cheap, and sidesteps LRU bookkeeping on the
+    hot path). Rulesets whose configuration space churns faster than
+    the cache can hold it degrade to pure NFA simulation plus
+    hashing overhead; {!stats} makes that visible, and {!Imfant} is
+    the right engine there.
+
+    Matches are reported identically to {!Imfant}: unanchored
+    matching, per-FSA [^]/[$] flags honoured, non-empty matches, one
+    report per (FSA, end position). Within one end position events
+    are ordered by FSA id.
+
+    An engine value owns mutable cache and scratch state: it must not
+    be shared across domains (compile one engine per domain — what
+    {!Pool} jobs already do). *)
+
+type t
+
+type match_event = { fsa : int; end_pos : int }
+
+type stats = {
+  steps : int;  (** Input bytes processed since compile. *)
+  hits : int;  (** Steps answered by the memo table alone. *)
+  misses : int;  (** Steps that ran the NFA fallback. *)
+  configs_interned : int;
+      (** Configurations interned since compile, cumulative across
+          flushes. *)
+  resident_configs : int;
+      (** Configurations currently interned (including the two
+          built-ins: the position-0 start configuration and the dead
+          configuration). *)
+  flushes : int;  (** Times the full cache was dropped. *)
+  cache_bytes : int;
+      (** Approximate resident cache footprint: memo rows, interned
+          configurations and per-edge match lists. *)
+}
+
+val compile : ?cache_size:int -> Mfsa_model.Mfsa.t -> t
+(** [cache_size] bounds the number of {e dynamically} interned
+    configurations (default 4096); passing it the cache flushes.
+    @raise Invalid_argument if [cache_size < 1]. *)
+
+val of_imfant : ?cache_size:int -> Imfant.t -> t
+(** Wrap an already compiled iMFAnt engine, sharing its tables. *)
+
+val mfsa : t -> Mfsa_model.Mfsa.t
+
+val imfant : t -> Imfant.t
+(** The wrapped transition-centric engine (shares the automaton). *)
+
+val stats : t -> stats
+(** Cumulative cache counters; {!reset_stats} zeroes them without
+    touching the cache. Hit rate is [hits / steps]. *)
+
+val reset_stats : t -> unit
+
+val run : t -> string -> match_event list
+(** All matches, ordered by end position (ties by FSA id). Equal to
+    {!Imfant.run} on the same automaton and input. *)
+
+val count : t -> string -> int
+
+val count_per_fsa : t -> string -> int array
+
+(** {2 Streaming}
+
+    Same contract as {!Imfant.session}: feeding chunks [c1, …, cn]
+    then {!finish} equals [run t (c1 ^ … ^ cn)], end positions are
+    global stream offsets, end-anchored rules report at {!finish}.
+    Sessions share their engine's cache — concurrent sessions on one
+    engine are fine within a single domain and make the cache warmer
+    for each other. *)
+
+type session
+
+val session : t -> session
+
+val feed : session -> string -> match_event list
+
+val finish : session -> match_event list
+
+val reset : session -> unit
+
+val position : session -> int

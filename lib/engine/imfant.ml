@@ -7,9 +7,21 @@ type t = {
   z : Mfsa.t;
   trans_by_sym : int array array;
       (* [trans_by_sym.(c)] = transition indices enabled by byte c. *)
+  csr_off : int array;
+      (* Row-indexed CSR over (state, byte) cells: the transitions
+         leaving state q on byte c are
+         [csr_tr.(csr_off.(q*256+c) .. csr_off.(q*256+c+1)-1)].
+         Length n_states*256+1. The hybrid engine's miss path walks
+         only the active states' outgoing arcs through this. *)
+  csr_tr : int array;
   anchored_end_mask : Bitset.t;
       (* FSAs whose matches may only end at end-of-input. *)
   any_end_anchor : bool;
+  init_all : Bitset.t array;
+      (* Per-state initial sets at position 0 (aliases z.init_sets). *)
+  init_unanch : Bitset.t array;
+      (* Same minus the start-anchored FSAs: positions > 0. Both are
+         read-only once built. *)
 }
 
 type match_event = { fsa : int; end_pos : int }
@@ -22,29 +34,65 @@ let compile (z : Mfsa.t) =
     (fun t cls ->
       Charclass.iter (fun c -> Vec.push by_sym.(Char.code c) t) cls)
     z.Mfsa.idx;
+  (* CSR by (source state, byte): counting sort of the same entries
+     trans_by_sym holds, keyed by row(t)*256+c instead of c. *)
+  let n_cells = z.Mfsa.n_states * 256 in
+  let csr_off = Array.make (n_cells + 1) 0 in
+  Array.iteri
+    (fun t cls ->
+      let base = z.Mfsa.row.(t) * 256 in
+      Charclass.iter
+        (fun c ->
+          let cell = base + Char.code c in
+          csr_off.(cell + 1) <- csr_off.(cell + 1) + 1)
+        cls)
+    z.Mfsa.idx;
+  for cell = 0 to n_cells - 1 do
+    csr_off.(cell + 1) <- csr_off.(cell + 1) + csr_off.(cell)
+  done;
+  let csr_tr = Array.make csr_off.(n_cells) 0 in
+  let cursor = Array.copy csr_off in
+  Array.iteri
+    (fun t cls ->
+      let base = z.Mfsa.row.(t) * 256 in
+      Charclass.iter
+        (fun c ->
+          let cell = base + Char.code c in
+          csr_tr.(cursor.(cell)) <- t;
+          cursor.(cell) <- cursor.(cell) + 1)
+        cls)
+    z.Mfsa.idx;
   let anchored_end_mask = Bitset.create z.Mfsa.n_fsas in
   Array.iteri
     (fun j anchored -> if anchored then Bitset.add anchored_end_mask j)
     z.Mfsa.anchored_end;
+  (* Per-state initial sets, split by anchoring: at position 0 every
+     FSA may start; afterwards only the unanchored ones. Built once
+     here (they used to be rebuilt — n_states bitset copies — on every
+     execute call). *)
+  let init_unanch =
+    Array.init z.Mfsa.n_states (fun q -> Bitset.copy z.Mfsa.init_sets.(q))
+  in
+  Array.iteri
+    (fun j anchored ->
+      if anchored then Bitset.remove init_unanch.(z.Mfsa.init_of.(j)) j)
+    z.Mfsa.anchored_start;
   {
     z;
     trans_by_sym = Array.map Vec.to_array by_sym;
+    csr_off;
+    csr_tr;
     anchored_end_mask;
     any_end_anchor = not (Bitset.is_empty anchored_end_mask);
+    init_all = z.Mfsa.init_sets;
+    init_unanch;
   }
 
 let mfsa t = t.z
 
-(* Per-state initial sets, split by anchoring: at position 0 every FSA
-   may start; afterwards only the unanchored ones. *)
-let init_tables t =
-  let z = t.z in
-  let unanch = Array.init z.Mfsa.n_states (fun q -> Bitset.copy z.Mfsa.init_sets.(q)) in
-  Array.iteri
-    (fun j anchored ->
-      if anchored then Bitset.remove unanch.(z.Mfsa.init_of.(j)) j)
-    z.Mfsa.anchored_start;
-  (z.Mfsa.init_sets, unanch)
+let csr t = (t.csr_off, t.csr_tr)
+
+let init_tables t = (t.init_all, t.init_unanch)
 
 (* Engine core. [on_match] receives each (fsa, end position) pair
    exactly once, end positions in increasing order. [track] switches

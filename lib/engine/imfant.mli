@@ -81,3 +81,21 @@ val reset : session -> unit
 
 val position : session -> int
 (** Bytes consumed so far. *)
+
+(** {2 Compiled tables}
+
+    Read-only views into the compiled representation, consumed by the
+    lazy-DFA engine ({!Hybrid}) whose cache-miss path simulates the
+    MFSA one configuration at a time. *)
+
+val csr : t -> int array * int array
+(** [(off, tr)]: row-indexed CSR over (state, byte) cells. The
+    transitions leaving state [q] on byte [c] are
+    [tr.(off.(q*256+c)) .. tr.(off.(q*256+c+1) - 1)], in transition
+    order. [off] has length [n_states*256 + 1]. Must not be
+    mutated. *)
+
+val init_tables : t -> Mfsa_util.Bitset.t array * Mfsa_util.Bitset.t array
+(** [(init_all, init_unanch)]: per-state initial FSA sets at position
+    0 and at positions > 0 (start-anchored FSAs removed). Built once
+    by {!compile}; must not be mutated. *)

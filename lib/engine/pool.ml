@@ -6,7 +6,8 @@ type 'a result = {
 
 let available_parallelism () = Domain.recommended_domain_count ()
 
-let now () = Unix.gettimeofday ()
+(* Monotonic: NTP steps must not skew job_times/makespan. *)
+let now () = Mfsa_util.Clock.now ()
 
 let run ~threads ~jobs =
   if threads < 1 then invalid_arg "Pool.run: need at least one thread";

@@ -51,17 +51,30 @@ type stats = {
   compactions : int;  (** Compaction passes run so far. *)
 }
 
+type engine_kind = [ `Imfant | `Hybrid ]
+(** Execution engine compiled for every generation: the
+    transition-centric {!Mfsa_engine.Imfant} (default) or the lazy-DFA
+    {!Mfsa_engine.Hybrid}. Matching semantics are identical; see the
+    engines' documentation for the performance trade-off. *)
+
 val create :
-  ?strategy:Mfsa_model.Merge.strategy -> ?gc_threshold:float -> unit -> t
+  ?strategy:Mfsa_model.Merge.strategy ->
+  ?gc_threshold:float ->
+  ?engine:engine_kind ->
+  unit ->
+  t
 (** Empty live ruleset at generation 0. [strategy] (default greedy)
     seeds every merge; [gc_threshold] (default 0.25) is the fraction
     of dead transitions that triggers a compaction pass after a
     removal — 0 compacts on every removal, 1 (almost) never.
+    [engine] (default [`Imfant]) selects the execution engine used by
+    every snapshot.
     @raise Invalid_argument if [gc_threshold] is outside [\[0, 1\]]. *)
 
 val of_rules :
   ?strategy:Mfsa_model.Merge.strategy ->
   ?gc_threshold:float ->
+  ?engine:engine_kind ->
   string array ->
   (t, Mfsa_core.Pipeline.error) result
 (** Bulk initial load: rule [i] of the array gets id [i]. Equivalent

@@ -1,0 +1,8 @@
+external now : unit -> (float[@unboxed])
+  = "mfsa_clock_monotonic_bytecode" "mfsa_clock_monotonic_native"
+[@@noalloc]
+
+let elapsed f =
+  let t0 = now () in
+  let r = f () in
+  (now () -. t0, r)

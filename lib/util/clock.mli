@@ -1,0 +1,14 @@
+(** Monotonic time for benchmarks and job timing.
+
+    [Unix.gettimeofday] is wall-clock time: NTP steps and manual
+    clock changes move it, skewing measured durations. {!now} reads
+    [CLOCK_MONOTONIC] (via a tiny C stub — OCaml 5.1's [Unix] has no
+    [clock_gettime]), which only ever advances. The absolute value is
+    meaningless; only differences are. *)
+
+val now : unit -> float
+(** Monotonic seconds since an arbitrary fixed point. *)
+
+val elapsed : (unit -> 'a) -> float * 'a
+(** [elapsed f] runs [f] and returns its monotonic duration and
+    result. *)

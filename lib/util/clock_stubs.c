@@ -1,0 +1,23 @@
+/* Monotonic wall-clock for the timing substrate.
+ *
+ * OCaml 5.1's Unix library exposes gettimeofday only, which follows
+ * NTP steps and manual clock changes; job timings and makespans need
+ * CLOCK_MONOTONIC. The stub returns seconds as an unboxed double so
+ * the fast path allocates nothing. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+double mfsa_clock_monotonic_native(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double) ts.tv_sec + (double) ts.tv_nsec * 1e-9;
+}
+
+CAMLprim value mfsa_clock_monotonic_bytecode(value unit)
+{
+  return caml_copy_double(mfsa_clock_monotonic_native(unit));
+}

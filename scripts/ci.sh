@@ -16,3 +16,14 @@ dune runtest
 echo "== live-update bench (smoke) =="
 MFSA_SCALE="${MFSA_SCALE:-0.1}" MFSA_REPS="${MFSA_REPS:-2}" \
   dune exec bench/main.exe -- live-update
+
+echo "== engine-compare (smoke) =="
+out=$(MFSA_SCALE="${MFSA_SCALE:-0.1}" MFSA_STREAM_KB="${MFSA_STREAM_KB:-32}" \
+  MFSA_REPS="${MFSA_REPS:-2}" dune exec bench/main.exe -- engine-compare)
+printf '%s\n' "$out"
+# The hybrid engine must report exactly iMFAnt's matches on every
+# dataset; rows that disagree are marked DIVERGED by the experiment.
+if printf '%s' "$out" | grep -q DIVERGED; then
+  echo "ci: hybrid engine match counts diverged from iMFAnt" >&2
+  exit 1
+fi

@@ -107,8 +107,18 @@ Alternative engines must agree with iMFAnt on counts:
   rule 0.1  hello there                              1 matches
   rule 0.2  he(l|n)p                                 2 matches
 
+  $ mfsa-match ruleset.anml stream.bin --engine hybrid | grep -v "^total:"
+  rule 0.0  hello world                              1 matches
+  rule 0.1  hello there                              1 matches
+  rule 0.2  he(l|n)p                                 2 matches
+
+The hybrid engine's cache instrumentation (-s):
+
+  $ mfsa-match ruleset.anml stream.bin --engine hybrid -s | grep "cache hit" | sed 's/rate [0-9.]*/rate R/;s/[0-9]* configs/N configs/;s/(.*)/(...)/;s/~[0-9]* KiB/~K KiB/'
+  mfsa 0: cache hit rate R, N configs (...), ~K KiB
+
   $ mfsa-match ruleset.anml stream.bin --engine warp
-  mfsa-match: unknown engine "warp" (expected imfant, dfa or decomposed)
+  mfsa-match: unknown engine "warp" (expected imfant, hybrid, dfa or decomposed)
   [1]
 
 The COO vectors in the paper's Fig. 2 layout:

@@ -1,0 +1,282 @@
+(* Unit and property tests for the lazy-DFA hybrid engine: equivalence
+   with iMFAnt (whole-string and streaming), bounded-cache flushes and
+   the cache instrumentation. *)
+
+module P = Mfsa_frontend.Parser
+module Mfsa = Mfsa_model.Mfsa
+module Merge = Mfsa_model.Merge
+module Im = Mfsa_engine.Imfant
+module Hy = Mfsa_engine.Hybrid
+
+let check = Alcotest.check
+
+let fsa_of src =
+  Mfsa_automata.Multiplicity.fuse
+    (Mfsa_automata.Epsilon.remove
+       (Mfsa_automata.Thompson.build
+          (Mfsa_automata.Simplify.char_classes_rule
+             (Mfsa_automata.Loops.expand_rule (P.parse_exn src)))))
+
+let merge_rules rules = Merge.merge (Array.of_list (List.map fsa_of rules))
+
+let im_events l = List.map (fun e -> (e.Im.fsa, e.Im.end_pos)) l
+
+let hy_events l = List.map (fun e -> (e.Hy.fsa, e.Hy.end_pos)) l
+
+let sort = List.sort compare
+
+(* Both engines on one automaton; iMFAnt's within-position order is
+   transition order, so equality is on the sorted event lists. *)
+let check_equiv ?cache_size msg z inputs =
+  let im = Im.compile z in
+  let hy = Hy.of_imfant ?cache_size im in
+  List.iter
+    (fun input ->
+      check
+        Alcotest.(list (pair int int))
+        (Printf.sprintf "%s on %S" msg input)
+        (sort (im_events (Im.run im input)))
+        (sort (hy_events (Hy.run hy input))))
+    inputs
+
+(* ------------------------------------------------------- Equivalence *)
+
+let test_equals_imfant () =
+  check_equiv "plain"
+    (merge_rules [ "ab"; "a(b|c)*d"; "[0-9]{2}"; "b" ])
+    [ "abcbcd12ab"; ""; "ab"; "999"; "abababab"; "xyz" ]
+
+let test_anchors () =
+  check_equiv "anchors"
+    (merge_rules [ "^ab"; "ab"; "ab$"; "^ab$" ])
+    [ "abab"; "ab"; "xab"; "abx"; "" ]
+
+let test_overlapping_rules () =
+  check_equiv "overlap"
+    (merge_rules [ "a"; "aa"; "aaa"; "a+b" ])
+    [ "aaaa"; "aaab"; "baaa"; "ab" ]
+
+let test_empty_input () =
+  let hy = Hy.compile (merge_rules [ "a*"; "b" ]) in
+  check Alcotest.int "no matches on empty" 0 (List.length (Hy.run hy ""))
+
+let test_count_and_per_fsa () =
+  let z = merge_rules [ "a"; "aa" ] in
+  let im = Im.compile z in
+  let hy = Hy.of_imfant im in
+  let input = "aaa" in
+  check Alcotest.int "count" (Im.count im input) (Hy.count hy input);
+  check
+    Alcotest.(array int)
+    "per fsa" (Im.count_per_fsa im input)
+    (Hy.count_per_fsa hy input)
+
+let test_run_is_ordered () =
+  (* The hybrid's documented order: end position, then FSA id. *)
+  let hy = Hy.compile (merge_rules [ "ab"; "b"; "a" ]) in
+  let events = hy_events (Hy.run hy "abab") in
+  let by_pos =
+    List.sort
+      (fun (f1, e1) (f2, e2) ->
+        if e1 <> e2 then Int.compare e1 e2 else Int.compare f1 f2)
+      events
+  in
+  check Alcotest.(list (pair int int)) "already sorted" by_pos events
+
+let test_mfsa_accessors () =
+  let z = merge_rules [ "ab" ] in
+  let im = Im.compile z in
+  let hy = Hy.of_imfant im in
+  check Alcotest.int "same automaton" z.Mfsa.n_states (Hy.mfsa hy).Mfsa.n_states;
+  check Alcotest.int "wrapped imfant" z.Mfsa.n_states
+    (Im.mfsa (Hy.imfant hy)).Mfsa.n_states
+
+(* ----------------------------------------------------- Bounded cache *)
+
+let test_rejects_bad_cache_size () =
+  Alcotest.check_raises "zero cache"
+    (Invalid_argument "Hybrid.of_imfant: cache_size < 1") (fun () ->
+      ignore (Hy.compile ~cache_size:0 (merge_rules [ "a" ])))
+
+(* A 2-entry cache on a ruleset whose configuration space is much
+   larger: correctness must survive constant flushing. *)
+let test_tiny_cache_still_matches () =
+  let z = merge_rules [ "a+b"; "a(b|c)*d"; "[ab]{3}"; "ab$"; "^a" ] in
+  let input = "aabacbdabcabdaaabbbacd" in
+  let im = Im.compile z in
+  let hy = Hy.of_imfant ~cache_size:2 im in
+  (* Several passes: flushes must not corrupt later runs either. *)
+  for _ = 1 to 3 do
+    check
+      Alcotest.(list (pair int int))
+      "tiny cache equals imfant"
+      (sort (im_events (Im.run im input)))
+      (sort (hy_events (Hy.run hy input)))
+  done;
+  let s = Hy.stats hy in
+  check Alcotest.bool "flushes happened" true (s.Hy.flushes > 0);
+  check Alcotest.bool "dynamic configs bounded" true
+    (s.Hy.resident_configs <= 2 + 2)
+
+let test_stats () =
+  let z = merge_rules [ "abc" ] in
+  let hy = Hy.compile z in
+  let input = "abcabcabc" in
+  ignore (Hy.run hy input);
+  let s1 = Hy.stats hy in
+  check Alcotest.int "steps = bytes" (String.length input) s1.Hy.steps;
+  check Alcotest.int "hits + misses = steps" s1.Hy.steps
+    (s1.Hy.hits + s1.Hy.misses);
+  check Alcotest.bool "interned something" true (s1.Hy.configs_interned > 0);
+  check Alcotest.bool "resident includes builtins" true
+    (s1.Hy.resident_configs >= 2);
+  check Alcotest.bool "bytes positive" true (s1.Hy.cache_bytes > 0);
+  (* Second identical pass over a warm cache: all hits. *)
+  Hy.reset_stats hy;
+  ignore (Hy.run hy input);
+  let s2 = Hy.stats hy in
+  check Alcotest.int "warm pass misses" 0 s2.Hy.misses;
+  check Alcotest.int "warm pass hits" s2.Hy.steps s2.Hy.hits;
+  check Alcotest.int "warm pass interns nothing" 0 s2.Hy.configs_interned
+
+(* -------------------------------------------------------- Streaming *)
+
+let hy_chunked hy chunks =
+  let s = Hy.session hy in
+  let fed = List.concat_map (fun c -> Hy.feed s c) chunks in
+  let flushed = Hy.finish s in
+  hy_events (fed @ flushed)
+
+let test_stream_equals_whole () =
+  let hy = Hy.compile (merge_rules [ "hello"; "lo wo" ]) in
+  let whole = hy_events (Hy.run hy "say hello world") in
+  check Alcotest.(list (pair int int)) "split mid-match" (sort whole)
+    (sort (hy_chunked hy [ "say hel"; "lo wor"; "ld" ]));
+  check Alcotest.(list (pair int int)) "byte at a time" (sort whole)
+    (sort
+       (hy_chunked hy
+          (List.init 15 (String.sub "say hello world" |> fun f i -> f i 1))))
+
+let test_stream_end_anchored () =
+  let hy = Hy.compile (merge_rules [ "ab$" ]) in
+  let s = Hy.session hy in
+  check Alcotest.(list (pair int int)) "no mid-stream report" []
+    (hy_events (Hy.feed s "abab"));
+  check Alcotest.(list (pair int int)) "flushed at finish" [ (0, 4) ]
+    (hy_events (Hy.finish s));
+  let s = Hy.session hy in
+  ignore (Hy.feed s "ab");
+  ignore (Hy.feed s "x");
+  check Alcotest.(list (pair int int)) "invalidated by continuation" []
+    (hy_events (Hy.finish s))
+
+let test_stream_start_anchor_respects_position () =
+  (* ^ab must fire only when the stream starts with it, regardless of
+     chunking — position 0 is a property of the stream, not the
+     chunk. *)
+  let hy = Hy.compile (merge_rules [ "^ab" ]) in
+  let s = Hy.session hy in
+  (* Bind in order: [@] would evaluate the second feed first. *)
+  let fst_chunk = Hy.feed s "a" in
+  let snd_chunk = Hy.feed s "b" in
+  check Alcotest.(list (pair int int)) "first chunk matches" [ (0, 2) ]
+    (hy_events (fst_chunk @ snd_chunk));
+  check Alcotest.(list (pair int int)) "later ab does not" []
+    (hy_events (Hy.feed s "ab"));
+  Hy.reset s;
+  check Alcotest.int "position reset" 0 (Hy.position s);
+  check Alcotest.(list (pair int int)) "fresh stream matches again" [ (0, 2) ]
+    (hy_events (Hy.feed s "abx"))
+
+(* ------------------------------------------------------- Properties *)
+
+let build_ruleset rules =
+  Merge.merge
+    (Array.of_list
+       (List.map
+          (fun r ->
+            Mfsa_automata.Multiplicity.fuse
+              (Mfsa_automata.Epsilon.remove
+                 (Mfsa_automata.Thompson.build
+                    (Mfsa_automata.Simplify.char_classes_rule
+                       (Mfsa_automata.Loops.expand_rule r)))))
+          rules))
+
+let prop_run_equals_imfant =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"hybrid run = imfant run"
+       ~print:Gen_re.print_ruleset_input
+       QCheck2.Gen.(pair (Gen_re.ruleset ()) Gen_re.input)
+       (fun (rules, input) ->
+         let z = build_ruleset rules in
+         let im = Im.compile z in
+         let hy = Hy.of_imfant im in
+         sort (im_events (Im.run im input)) = sort (hy_events (Hy.run hy input))))
+
+let prop_tiny_cache_equals_imfant =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100
+       ~name:"hybrid (cache_size=2, constant flushing) = imfant"
+       ~print:Gen_re.print_ruleset_input
+       QCheck2.Gen.(pair (Gen_re.ruleset ()) Gen_re.input)
+       (fun (rules, input) ->
+         let z = build_ruleset rules in
+         let im = Im.compile z in
+         let hy = Hy.of_imfant ~cache_size:2 im in
+         sort (im_events (Im.run im input)) = sort (hy_events (Hy.run hy input))))
+
+let prop_chunked_stream_equals_imfant =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100
+       ~name:"hybrid chunked stream = imfant whole-string run"
+       ~print:Gen_re.print_ruleset_input
+       QCheck2.Gen.(pair (Gen_re.ruleset ()) Gen_re.input)
+       (fun (rules, input) ->
+         let z = build_ruleset rules in
+         let im = Im.compile z in
+         let hy = Hy.of_imfant im in
+         let whole = sort (im_events (Im.run im input)) in
+         let n = String.length input in
+         let cut a b = String.sub input a (b - a) in
+         let chunks =
+           [ cut 0 (n / 3); cut (n / 3) (2 * n / 3); cut (2 * n / 3) n ]
+         in
+         sort (hy_chunked hy chunks) = whole))
+
+let () =
+  Alcotest.run "hybrid"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "equals imfant" `Quick test_equals_imfant;
+          Alcotest.test_case "per-FSA anchors" `Quick test_anchors;
+          Alcotest.test_case "overlapping rules" `Quick test_overlapping_rules;
+          Alcotest.test_case "empty input" `Quick test_empty_input;
+          Alcotest.test_case "count and per-fsa" `Quick test_count_and_per_fsa;
+          Alcotest.test_case "event ordering" `Quick test_run_is_ordered;
+          Alcotest.test_case "accessors" `Quick test_mfsa_accessors;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "rejects bad cache size" `Quick
+            test_rejects_bad_cache_size;
+          Alcotest.test_case "2-entry cache survives flushes" `Quick
+            test_tiny_cache_still_matches;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "chunking equals whole" `Quick
+            test_stream_equals_whole;
+          Alcotest.test_case "end-anchored at finish" `Quick
+            test_stream_end_anchored;
+          Alcotest.test_case "start anchor and reset" `Quick
+            test_stream_start_anchor_respects_position;
+        ] );
+      ( "properties",
+        [
+          prop_run_equals_imfant;
+          prop_tiny_cache_equals_imfant;
+          prop_chunked_stream_equals_imfant;
+        ] );
+    ]

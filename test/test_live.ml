@@ -353,6 +353,36 @@ let test_session_on_empty_ruleset () =
     [ (0, 6) ]
     (pair_events (feed_all s [ "abc"; "def" ]))
 
+(* ----------------------------------------------- Engine selection *)
+
+let test_live_hybrid_engine () =
+  let rules = [| "hello world"; "he(l|n)p"; "lo w" |] in
+  let mk engine = Result.get_ok (Live.of_rules ~engine rules) in
+  let li = mk `Imfant in
+  let lh = mk `Hybrid in
+  let input = "say hello world and ask for help" in
+  check
+    Alcotest.(list (pair int int))
+    "hybrid run = imfant run"
+    (pair_events (Live.run li input))
+    (pair_events (Live.run lh input));
+  assert_anchor lh input;
+  (* Updates keep the engine choice: the new generation's snapshot
+     matches identically. *)
+  ignore (Live.add_rule_exn lh "wor+ld");
+  assert_anchor lh input;
+  ignore (Live.remove_rule lh 0);
+  assert_anchor lh input;
+  (* Streaming through the hybrid-backed session. *)
+  let s = Live.session lh in
+  let fed = pair_events (feed_all s [ "say hello wo"; "rld and ask for help" ]) in
+  let flushed = pair_events (Live.finish s) in
+  check
+    Alcotest.(list (pair int int))
+    "hybrid streaming = whole-string run"
+    (sorted (pair_events (Live.run lh input)))
+    (sorted (fed @ flushed))
+
 (* ------------------------------------------------- Property tests *)
 
 (* Apply a random interleaving of adds and removes driven by [moves]:
@@ -488,6 +518,8 @@ let () =
           Alcotest.test_case "generation swap on reset" `Quick
             test_session_generation_swap;
           Alcotest.test_case "empty ruleset" `Quick test_session_on_empty_ruleset;
+          Alcotest.test_case "hybrid engine selection" `Quick
+            test_live_hybrid_engine;
         ] );
       ( "properties",
         [
