@@ -59,8 +59,11 @@ let mk_row cfg =
    start-anchored FSAs); row 1 is the dead configuration (empty,
    reached mid-stream). Both are empty as (state, set) maps but step
    differently, so they get distinct permanent ids; only the dead one
-   is registered in the intern table. *)
+   is registered in the intern table. [seed] rebuilds both after a
+   flush, so these two ids are the only ones stable across flushes. *)
 let start_id = 0
+
+let dead_id = 1
 
 type t = {
   im : Imfant.t;
@@ -89,6 +92,10 @@ type t = {
   src_scratch : Bitset.t;
   tr_scratch : Bitset.t;
   match_acc : Bitset.t;
+  mutable epoch : int;
+      (* Bumped by every flush. Row ids > dead_id minted before the
+         current epoch index a dropped rows array; sessions compare
+         epochs to know when to re-intern their configuration. *)
   mutable gen : int;
   (* Counters. *)
   mutable steps : int;
@@ -153,6 +160,7 @@ let of_imfant ?(cache_size = 4096) im =
       src_scratch = Bitset.create nf;
       tr_scratch = Bitset.create nf;
       match_acc = Bitset.create nf;
+      epoch = 0;
       gen = 0;
       steps = 0;
       hits = 0;
@@ -174,6 +182,7 @@ let flush t =
   Tbl.reset t.tbl;
   t.rows <- Array.make 16 (mk_row empty_cfg);
   seed t;
+  t.epoch <- t.epoch + 1;
   t.flushes <- t.flushes + 1
 
 let intern t cfg =
@@ -352,24 +361,55 @@ let reset_stats t =
 type session = {
   eng : t;
   mutable cur : int;
+  mutable cur_cfg : config;
+      (* The configuration [cur] names. Row ids do not survive a
+         flush, so the session keeps the (immutable) configuration
+         itself as the durable handle and re-interns it when the
+         engine's flush epoch has moved. *)
+  mutable epoch : int;
+      (* Engine epoch [cur] was minted in. *)
   mutable pos : int;
   mutable pending_end : int list;
       (* end-anchored FSAs matched exactly at [pos]; flushed by
          [finish], discarded whenever the stream continues *)
 }
 
-let session eng = { eng; cur = start_id; pos = 0; pending_end = [] }
+let session eng =
+  {
+    eng;
+    cur = start_id;
+    cur_cfg = empty_cfg;
+    epoch = eng.epoch;
+    pos = 0;
+    pending_end = [];
+  }
 
 let reset s =
   s.cur <- start_id;
+  s.cur_cfg <- empty_cfg;
+  s.epoch <- s.eng.epoch;
   s.pos <- 0;
   s.pending_end <- []
 
 let position s = s.pos
 
+(* Concurrent sessions share one cache: a flush forced by any of them
+   (or by a [run] on the same engine) invalidates every outstanding
+   row id except the seeded start/dead pair. Re-intern the session's
+   configuration before touching [t.rows] again. The intern may
+   itself flush a full cache; the id it returns is always valid in
+   the rows array it leaves behind. *)
+let revalidate s =
+  let t = s.eng in
+  if s.epoch <> t.epoch then begin
+    if s.cur > dead_id then s.cur <- fst (intern t s.cur_cfg);
+    s.epoch <- t.epoch
+  end
+
 let feed s chunk =
   let t = s.eng in
   let z = t.z in
+  revalidate s;
   let acc = ref [] in
   String.iter
     (fun ch ->
@@ -385,8 +425,12 @@ let feed s chunk =
         else acc := { fsa = j; end_pos = s.pos + 1 } :: !acc
       done;
       s.cur <- nxt;
+      s.cur_cfg <- t.rows.(nxt).cfg;
       s.pos <- s.pos + 1)
     chunk;
+  (* A miss inside this chunk may have flushed; the ids we minted
+     afterwards are current, so resync rather than re-intern. *)
+  s.epoch <- t.epoch;
   List.rev !acc
 
 let finish s =

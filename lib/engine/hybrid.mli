@@ -59,7 +59,9 @@ type stats = {
 
 val compile : ?cache_size:int -> Mfsa_model.Mfsa.t -> t
 (** [cache_size] bounds the number of {e dynamically} interned
-    configurations (default 4096); passing it the cache flushes.
+    configurations (default 4096); when interning would exceed the
+    bound, the whole cache is flushed and rebuilt from scratch
+    (RE2-style eviction), so correctness never depends on the bound.
     @raise Invalid_argument if [cache_size < 1]. *)
 
 val of_imfant : ?cache_size:int -> Imfant.t -> t
@@ -91,7 +93,10 @@ val count_per_fsa : t -> string -> int array
     global stream offsets, end-anchored rules report at {!finish}.
     Sessions share their engine's cache — concurrent sessions on one
     engine are fine within a single domain and make the cache warmer
-    for each other. *)
+    for each other. A cache flush forced by one session (or by a
+    [run] on the same engine) does not disturb the others: each
+    session keeps its current configuration and re-interns it after
+    a flush, at the cost of one extra cache insertion. *)
 
 type session
 

@@ -7,13 +7,14 @@ type t = {
   z : Mfsa.t;
   trans_by_sym : int array array;
       (* [trans_by_sym.(c)] = transition indices enabled by byte c. *)
-  csr_off : int array;
-      (* Row-indexed CSR over (state, byte) cells: the transitions
-         leaving state q on byte c are
-         [csr_tr.(csr_off.(q*256+c) .. csr_off.(q*256+c+1)-1)].
-         Length n_states*256+1. The hybrid engine's miss path walks
-         only the active states' outgoing arcs through this. *)
-  csr_tr : int array;
+  csr : (int array * int array) Lazy.t;
+      (* Row-indexed CSR (off, tr) over (state, byte) cells: the
+         transitions leaving state q on byte c are
+         [tr.(off.(q*256+c) .. off.(q*256+c+1)-1)]; [off] has length
+         n_states*256+1. Only the hybrid engine's miss path reads it,
+         and the offset array alone costs ~2 KiB per state, so it is
+         built on first force — imfant-only users (notably Live,
+         which recompiles an engine per generation) never pay it. *)
   anchored_end_mask : Bitset.t;
       (* FSAs whose matches may only end at end-of-input. *)
   any_end_anchor : bool;
@@ -36,32 +37,36 @@ let compile (z : Mfsa.t) =
     z.Mfsa.idx;
   (* CSR by (source state, byte): counting sort of the same entries
      trans_by_sym holds, keyed by row(t)*256+c instead of c. *)
-  let n_cells = z.Mfsa.n_states * 256 in
-  let csr_off = Array.make (n_cells + 1) 0 in
-  Array.iteri
-    (fun t cls ->
-      let base = z.Mfsa.row.(t) * 256 in
-      Charclass.iter
-        (fun c ->
-          let cell = base + Char.code c in
-          csr_off.(cell + 1) <- csr_off.(cell + 1) + 1)
-        cls)
-    z.Mfsa.idx;
-  for cell = 0 to n_cells - 1 do
-    csr_off.(cell + 1) <- csr_off.(cell + 1) + csr_off.(cell)
-  done;
-  let csr_tr = Array.make csr_off.(n_cells) 0 in
-  let cursor = Array.copy csr_off in
-  Array.iteri
-    (fun t cls ->
-      let base = z.Mfsa.row.(t) * 256 in
-      Charclass.iter
-        (fun c ->
-          let cell = base + Char.code c in
-          csr_tr.(cursor.(cell)) <- t;
-          cursor.(cell) <- cursor.(cell) + 1)
-        cls)
-    z.Mfsa.idx;
+  let csr =
+    lazy
+      (let n_cells = z.Mfsa.n_states * 256 in
+       let csr_off = Array.make (n_cells + 1) 0 in
+       Array.iteri
+         (fun t cls ->
+           let base = z.Mfsa.row.(t) * 256 in
+           Charclass.iter
+             (fun c ->
+               let cell = base + Char.code c in
+               csr_off.(cell + 1) <- csr_off.(cell + 1) + 1)
+             cls)
+         z.Mfsa.idx;
+       for cell = 0 to n_cells - 1 do
+         csr_off.(cell + 1) <- csr_off.(cell + 1) + csr_off.(cell)
+       done;
+       let csr_tr = Array.make csr_off.(n_cells) 0 in
+       let cursor = Array.copy csr_off in
+       Array.iteri
+         (fun t cls ->
+           let base = z.Mfsa.row.(t) * 256 in
+           Charclass.iter
+             (fun c ->
+               let cell = base + Char.code c in
+               csr_tr.(cursor.(cell)) <- t;
+               cursor.(cell) <- cursor.(cell) + 1)
+             cls)
+         z.Mfsa.idx;
+       (csr_off, csr_tr))
+  in
   let anchored_end_mask = Bitset.create z.Mfsa.n_fsas in
   Array.iteri
     (fun j anchored -> if anchored then Bitset.add anchored_end_mask j)
@@ -80,8 +85,7 @@ let compile (z : Mfsa.t) =
   {
     z;
     trans_by_sym = Array.map Vec.to_array by_sym;
-    csr_off;
-    csr_tr;
+    csr;
     anchored_end_mask;
     any_end_anchor = not (Bitset.is_empty anchored_end_mask);
     init_all = z.Mfsa.init_sets;
@@ -90,7 +94,7 @@ let compile (z : Mfsa.t) =
 
 let mfsa t = t.z
 
-let csr t = (t.csr_off, t.csr_tr)
+let csr t = Lazy.force t.csr
 
 let init_tables t = (t.init_all, t.init_unanch)
 

@@ -92,8 +92,10 @@ val csr : t -> int array * int array
 (** [(off, tr)]: row-indexed CSR over (state, byte) cells. The
     transitions leaving state [q] on byte [c] are
     [tr.(off.(q*256+c)) .. tr.(off.(q*256+c+1) - 1)], in transition
-    order. [off] has length [n_states*256 + 1]. Must not be
-    mutated. *)
+    order. [off] has length [n_states*256 + 1]. Built lazily on the
+    first call ({!Hybrid.of_imfant} forces it) — the offset array
+    alone is ~2 KiB per state, which imfant-only users should not
+    pay. Must not be mutated. *)
 
 val init_tables : t -> Mfsa_util.Bitset.t array * Mfsa_util.Bitset.t array
 (** [(init_all, init_unanch)]: per-state initial FSA sets at position

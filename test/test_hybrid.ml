@@ -188,6 +188,41 @@ let test_stream_start_anchor_respects_position () =
   check Alcotest.(list (pair int int)) "fresh stream matches again" [ (0, 2) ]
     (hy_events (Hy.feed s "abx"))
 
+(* Concurrent sessions share one cache: a flush forced by either one
+   (or by a whole-string [run] on the same engine) must not leave the
+   other's state dangling on the rebuilt rows array. A 2-entry cache
+   makes flushes constant; the interleaving makes every one of them
+   land between another session's steps. *)
+let test_concurrent_sessions_survive_flushes () =
+  let z = merge_rules [ "a+b"; "a(b|c)*d"; "[ab]{3}"; "ab$"; "^a" ] in
+  let im = Im.compile z in
+  let hy = Hy.of_imfant ~cache_size:2 im in
+  let in1 = "aabacbdabcabdaaabbbacd" in
+  let in2 = "abbbcadacdabbaacdbbbaaab" in
+  let s1 = Hy.session hy and s2 = Hy.session hy in
+  let acc1 = ref [] and acc2 = ref [] in
+  for i = 0 to max (String.length in1) (String.length in2) - 1 do
+    if i < String.length in1 then
+      acc1 := List.rev_append (Hy.feed s1 (String.make 1 in1.[i])) !acc1;
+    if i < String.length in2 then
+      acc2 := List.rev_append (Hy.feed s2 (String.make 1 in2.[i])) !acc2;
+    (* Churn the shared cache from outside both sessions too. *)
+    if i mod 5 = 0 then ignore (Hy.run hy "acdbab")
+  done;
+  let ev1 = hy_events (List.rev !acc1 @ Hy.finish s1) in
+  let ev2 = hy_events (List.rev !acc2 @ Hy.finish s2) in
+  check
+    Alcotest.(list (pair int int))
+    "session 1 survives foreign flushes"
+    (sort (im_events (Im.run im in1)))
+    (sort ev1);
+  check
+    Alcotest.(list (pair int int))
+    "session 2 survives foreign flushes"
+    (sort (im_events (Im.run im in2)))
+    (sort ev2);
+  check Alcotest.bool "flushes happened" true ((Hy.stats hy).Hy.flushes > 0)
+
 (* ------------------------------------------------------- Properties *)
 
 let build_ruleset rules =
@@ -243,6 +278,32 @@ let prop_chunked_stream_equals_imfant =
          in
          sort (hy_chunked hy chunks) = whole))
 
+let prop_interleaved_sessions_tiny_cache =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100
+       ~name:"two interleaved sessions, one cache_size=2 engine = imfant"
+       ~print:(fun (rules, (in1, in2)) ->
+         Printf.sprintf "%s input2=%S"
+           (Gen_re.print_ruleset_input (rules, in1))
+           in2)
+       QCheck2.Gen.(pair (Gen_re.ruleset ()) (pair Gen_re.input Gen_re.input))
+       (fun (rules, (in1, in2)) ->
+         let z = build_ruleset rules in
+         let im = Im.compile z in
+         let hy = Hy.of_imfant ~cache_size:2 im in
+         let s1 = Hy.session hy and s2 = Hy.session hy in
+         let acc1 = ref [] and acc2 = ref [] in
+         for i = 0 to max (String.length in1) (String.length in2) - 1 do
+           if i < String.length in1 then
+             acc1 := List.rev_append (Hy.feed s1 (String.make 1 in1.[i])) !acc1;
+           if i < String.length in2 then
+             acc2 := List.rev_append (Hy.feed s2 (String.make 1 in2.[i])) !acc2
+         done;
+         sort (hy_events (List.rev !acc1 @ Hy.finish s1))
+         = sort (im_events (Im.run im in1))
+         && sort (hy_events (List.rev !acc2 @ Hy.finish s2))
+            = sort (im_events (Im.run im in2))))
+
 let () =
   Alcotest.run "hybrid"
     [
@@ -272,11 +333,14 @@ let () =
             test_stream_end_anchored;
           Alcotest.test_case "start anchor and reset" `Quick
             test_stream_start_anchor_respects_position;
+          Alcotest.test_case "concurrent sessions survive flushes" `Quick
+            test_concurrent_sessions_survive_flushes;
         ] );
       ( "properties",
         [
           prop_run_equals_imfant;
           prop_tiny_cache_equals_imfant;
           prop_chunked_stream_equals_imfant;
+          prop_interleaved_sessions_tiny_cache;
         ] );
     ]
