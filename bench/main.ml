@@ -14,8 +14,16 @@
      scheduler projection).
 
    - `dune exec bench/main.exe -- json`: runs the engine comparison
-     and writes BENCH_engines.json (dataset, engine, throughput,
-     cache hit rate) for machine consumption. *)
+     and the serving benchmark and writes BENCH_engines.json and
+     BENCH_serve.json for machine consumption.
+
+   - `dune exec bench/main.exe -- serve-check`: CI smoke gate — a
+     2-domain Serve pool over the BRO ruleset must agree
+     byte-for-byte with direct sequential execution.
+
+   All modes accept `-e/--engine NAME` (the same flag as mfsa-match
+   and mfsa-live) to pick the registry engine under test; `-e help`
+   lists the registered names. *)
 
 module E = Mfsa_core.Experiments
 module Pipeline = Mfsa_core.Pipeline
@@ -29,6 +37,10 @@ module Schedule = Mfsa_engine.Schedule
 module Indel = Mfsa_util.Indel
 module Report = Mfsa_core.Report
 module Live = Mfsa_live.Live
+module Registry = Mfsa_engine.Registry
+module Engine_sig = Mfsa_engine.Engine_sig
+module Pool = Mfsa_engine.Pool
+module Serve = Mfsa_serve.Serve
 
 (* ------------------------------------------------------- Bechamel *)
 
@@ -230,10 +242,139 @@ let live_update cfg =
      compaction pass after the removals.\n";
   Buffer.contents buf
 
+(* ------------------------------------------------------ Serving *)
+
+type serve_row = {
+  sr_dataset : string;
+  sr_engine : string;
+  sr_domains : int;
+  sr_inputs : int;
+  sr_bytes : int;
+  sr_seq_mbps : float;
+  sr_par_mbps : float;
+  sr_queue_hwm : int;
+  sr_queue_capacity : int;
+  sr_utilisation : float array;
+  sr_agree : bool;
+}
+
+(* One batch of independent inputs per dataset, sharded across the
+   worker domains. A single-domain service over the same engine is the
+   sequential baseline, and both services must reproduce the results
+   of running the engine directly, input by input — submission-order
+   aggregation makes the comparison exact, not statistical. *)
+let serve_measurements ~engine cfg =
+  let n_domains = max 2 (Pool.available_parallelism ()) in
+  List.map
+    (fun ds ->
+      let fsas = Result.get_ok (Pipeline.build_fsas ds.Datasets.rules) in
+      let z = Merge.merge fsas in
+      let n_inputs = 4 * n_domains in
+      let seg = max 1024 (cfg.E.stream_kb * 1024 / n_inputs) in
+      let inputs =
+        Array.init n_inputs (fun i ->
+            Stream_gen.generate ~seed:(41 + i) ~size:seg ds.Datasets.rules)
+      in
+      let reference =
+        let eng = Registry.compile_exn engine z in
+        Array.map (Engine_sig.run eng) inputs
+      in
+      let run_service domains =
+        let srv = Serve.create ~engine ~domains z in
+        let results = ref [||] in
+        for _ = 1 to max 1 cfg.E.reps do
+          results := Serve.match_batch srv inputs
+        done;
+        let st = Serve.stats srv in
+        Serve.shutdown srv;
+        (!results, st)
+      in
+      let seq_results, seq_stats = run_service 1 in
+      let par_results, par_stats = run_service n_domains in
+      {
+        sr_dataset = ds.Datasets.abbr;
+        sr_engine = engine;
+        sr_domains = n_domains;
+        sr_inputs = n_inputs;
+        sr_bytes = Array.fold_left (fun a s -> a + String.length s) 0 inputs;
+        sr_seq_mbps = Serve.throughput_mbps seq_stats;
+        sr_par_mbps = Serve.throughput_mbps par_stats;
+        sr_queue_hwm = par_stats.Serve.queue_hwm;
+        sr_queue_capacity = par_stats.Serve.queue_capacity;
+        sr_utilisation = Serve.utilisation par_stats;
+        sr_agree = seq_results = reference && par_results = reference;
+      })
+    (Datasets.all ~scale:cfg.E.scale ())
+
+let mean a =
+  if Array.length a = 0 then 0.
+  else Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let serve_bench ~engine cfg =
+  let rows = serve_measurements ~engine cfg in
+  let n_domains = match rows with r :: _ -> r.sr_domains | [] -> 0 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Domain-parallel serving: %s engine, 1 domain vs %d domains (M=all)\n\n"
+       engine n_domains);
+  Buffer.add_string buf
+    (Report.table
+       ~header:
+         [
+           "dataset"; "inputs"; "MB"; "1-dom MB/s"; "N-dom MB/s"; "speedup";
+           "queue hwm"; "mean util"; "agree";
+         ]
+       (List.map
+          (fun r ->
+            [
+              r.sr_dataset;
+              string_of_int r.sr_inputs;
+              Printf.sprintf "%.1f" (float_of_int r.sr_bytes /. 1e6);
+              Printf.sprintf "%.1f" r.sr_seq_mbps;
+              Printf.sprintf "%.1f" r.sr_par_mbps;
+              Printf.sprintf "%.2fx"
+                (if r.sr_seq_mbps > 0. then r.sr_par_mbps /. r.sr_seq_mbps
+                 else 0.);
+              Printf.sprintf "%d/%d" r.sr_queue_hwm r.sr_queue_capacity;
+              Printf.sprintf "%.2f" (mean r.sr_utilisation);
+              (if r.sr_agree then "ok" else "DIVERGED");
+            ])
+          rows));
+  Buffer.add_string buf
+    "\n1-dom / N-dom: the same Serve pool with one worker domain vs all\n\
+     available; agree: both reproduce direct sequential execution of the\n\
+     engine byte-for-byte.\n";
+  Buffer.contents buf
+
+(* CI smoke gate: a 2-domain service over the BRO ruleset must agree
+   byte-for-byte with running the engine directly on every input.
+   Exits 1 on divergence (the DIVERGED marker is also grepped by
+   scripts/ci.sh). *)
+let serve_check ~engine () =
+  let ds = Datasets.bro217 ~scale:0.25 () in
+  let fsas = Result.get_ok (Pipeline.build_fsas ds.Datasets.rules) in
+  let z = Merge.merge fsas in
+  let inputs =
+    Array.init 8 (fun i ->
+        Stream_gen.generate ~seed:(11 + i) ~size:8192 ds.Datasets.rules)
+  in
+  let eng = Registry.compile_exn engine z in
+  let reference = Array.map (Engine_sig.run eng) inputs in
+  let srv = Serve.create ~engine ~domains:2 z in
+  let got = Serve.match_batch srv inputs in
+  let hwm = (Serve.stats srv).Serve.queue_hwm in
+  Serve.shutdown srv;
+  let ok = got = reference in
+  Printf.printf "serve-check %s (BRO, 2 domains, %d inputs, queue hwm %d): %s\n"
+    engine (Array.length inputs) hwm
+    (if ok then "AGREE" else "DIVERGED");
+  if not ok then exit 1
+
 (* -------------------------------------------------- JSON export *)
 
-let write_engines_json cfg =
-  let rows = E.engine_rows cfg in
+let write_engines_json ?engines cfg =
+  let rows = E.engine_rows ?engines cfg in
   let path = "BENCH_engines.json" in
   let oc = open_out path in
   output_string oc "[\n";
@@ -252,9 +393,40 @@ let write_engines_json cfg =
   close_out oc;
   Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
 
+let json_float_array a =
+  "["
+  ^ String.concat ", "
+      (Array.to_list (Array.map (Printf.sprintf "%.4f") a))
+  ^ "]"
+
+let write_serve_json ~engine cfg =
+  let rows = serve_measurements ~engine cfg in
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc "[\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  {\"dataset\": %S, \"engine\": %S, \"domains\": %d, \
+         \"inputs\": %d, \"bytes\": %d, \"seq_mb_per_s\": %.3f, \
+         \"par_mb_per_s\": %.3f, \"speedup\": %.3f, \"queue_hwm\": %d, \
+         \"queue_capacity\": %d, \"utilisation\": %s, \"agree\": %b}%s\n"
+        r.sr_dataset r.sr_engine r.sr_domains r.sr_inputs r.sr_bytes
+        r.sr_seq_mbps r.sr_par_mbps
+        (if r.sr_seq_mbps > 0. then r.sr_par_mbps /. r.sr_seq_mbps else 0.)
+        r.sr_queue_hwm r.sr_queue_capacity
+        (json_float_array r.sr_utilisation)
+        r.sr_agree
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+
 (* ---------------------------------------------------- Entry point *)
 
-let experiments =
+let experiments ~engines ~engine =
   [
     ("fig1", E.fig1); ("table1", E.table1); ("fig7", E.fig7); ("fig8", E.fig8);
     ("table2", E.table2); ("fig9", E.fig9); ("fig10", E.fig10);
@@ -262,15 +434,41 @@ let experiments =
     ("ablation-cluster", E.ablation_cluster);
     ("ablation-strategy", E.ablation_strategy);
     ("ablation-bisim", E.ablation_bisim); ("baselines", E.baselines);
-    ("engine-compare", E.engine_compare);
+    ("engine-compare", fun cfg -> E.engine_compare ?engines cfg);
     ("complexity", E.complexity); ("live-update", live_update);
+    ("serve", serve_bench ~engine);
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  (* The same -e/--engine flag as mfsa-match and mfsa-live, pulled out
+     of the artefact names before dispatch. *)
+  let rec split acc engine = function
+    | [] -> (List.rev acc, engine)
+    | [ ("-e" | "--engine") ] ->
+        prerr_endline "bench: -e/--engine needs an engine name (or 'help')";
+        exit 2
+    | ("-e" | "--engine") :: v :: rest -> split acc (Some v) rest
+    | a :: rest -> split (a :: acc) engine rest
+  in
+  let args, engine_opt = split [] None (List.tl (Array.to_list Sys.argv)) in
+  (match engine_opt with
+  | Some "help" ->
+      print_string (Registry.help ());
+      exit 0
+  | Some e when Option.is_none (Registry.find e) ->
+      Printf.eprintf "bench: %s\n" (Registry.unknown_message e);
+      exit 2
+  | _ -> ());
+  let engine = Option.value ~default:"imfant" engine_opt in
+  let engines = Option.map (fun e -> [ e ]) engine_opt in
+  let experiments = experiments ~engines ~engine in
   match args with
   | [ "bechamel" ] -> run_bechamel ()
-  | [ "json" ] -> write_engines_json (E.default ())
+  | [ "json" ] ->
+      let cfg = E.default () in
+      write_engines_json ?engines cfg;
+      write_serve_json ~engine cfg
+  | [ "serve-check" ] -> serve_check ~engine ()
   | [] ->
       let cfg = E.default () in
       Printf.printf
@@ -281,6 +479,8 @@ let () =
       print_string (E.run_all cfg);
       print_newline ();
       print_string (live_update cfg);
+      print_newline ();
+      print_string (serve_bench ~engine cfg);
       print_newline ();
       run_bechamel ()
   | names ->
@@ -293,7 +493,8 @@ let () =
               print_newline ()
           | None ->
               Printf.eprintf
-                "unknown artefact %S (expected bechamel, json, %s)\n" name
+                "unknown artefact %S (expected bechamel, json, serve-check, %s)\n"
+                name
                 (String.concat ", " (List.map fst experiments));
               exit 1)
         names

@@ -1,0 +1,33 @@
+(* Shared -e/--engine flag: every CLI resolves engine names against
+   Mfsa_engine.Registry, so mfsa-match, mfsa-live and the benchmark
+   driver accept exactly the same set of names. *)
+
+module Registry = Mfsa_engine.Registry
+
+open Cmdliner
+
+let term ?(default = "imfant") () =
+  Arg.(
+    value & opt string default
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:
+          (Printf.sprintf
+             "Matching engine, by registry name (default %s). Pass $(b,help) \
+              to list the registered engines. Engines report identical match \
+              counts; they differ in execution strategy."
+             default))
+
+(* [resolve ~prog name] validates [name] against the registry.
+   [Ok name] is registered; [Error code] means this function already
+   printed (the `help` listing on stdout, or the unknown-engine
+   message on stderr) and the CLI should exit with [code]. *)
+let resolve ~prog name =
+  if name = "help" then begin
+    print_string (Registry.help ());
+    Error 0
+  end
+  else if Option.is_none (Registry.find name) then begin
+    Printf.eprintf "%s: %s\n" prog (Registry.unknown_message name);
+    Error 1
+  end
+  else Ok name

@@ -99,12 +99,15 @@ let exec st line =
          reset/compact/rules/stats)\n"
         line
 
-let run script gc_threshold rules =
+let run script gc_threshold rules engine =
+  match Engine_cli.resolve ~prog:"mfsa-live" engine with
+  | Error code -> code
+  | Ok engine -> (
   if gc_threshold < 0. || gc_threshold > 1. then (
     Printf.eprintf "mfsa-live: --gc-threshold must be within [0, 1], got %g\n"
       gc_threshold;
     exit 124);
-  match Live.of_rules ~gc_threshold (Array.of_list rules) with
+  match Live.of_rules ~engine ~gc_threshold (Array.of_list rules) with
   | Error e ->
       Printf.eprintf "mfsa-live: %s\n" (Mfsa_core.Pipeline.error_to_string e);
       1
@@ -121,7 +124,7 @@ let run script gc_threshold rules =
                if line <> "" && line.[0] <> '#' then exec st line
              done
            with End_of_file -> ());
-          0)
+          0))
 
 open Cmdliner
 
@@ -152,6 +155,6 @@ let cmd =
     (Cmd.info "mfsa-live" ~version:"1.0.0"
        ~doc:"Drive a live MFSA ruleset: incremental adds, retirement, \
              compaction and generation-pinned streaming")
-    Term.(const run $ script $ gc_threshold $ rules)
+    Term.(const run $ script $ gc_threshold $ rules $ Engine_cli.term ())
 
 let () = exit (Cmd.eval' cmd)

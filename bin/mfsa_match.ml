@@ -1,14 +1,14 @@
-(* mfsa-match: the iMFAnt engine as a CLI (paper §V).
+(* mfsa-match: the MFSA engines as a CLI (paper §V).
 
    Loads an extended-ANML file produced by mfsa-compile and matches an
-   input stream, printing per-rule match counts and, optionally, every
-   match event — the engine-side half of the compile → file → execute
-   path. *)
+   input stream with any registered engine, printing per-rule match
+   counts and, optionally, every match event — the engine-side half of
+   the compile → file → execute path. *)
 
 module Anml = Mfsa_anml.Anml
 module Mfsa = Mfsa_model.Mfsa
-module Im = Mfsa_engine.Imfant
-module Hybrid = Mfsa_engine.Hybrid
+module Engine_sig = Mfsa_engine.Engine_sig
+module Registry = Mfsa_engine.Registry
 module Pool = Mfsa_engine.Pool
 module Report = Mfsa_core.Report
 
@@ -20,158 +20,59 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Run one MFSA's rules through an alternative per-rule engine by
-   projecting each rule's FSA back out of the merged automaton. *)
-let run_alternative engine_kind z input =
-  let n = z.Mfsa.n_fsas in
-  let counts = Array.make n 0 in
-  (match engine_kind with
-  | `Dfa ->
-      for j = 0 to n - 1 do
-        let eng = Mfsa_engine.Dfa_engine.compile (Mfsa.project z j) in
-        counts.(j) <- Mfsa_engine.Dfa_engine.count eng input
-      done
-  | `Decomposed ->
-      let fsas = Array.init n (Mfsa.project z) in
-      let t = Mfsa_engine.Decomposed.compile fsas in
-      List.iter
-        (fun e ->
-          counts.(e.Mfsa_engine.Decomposed.rule) <-
-            counts.(e.Mfsa_engine.Decomposed.rule) + 1)
-        (Mfsa_engine.Decomposed.run t input));
-  counts
-
 let run anml_path input_path threads list_events stats engine =
-  match Anml.read_file anml_path with
-  | Error msg ->
-      Printf.eprintf "mfsa-match: cannot load %s: %s\n" anml_path msg;
-      1
-  | Ok mfsas when engine = "hybrid" ->
-      let input = read_file input_path in
-      let engines = Array.of_list (List.map Hybrid.compile mfsas) in
-      let t0 = now () in
-      let result =
-        Pool.run ~threads
-          ~jobs:(Array.map (fun eng () -> Hybrid.run eng input) engines)
-      in
-      let elapsed = now () -. t0 in
-      let total = ref 0 in
-      Array.iteri
-        (fun gi events ->
-          let z = Hybrid.mfsa engines.(gi) in
-          let counts = Array.make z.Mfsa.n_fsas 0 in
-          List.iter
-            (fun e ->
-              counts.(e.Hybrid.fsa) <- counts.(e.Hybrid.fsa) + 1;
-              if list_events then
-                Printf.printf "match mfsa=%d rule=%d pattern=%s end=%d\n" gi
-                  e.Hybrid.fsa z.Mfsa.patterns.(e.Hybrid.fsa) e.Hybrid.end_pos)
-            events;
-          Array.iteri
-            (fun j c ->
-              total := !total + c;
-              Printf.printf "rule %d.%d  %-40s %d matches\n" gi j
-                z.Mfsa.patterns.(j) c)
-            counts;
-          if stats then begin
-            let s = Hybrid.stats engines.(gi) in
-            Printf.printf
-              "mfsa %d: cache hit rate %.4f, %d configs (%d interned, %d \
-               flushes), ~%d KiB\n"
-              gi
-              (if s.Hybrid.steps = 0 then 0.
-               else
-                 float_of_int s.Hybrid.hits /. float_of_int s.Hybrid.steps)
-              s.Hybrid.resident_configs s.Hybrid.configs_interned
-              s.Hybrid.flushes
-              (s.Hybrid.cache_bytes / 1024)
-          end)
-        result.Pool.values;
-      Printf.printf "total: %d matches over %d bytes in %s (hybrid engine, %d thread%s)\n"
-        !total (String.length input)
-        (Report.fmt_time elapsed)
-        threads
-        (if threads = 1 then "" else "s");
-      0
-  | Ok mfsas when engine <> "imfant" ->
-      let kind =
-        match engine with
-        | "dfa" -> Ok `Dfa
-        | "decomposed" -> Ok `Decomposed
-        | other -> Error other
-      in
-      (match kind with
-      | Error other ->
-          Printf.eprintf
-            "mfsa-match: unknown engine %S (expected imfant, hybrid, dfa or \
-             decomposed)\n"
-            other;
+  match Engine_cli.resolve ~prog:"mfsa-match" engine with
+  | Error code -> code
+  | Ok engine -> (
+      match Anml.read_file anml_path with
+      | Error msg ->
+          Printf.eprintf "mfsa-match: cannot load %s: %s\n" anml_path msg;
           1
-      | Ok kind ->
+      | Ok mfsas ->
           let input = read_file input_path in
+          let engines =
+            Array.of_list (List.map (Registry.compile_exn engine) mfsas)
+          in
           let t0 = now () in
+          let result =
+            Pool.run ~threads
+              ~jobs:(Array.map (fun eng () -> Engine_sig.run eng input) engines)
+          in
+          let elapsed = now () -. t0 in
           let total = ref 0 in
-          List.iteri
-            (fun gi z ->
-              let counts = run_alternative kind z input in
+          Array.iteri
+            (fun gi events ->
+              let z = Engine_sig.mfsa engines.(gi) in
+              let counts = Array.make z.Mfsa.n_fsas 0 in
+              List.iter
+                (fun e ->
+                  counts.(e.Engine_sig.fsa) <- counts.(e.Engine_sig.fsa) + 1;
+                  if list_events then
+                    Printf.printf "match mfsa=%d rule=%d pattern=%s end=%d\n" gi
+                      e.Engine_sig.fsa
+                      z.Mfsa.patterns.(e.Engine_sig.fsa)
+                      e.Engine_sig.end_pos)
+                events;
               Array.iteri
                 (fun j c ->
                   total := !total + c;
                   Printf.printf "rule %d.%d  %-40s %d matches\n" gi j
                     z.Mfsa.patterns.(j) c)
-                counts)
-            mfsas;
-          Printf.printf "total: %d matches over %d bytes in %s (%s engine)\n"
+                counts;
+              if stats then
+                Printf.printf "mfsa %d stats: %s\n" gi
+                  (String.concat ", "
+                     (List.map
+                        (fun (k, v) -> k ^ "=" ^ v)
+                        (Engine_sig.stats engines.(gi)))))
+            result.Pool.values;
+          Printf.printf
+            "total: %d matches over %d bytes in %s (%s engine, %d thread%s)\n"
             !total (String.length input)
-            (Report.fmt_time (now () -. t0))
-            engine;
+            (Report.fmt_time elapsed)
+            engine threads
+            (if threads = 1 then "" else "s");
           0)
-  | Ok mfsas ->
-      let input = read_file input_path in
-      let engines = Array.of_list (List.map Im.compile mfsas) in
-      let t0 = now () in
-      let result =
-        Pool.run ~threads
-          ~jobs:
-            (Array.map
-               (fun eng () ->
-                 if stats then
-                   let events, s = Im.run_with_stats eng input in
-                   (events, Some s)
-                 else (Im.run eng input, None))
-               engines)
-      in
-      let elapsed = now () -. t0 in
-      let total = ref 0 in
-      Array.iteri
-        (fun gi (events, s) ->
-          let z = Im.mfsa engines.(gi) in
-          let counts = Array.make z.Mfsa.n_fsas 0 in
-          List.iter
-            (fun e ->
-              counts.(e.Im.fsa) <- counts.(e.Im.fsa) + 1;
-              if list_events then
-                Printf.printf "match mfsa=%d rule=%d pattern=%s end=%d\n" gi
-                  e.Im.fsa z.Mfsa.patterns.(e.Im.fsa) e.Im.end_pos)
-            events;
-          Array.iteri
-            (fun j c ->
-              total := !total + c;
-              Printf.printf "rule %d.%d  %-40s %d matches\n" gi j
-                z.Mfsa.patterns.(j) c)
-            counts;
-          match s with
-          | Some s ->
-              Printf.printf "mfsa %d: avg active FSAs %.2f, max %d\n" gi
-                s.Im.avg_active s.Im.max_active
-          | None -> ())
-        result.Pool.values;
-      Printf.printf "total: %d matches over %d bytes in %s (%d thread%s)\n"
-        !total (String.length input)
-        (Report.fmt_time elapsed)
-        threads
-        (if threads = 1 then "" else "s");
-      0
 
 open Cmdliner
 
@@ -198,22 +99,18 @@ let list_events =
 let stats =
   Arg.(
     value & flag
-    & info [ "s"; "stats" ] ~doc:"Report active-FSA statistics (paper Table II).")
-
-let engine =
-  Arg.(
-    value & opt string "imfant"
-    & info [ "e"; "engine" ] ~docv:"ENGINE"
-        ~doc:"Matching engine: imfant (default, the merged-automaton engine), \
-              hybrid (lazy-DFA configuration cache over the same automaton), \
-              dfa (per-rule scanning DFAs projected from the MFSA) or \
-              decomposed (literal pre-filter + confirmation). The alternative \
-              engines exist for comparison; match counts are identical.")
+    & info [ "s"; "stats" ]
+        ~doc:
+          "Report per-MFSA engine statistics (each engine reports its own: \
+           active-FSA pressure for imfant, cache behaviour for hybrid, table \
+           sizes for dfa, ...).")
 
 let cmd =
   Cmd.v
     (Cmd.info "mfsa-match" ~version:"1.0.0"
-       ~doc:"Execute compiled MFSAs against an input stream with iMFAnt")
-    Term.(const run $ anml_path $ input_path $ threads $ list_events $ stats $ engine)
+       ~doc:"Execute compiled MFSAs against an input stream")
+    Term.(
+      const run $ anml_path $ input_path $ threads $ list_events $ stats
+      $ Engine_cli.term ())
 
 let () = exit (Cmd.eval' cmd)

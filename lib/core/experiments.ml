@@ -6,7 +6,8 @@ module Mfsa = Mfsa_model.Mfsa
 module Merge = Mfsa_model.Merge
 module Infant = Mfsa_engine.Infant
 module Imfant = Mfsa_engine.Imfant
-module Hybrid = Mfsa_engine.Hybrid
+module Engine_sig = Mfsa_engine.Engine_sig
+module Registry = Mfsa_engine.Registry
 module Schedule = Mfsa_engine.Schedule
 
 type config = {
@@ -782,11 +783,22 @@ type engine_row = {
   er_agree : bool;
 }
 
-(* One M=all automaton per dataset, both engines timed on the same
-   stream. The hybrid is warmed by the agreement check (its first pass
-   populates the configuration cache), then its counters are reset so
-   the reported hit rate is the steady-state one. *)
-let engine_measurements cfg =
+(* Engine order: the reference engine first, then the rest of the
+   requested names in their given order. *)
+let engine_list = function
+  | Some names -> names
+  | None ->
+      "imfant"
+      :: List.filter (fun n -> n <> "imfant") (Registry.names ())
+
+(* One M=all automaton per dataset, every requested registry engine
+   compiled on it and timed on the same stream. iMFAnt is the
+   agreement reference (always measured, listed only when requested).
+   Each engine is warmed by the agreement check — for the hybrid that
+   first pass populates the configuration cache — then its counters
+   are reset so the reported stats are the steady-state ones. *)
+let engine_measurements ?engines cfg =
+  let engines = engine_list engines in
   List.map
     (fun { ds; fsas; stream } ->
       let z =
@@ -794,93 +806,98 @@ let engine_measurements cfg =
         | [ z ] -> z
         | _ -> assert false
       in
-      let im = Imfant.compile z in
-      let hy = Hybrid.of_imfant im in
-      let per_im = Imfant.count_per_fsa im stream in
-      let per_hy = Hybrid.count_per_fsa hy stream in
-      let agree = per_im = per_hy in
-      let t_im = time_runs cfg.reps (fun () -> ignore (Imfant.count im stream)) in
-      Hybrid.reset_stats hy;
-      let t_hy = time_runs cfg.reps (fun () -> ignore (Hybrid.count hy stream)) in
-      let st = Hybrid.stats hy in
-      let n_im = Array.fold_left ( + ) 0 per_im in
-      let n_hy = Array.fold_left ( + ) 0 per_hy in
-      (ds, String.length stream, (t_im, n_im), (t_hy, n_hy, st), agree))
+      let reference = Registry.compile_exn "imfant" z in
+      let per_ref = Engine_sig.count_per_fsa reference stream in
+      let t_ref =
+        time_runs cfg.reps (fun () -> ignore (Engine_sig.count reference stream))
+      in
+      let rows =
+        List.map
+          (fun name ->
+            if name = "imfant" then
+              (name, t_ref, per_ref, Engine_sig.stats reference, true)
+            else begin
+              let inst = Registry.compile_exn name z in
+              let per = Engine_sig.count_per_fsa inst stream in
+              let agree = per = per_ref in
+              Engine_sig.reset_stats inst;
+              let t =
+                time_runs cfg.reps (fun () ->
+                    ignore (Engine_sig.count inst stream))
+              in
+              (name, t, per, Engine_sig.stats inst, agree)
+            end)
+          engines
+      in
+      (ds, String.length stream, t_ref, rows))
     (contexts cfg)
 
-let hit_rate st =
-  if st.Hybrid.steps = 0 then 0.
-  else float_of_int st.Hybrid.hits /. float_of_int st.Hybrid.steps
+let stat_hit_rate stats =
+  match List.assoc_opt "hit_rate" stats with
+  | Some v -> ( match float_of_string_opt v with Some f -> f | None -> 0.)
+  | None -> 0.
 
-let engine_rows cfg =
+let engine_rows ?engines cfg =
   List.concat_map
-    (fun (ds, size, (t_im, n_im), (t_hy, n_hy, st), agree) ->
+    (fun (ds, size, _t_ref, rows) ->
       let mbps t = float_of_int size /. 1e6 /. t in
-      [
-        {
-          er_dataset = ds.Datasets.abbr;
-          er_engine = "imfant";
-          er_time = t_im;
-          er_mbps = mbps t_im;
-          er_hit_rate = 0.;
-          er_matches = n_im;
-          er_agree = agree;
-        };
-        {
-          er_dataset = ds.Datasets.abbr;
-          er_engine = "hybrid";
-          er_time = t_hy;
-          er_mbps = mbps t_hy;
-          er_hit_rate = hit_rate st;
-          er_matches = n_hy;
-          er_agree = agree;
-        };
-      ])
-    (engine_measurements cfg)
+      List.map
+        (fun (name, t, per, stats, agree) ->
+          {
+            er_dataset = ds.Datasets.abbr;
+            er_engine = name;
+            er_time = t;
+            er_mbps = mbps t;
+            er_hit_rate = stat_hit_rate stats;
+            er_matches = Array.fold_left ( + ) 0 per;
+            er_agree = agree;
+          })
+        rows)
+    (engine_measurements ?engines cfg)
 
-let engine_compare cfg =
-  let ms = engine_measurements cfg in
+let engine_compare ?engines cfg =
+  let ms = engine_measurements ?engines cfg in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (header
        (Printf.sprintf
-          "Engine comparison: iMFAnt vs lazy-DFA hybrid, M = all (%d KiB stream, %d reps)"
+          "Engine comparison over the registry, M = all (%d KiB stream, %d reps)"
           cfg.stream_kb cfg.reps));
-  let speedups = ref [] in
+  let speedups = Hashtbl.create 8 in
   let rows =
     List.concat_map
-      (fun (ds, size, (t_im, n_im), (t_hy, n_hy, st), agree) ->
+      (fun (ds, size, t_ref, engine_rows) ->
         let mbps t = float_of_int size /. 1e6 /. t in
-        let speedup = t_im /. t_hy in
-        speedups := speedup :: !speedups;
-        [
-          [
-            ds.Datasets.abbr; "imfant"; Report.fmt_time t_im;
-            Printf.sprintf "%.1f" (mbps t_im); "-"; "-"; "-";
-            string_of_int n_im; "1.00x"; "ok";
-          ];
-          [
-            ds.Datasets.abbr; "hybrid"; Report.fmt_time t_hy;
-            Printf.sprintf "%.1f" (mbps t_hy);
-            Printf.sprintf "%.4f" (hit_rate st);
-            string_of_int st.Hybrid.resident_configs;
-            string_of_int st.Hybrid.flushes;
-            string_of_int n_hy;
-            Printf.sprintf "%.2fx" speedup;
-            (if agree then "ok" else "DIVERGED");
-          ];
-        ])
+        List.map
+          (fun (name, t, per, stats, agree) ->
+            if name <> "imfant" then
+              Hashtbl.replace speedups name
+                ((t_ref /. t)
+                :: Option.value ~default:[] (Hashtbl.find_opt speedups name));
+            let hr = stat_hit_rate stats in
+            [
+              ds.Datasets.abbr; name; Report.fmt_time t;
+              Printf.sprintf "%.1f" (mbps t);
+              (if hr = 0. then "-" else Printf.sprintf "%.4f" hr);
+              string_of_int (Array.fold_left ( + ) 0 per);
+              Printf.sprintf "%.2fx" (t_ref /. t);
+              (if agree then "ok" else "DIVERGED");
+            ])
+          engine_rows)
       ms
   in
   Buffer.add_string buf
     (Report.table
        ~header:
-         [ "Dataset"; "Engine"; "Exec time"; "MB/s"; "Hit rate"; "Configs";
-           "Flushes"; "Matches"; "vs iMFAnt"; "Agreement" ]
+         [ "Dataset"; "Engine"; "Exec time"; "MB/s"; "Hit rate"; "Matches";
+           "vs imfant"; "Agreement" ]
        rows);
-  Buffer.add_string buf
-    (Printf.sprintf "Geomean hybrid speedup over iMFAnt: %.2fx\n"
-       (Report.geomean !speedups));
+  Hashtbl.fold (fun name sp acc -> (name, sp) :: acc) speedups []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, sp) ->
+         Buffer.add_string buf
+           (Printf.sprintf "Geomean %s speedup over imfant: %.2fx\n" name
+              (Report.geomean sp)));
   Buffer.contents buf
 
 (* ------------------------------------------------------ Complexity *)

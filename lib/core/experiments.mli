@@ -92,27 +92,30 @@ val ablation_strategy : config -> string
 
 type engine_row = {
   er_dataset : string;  (** Dataset abbreviation. *)
-  er_engine : string;  (** ["imfant"] or ["hybrid"]. *)
+  er_engine : string;  (** A {!Mfsa_engine.Registry} engine name. *)
   er_time : float;  (** Seconds per pass over the stream. *)
   er_mbps : float;  (** Stream megabytes per second. *)
   er_hit_rate : float;
-      (** Warm configuration-cache hit rate; 0 for iMFAnt. *)
+      (** Warm cache hit rate, parsed from the engine's ["hit_rate"]
+          stat; 0 for engines that report none. *)
   er_matches : int;  (** Total match events on the stream. *)
   er_agree : bool;
-      (** Per-FSA match counts identical across both engines. *)
+      (** Per-FSA match counts identical to the iMFAnt reference. *)
 }
 
-val engine_rows : config -> engine_row list
-(** Machine-readable form of {!engine_compare}: two rows (one per
-    engine) per dataset, M = all. Consumed by the benchmark driver's
+val engine_rows : ?engines:string list -> config -> engine_row list
+(** Machine-readable form of {!engine_compare}: one row per engine
+    per dataset, M = all. [engines] defaults to every
+    {!Mfsa_engine.Registry} name. Consumed by the benchmark driver's
     JSON export. *)
 
-val engine_compare : config -> string
-(** iMFAnt versus the lazy-DFA {!Mfsa_engine.Hybrid} engine on every
-    dataset at M = all: execution time, throughput, warm cache hit
-    rate, resident configurations, flushes, and a per-dataset
-    agreement check of the per-FSA match counts (rows disagreeing are
-    marked [DIVERGED] — grepped for by the CI smoke gate). *)
+val engine_compare : ?engines:string list -> config -> string
+(** Every requested {!Mfsa_engine.Registry} engine (default: all
+    registered) on every dataset at M = all: execution time,
+    throughput, warm cache hit rate where the engine reports one, and
+    a per-dataset agreement check of the per-FSA match counts against
+    the iMFAnt reference (rows disagreeing are marked [DIVERGED] —
+    grepped for by the CI smoke gate). *)
 
 val complexity : config -> string
 (** Empirical validation of the merging cost model (paper §III-A,

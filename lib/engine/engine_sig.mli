@@ -1,0 +1,127 @@
+(** The first-class engine interface.
+
+    Every execution engine in this library — the transition-centric
+    {!Imfant}, the lazy-DFA {!Hybrid}, the per-rule baselines
+    {!Infant} and {!Dfa_engine}, the decomposition matcher
+    {!Decomposed} — answers the same question: given a compiled MFSA
+    and an input, which merged FSAs match where?  {!S} captures that
+    contract once, so callers (the live-update layer, the CLIs, the
+    benchmark harness, the serving layer) select an engine by name
+    through {!Registry} instead of hard-wiring per-engine branches.
+
+    {!t} is the packed form: an existential pairing a first-class
+    module implementing {!S} with one of its compiled values, so a
+    caller can hold "a compiled engine" without knowing which. The
+    {!run}/{!count}/{!session} wrappers below unpack it.
+
+    All implementations share the matching conventions of {!Imfant}:
+    unanchored matching with per-FSA [^]/[$] flags honoured, non-empty
+    matches, one report per (FSA, end position), events ordered by end
+    position (ties by FSA id, except where an implementation documents
+    transition order within a position — compare sorted lists when the
+    within-position order matters).
+
+    Compiled engines own mutable scratch (state vectors, caches,
+    counters): a compiled value must not be shared across domains.
+    Compile one replica per domain — {!Mfsa_serve.Serve} does exactly
+    that. *)
+
+type match_event = { fsa : int; end_pos : int }
+(** A match of merged FSA [fsa] ending at byte offset [end_pos]. The
+    per-engine event types ({!Imfant.match_event},
+    {!Hybrid.match_event}) are equalities with this one. *)
+
+(** The common engine signature. *)
+module type S = sig
+  val name : string
+  (** Registry name, lowercase (["imfant"], ["hybrid"], …). *)
+
+  val doc : string
+  (** One-line description for [-e help] listings. *)
+
+  type compiled
+  (** A compiled automaton plus the engine's mutable scratch. *)
+
+  val compile : Mfsa_model.Mfsa.t -> compiled
+
+  val mfsa : compiled -> Mfsa_model.Mfsa.t
+  (** The underlying automaton. *)
+
+  val run : compiled -> string -> match_event list
+  (** All matches on one input. *)
+
+  val count : compiled -> string -> int
+  (** Number of match events, without materialising the list — the
+      timing entry point of the benchmarks. *)
+
+  val count_per_fsa : compiled -> string -> int array
+  (** Match counts per merged FSA (the agreement-check primitive). *)
+
+  val stats : compiled -> (string * string) list
+  (** Engine-specific counters as printable key/value pairs. Every
+      engine reports something: at minimum its automaton size, plus
+      whatever instrumentation it accumulates across {!run}s (iMFAnt:
+      active-set pressure; hybrid: cache hit rate; DFA: table size). *)
+
+  val reset_stats : compiled -> unit
+  (** Zero the cumulative counters (a no-op for engines without
+      any). *)
+
+  (** {2 Streaming}
+
+      Feeding chunks [c1, …, cn] then {!finish} produces exactly
+      [run c (c1 ^ … ^ cn)]: end positions are global stream offsets
+      and end-anchored FSAs report at {!finish}. Engines without
+      native cross-chunk state (the per-rule baselines) satisfy the
+      contract by re-scanning a buffered copy of the stream — correct,
+      but quadratic in stream length; use [imfant]/[hybrid] for real
+      streaming workloads. *)
+
+  type session
+
+  val session : compiled -> session
+  (** Fresh session at stream position 0. *)
+
+  val feed : session -> string -> match_event list
+  (** Consume one chunk; matches completed in it (except end-anchored
+      ones). *)
+
+  val finish : session -> match_event list
+  (** End of stream: the pending matches of end-anchored FSAs. The
+      session stays valid for {!reset}. *)
+
+  val reset : session -> unit
+  (** Back to position 0. *)
+
+  val position : session -> int
+  (** Bytes consumed since the last {!reset}. *)
+end
+
+(** {2 Packed engines} *)
+
+type t =
+  | Packed :
+      (module S with type compiled = 'c and type session = 's) * 'c
+      -> t
+(** A compiled engine with its implementation erased. *)
+
+type session =
+  | Session :
+      (module S with type compiled = 'c and type session = 's) * 's
+      -> session
+
+val pack : (module S with type compiled = 'c and type session = 's) -> 'c -> t
+
+val name : t -> string
+val mfsa : t -> Mfsa_model.Mfsa.t
+val run : t -> string -> match_event list
+val count : t -> string -> int
+val count_per_fsa : t -> string -> int array
+val stats : t -> (string * string) list
+val reset_stats : t -> unit
+
+val session : t -> session
+val feed : session -> string -> match_event list
+val finish : session -> match_event list
+val reset : session -> unit
+val position : session -> int

@@ -1,7 +1,7 @@
 module Mfsa = Mfsa_model.Mfsa
 module Bitset = Mfsa_util.Bitset
 
-type match_event = { fsa : int; end_pos : int }
+type match_event = Engine_sig.match_event = { fsa : int; end_pos : int }
 
 type stats = {
   steps : int;

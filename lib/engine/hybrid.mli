@@ -38,7 +38,7 @@
 
 type t
 
-type match_event = { fsa : int; end_pos : int }
+type match_event = Engine_sig.match_event = { fsa : int; end_pos : int }
 
 type stats = {
   steps : int;  (** Input bytes processed since compile. *)

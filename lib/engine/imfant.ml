@@ -25,7 +25,7 @@ type t = {
          read-only once built. *)
 }
 
-type match_event = { fsa : int; end_pos : int }
+type match_event = Engine_sig.match_event = { fsa : int; end_pos : int }
 
 type stats = { positions : int; avg_active : float; max_active : int }
 

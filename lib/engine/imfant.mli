@@ -25,7 +25,7 @@ type t
 (** Compiled MFSA: pre-processing of the extended-ANML-level automaton
     into the engine's table, done once per MFSA. *)
 
-type match_event = { fsa : int; end_pos : int }
+type match_event = Engine_sig.match_event = { fsa : int; end_pos : int }
 
 type stats = {
   positions : int;  (** Input bytes processed. *)

@@ -1,0 +1,375 @@
+module Mfsa = Mfsa_model.Mfsa
+open Engine_sig
+
+(* ------------------------------------------------------------------ *)
+(* Adapter plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sort_events =
+  List.stable_sort (fun a b ->
+      if a.end_pos <> b.end_pos then Int.compare a.end_pos b.end_pos
+      else Int.compare a.fsa b.fsa)
+
+(* The batch half of an engine, without streaming. *)
+module type Base = sig
+  val name : string
+  val doc : string
+
+  type compiled
+
+  val compile : Mfsa.t -> compiled
+  val mfsa : compiled -> Mfsa.t
+  val run : compiled -> string -> match_event list
+  val count : compiled -> string -> int
+  val count_per_fsa : compiled -> string -> int array
+  val stats : compiled -> (string * string) list
+  val reset_stats : compiled -> unit
+end
+
+(* Streaming for engines without native cross-chunk state: keep the
+   whole stream in a buffer and re-run it on every chunk, reporting
+   only the events that end inside the new chunk. Correct by prefix
+   determinism — a match ending at position p depends only on the
+   stream's first p bytes — but quadratic in stream length; the
+   native-session engines are the ones to use for streaming
+   workloads. End-anchored FSAs are withheld until [finish], when the
+   buffer end really is the stream end. *)
+module Buffered_session (E : Base) :
+  Engine_sig.S with type compiled = E.compiled = struct
+  include E
+
+  type session = { c : E.compiled; buf : Buffer.t; mutable pos : int }
+
+  let session c = { c; buf = Buffer.create 256; pos = 0 }
+
+  let feed s chunk =
+    Buffer.add_string s.buf chunk;
+    let old = s.pos in
+    s.pos <- Buffer.length s.buf;
+    if s.pos = old then []
+    else
+      let anchored_end = (E.mfsa s.c).Mfsa.anchored_end in
+      List.filter
+        (fun e -> e.end_pos > old && not anchored_end.(e.fsa))
+        (E.run s.c (Buffer.contents s.buf))
+
+  let finish s =
+    let anchored_end = (E.mfsa s.c).Mfsa.anchored_end in
+    List.filter
+      (fun e -> anchored_end.(e.fsa))
+      (E.run s.c (Buffer.contents s.buf))
+
+  let reset s =
+    Buffer.clear s.buf;
+    s.pos <- 0
+
+  let position s = s.pos
+end
+
+(* ------------------------------------------------------------------ *)
+(* imfant                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Imfant_engine : Engine_sig.S = struct
+  let name = "imfant"
+
+  let doc =
+    "transition-centric merged-automaton engine (paper \xc2\xa7V, the default)"
+
+  (* [run] goes through the instrumented path so the Table II
+     active-set pressure accumulates behind [stats]; [count] stays on
+     the uninstrumented loop — it is the benchmarks' timing entry
+     point. *)
+  type compiled = {
+    im : Imfant.t;
+    mutable bytes : int;  (* bytes processed by instrumented runs *)
+    mutable runs : int;
+    mutable avg_active : float;  (* of the last run *)
+    mutable max_active : int;  (* peak across runs *)
+  }
+
+  let compile z =
+    { im = Imfant.compile z; bytes = 0; runs = 0; avg_active = 0.; max_active = 0 }
+
+  let mfsa c = Imfant.mfsa c.im
+
+  let run c input =
+    let events, st = Imfant.run_with_stats c.im input in
+    c.bytes <- c.bytes + st.Imfant.positions;
+    c.runs <- c.runs + 1;
+    c.avg_active <- st.Imfant.avg_active;
+    c.max_active <- max c.max_active st.Imfant.max_active;
+    events
+
+  let count c input = Imfant.count c.im input
+
+  let count_per_fsa c input = Imfant.count_per_fsa c.im input
+
+  let stats c =
+    let z = mfsa c in
+    [
+      ("states", string_of_int z.Mfsa.n_states);
+      ("transitions", string_of_int (Mfsa.n_transitions z));
+      ("runs", string_of_int c.runs);
+      ("bytes", string_of_int c.bytes);
+      ("avg_active", Printf.sprintf "%.2f" c.avg_active);
+      ("max_active", string_of_int c.max_active);
+    ]
+
+  let reset_stats c =
+    c.bytes <- 0;
+    c.runs <- 0;
+    c.avg_active <- 0.;
+    c.max_active <- 0
+
+  type session = Imfant.session
+
+  let session c = Imfant.session c.im
+
+  let feed = Imfant.feed
+
+  let finish = Imfant.finish
+
+  let reset = Imfant.reset
+
+  let position = Imfant.position
+end
+
+(* ------------------------------------------------------------------ *)
+(* hybrid                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Hybrid_engine : Engine_sig.S = struct
+  let name = "hybrid"
+
+  let doc = "lazy-DFA configuration cache over iMFAnt (RE2-style)"
+
+  type compiled = Hybrid.t
+
+  let compile z = Hybrid.compile z
+
+  let mfsa = Hybrid.mfsa
+
+  let run = Hybrid.run
+
+  let count = Hybrid.count
+
+  let count_per_fsa = Hybrid.count_per_fsa
+
+  let stats c =
+    let s = Hybrid.stats c in
+    let hit_rate =
+      if s.Hybrid.steps = 0 then 0.
+      else float_of_int s.Hybrid.hits /. float_of_int s.Hybrid.steps
+    in
+    [
+      ("states", string_of_int (Hybrid.mfsa c).Mfsa.n_states);
+      ("steps", string_of_int s.Hybrid.steps);
+      ("hit_rate", Printf.sprintf "%.6f" hit_rate);
+      ("resident_configs", string_of_int s.Hybrid.resident_configs);
+      ("configs_interned", string_of_int s.Hybrid.configs_interned);
+      ("flushes", string_of_int s.Hybrid.flushes);
+      ("cache_KiB", string_of_int (s.Hybrid.cache_bytes / 1024));
+    ]
+
+  let reset_stats = Hybrid.reset_stats
+
+  type session = Hybrid.session
+
+  let session = Hybrid.session
+
+  let feed = Hybrid.feed
+
+  let finish = Hybrid.finish
+
+  let reset = Hybrid.reset
+
+  let position = Hybrid.position
+end
+
+(* ------------------------------------------------------------------ *)
+(* infant — the per-rule baseline on the projected FSAs                *)
+(* ------------------------------------------------------------------ *)
+
+module Infant_base = struct
+  let name = "infant"
+
+  let doc = "per-rule iNFAnt baseline on the FSAs projected out of the MFSA"
+
+  type compiled = { z : Mfsa.t; engines : Infant.t array }
+
+  let compile z =
+    { z; engines = Array.init z.Mfsa.n_fsas (fun j -> Infant.compile (Mfsa.project z j)) }
+
+  let mfsa c = c.z
+
+  let run c input =
+    let acc = ref [] in
+    Array.iteri
+      (fun j eng ->
+        List.iter
+          (fun end_pos -> acc := { fsa = j; end_pos } :: !acc)
+          (Infant.run eng input))
+      c.engines;
+    sort_events !acc
+
+  let count c input =
+    Array.fold_left (fun acc eng -> acc + Infant.count eng input) 0 c.engines
+
+  let count_per_fsa c input = Array.map (fun eng -> Infant.count eng input) c.engines
+
+  let stats c =
+    let states =
+      Array.fold_left (fun acc eng -> acc + Infant.n_states eng) 0 c.engines
+    in
+    [
+      ("rules", string_of_int (Array.length c.engines));
+      ("states", string_of_int states);
+    ]
+
+  let reset_stats _ = ()
+end
+
+module Infant_engine = Buffered_session (Infant_base)
+
+(* ------------------------------------------------------------------ *)
+(* dfa — per-rule scanning DFAs                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Dfa_base = struct
+  let name = "dfa"
+
+  let doc = "per-rule scanning DFAs (subset construction + Hopcroft)"
+
+  type compiled = { z : Mfsa.t; engines : Dfa_engine.t array }
+
+  let compile z =
+    { z; engines = Array.init z.Mfsa.n_fsas (fun j -> Dfa_engine.compile (Mfsa.project z j)) }
+
+  let mfsa c = c.z
+
+  let run c input =
+    let acc = ref [] in
+    Array.iteri
+      (fun j eng ->
+        List.iter
+          (fun end_pos -> acc := { fsa = j; end_pos } :: !acc)
+          (Dfa_engine.run eng input))
+      c.engines;
+    sort_events !acc
+
+  let count c input =
+    Array.fold_left (fun acc eng -> acc + Dfa_engine.count eng input) 0 c.engines
+
+  let count_per_fsa c input =
+    Array.map (fun eng -> Dfa_engine.count eng input) c.engines
+
+  let stats c =
+    let states =
+      Array.fold_left (fun acc eng -> acc + Dfa_engine.n_states eng) 0 c.engines
+    in
+    [
+      ("rules", string_of_int (Array.length c.engines));
+      ("states", string_of_int states);
+      ("table_cells", string_of_int (states * 256));
+    ]
+
+  let reset_stats _ = ()
+end
+
+module Dfa_engine_engine = Buffered_session (Dfa_base)
+
+(* ------------------------------------------------------------------ *)
+(* decomposed — literal pre-filter + confirmation                      *)
+(* ------------------------------------------------------------------ *)
+
+module Decomposed_base = struct
+  let name = "decomposed"
+
+  let doc = "literal pre-filter + FSA confirmation (Hyperscan-style)"
+
+  type compiled = { z : Mfsa.t; d : Decomposed.t }
+
+  let compile z =
+    { z; d = Decomposed.compile (Array.init z.Mfsa.n_fsas (Mfsa.project z)) }
+
+  let mfsa c = c.z
+
+  let run c input =
+    List.map
+      (fun e -> { fsa = e.Decomposed.rule; end_pos = e.Decomposed.end_pos })
+      (Decomposed.run c.d input)
+
+  let count c input = Decomposed.count c.d input
+
+  let count_per_fsa c input =
+    let counts = Array.make c.z.Mfsa.n_fsas 0 in
+    List.iter
+      (fun e -> counts.(e.Decomposed.rule) <- counts.(e.Decomposed.rule) + 1)
+      (Decomposed.run c.d input);
+    counts
+
+  let stats c =
+    [
+      ("prefiltered", string_of_int (Decomposed.n_prefiltered c.d));
+      ("fallback", string_of_int (Decomposed.n_fallback c.d));
+    ]
+
+  let reset_stats _ = ()
+end
+
+module Decomposed_engine = Buffered_session (Decomposed_base)
+
+(* ------------------------------------------------------------------ *)
+(* The table                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let table : (string, (module Engine_sig.S)) Hashtbl.t = Hashtbl.create 8
+
+let register (module E : Engine_sig.S) = Hashtbl.replace table E.name (module E : Engine_sig.S)
+
+let () =
+  List.iter register
+    [
+      (module Imfant_engine);
+      (module Hybrid_engine);
+      (module Infant_engine);
+      (module Dfa_engine_engine);
+      (module Decomposed_engine);
+    ]
+
+let find name = Hashtbl.find_opt table name
+
+let names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) table []
+  |> List.sort String.compare
+
+let unknown_message name =
+  Printf.sprintf "unknown engine %S (registered: %s)" name
+    (String.concat ", " (names ()))
+
+let find_exn name =
+  match find name with
+  | Some e -> e
+  | None -> invalid_arg ("Registry.find_exn: " ^ unknown_message name)
+
+let doc name =
+  Option.map (fun (module E : Engine_sig.S) -> E.doc) (find name)
+
+let help () =
+  names ()
+  |> List.map (fun name ->
+         Printf.sprintf "%-12s %s\n" name
+           (Option.value ~default:"" (doc name)))
+  |> String.concat ""
+
+let compile name z =
+  match find name with
+  | None -> Error (unknown_message name)
+  | Some (module E : Engine_sig.S) ->
+      Ok (Engine_sig.pack (module E) (E.compile z))
+
+let compile_exn name z =
+  match compile name z with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Registry.compile_exn: " ^ msg)

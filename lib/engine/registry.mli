@@ -1,0 +1,58 @@
+(** The engine registry: names to first-class engine modules.
+
+    One table maps engine names to implementations of
+    {!Engine_sig.S}. Everything that selects an execution engine — the
+    [-e/--engine] flag of [mfsa-match], [mfsa-live] and the benchmark
+    driver, [Live.create ~engine], the engine-compare experiment, the
+    {!Mfsa_serve.Serve} replicas — resolves the name here, so adding
+    an engine means registering one module, not editing five call
+    sites.
+
+    Registered out of the box:
+
+    - ["imfant"] — {!Imfant}, the transition-centric MFSA engine
+      (paper §V); accumulates the active-set instrumentation of
+      Table II across runs.
+    - ["hybrid"] — {!Hybrid}, the lazy-DFA configuration cache over
+      iMFAnt.
+    - ["infant"] — {!Infant} on each FSA projected out of the MFSA:
+      the paper's per-rule baseline (M = 1 work on the merged
+      semantics).
+    - ["dfa"] — {!Dfa_engine} per projected rule: scanning DFAs,
+      subset construction + Hopcroft.
+    - ["decomposed"] — {!Decomposed} over the projected rules:
+      literal pre-filter + confirmation.
+
+    The per-rule baselines satisfy the streaming half of the signature
+    by re-scanning a buffered copy of the stream (documented in
+    {!Engine_sig.S}); their match semantics are identical. *)
+
+val register : (module Engine_sig.S) -> unit
+(** Make an engine selectable by name. Re-registering a name replaces
+    the previous entry (latest wins), so tests and downstream
+    libraries can shadow built-ins. *)
+
+val find : string -> (module Engine_sig.S) option
+
+val find_exn : string -> (module Engine_sig.S)
+(** @raise Invalid_argument on an unknown name, listing the
+    registered ones. *)
+
+val names : unit -> string list
+(** Registered names, sorted. *)
+
+val doc : string -> string option
+(** The engine's one-line description. *)
+
+val help : unit -> string
+(** A ready-to-print listing, one ["name — doc"] line per engine —
+    what [-e help] shows. *)
+
+val unknown_message : string -> string
+(** The shared error message for an unrecognised engine name. *)
+
+val compile : string -> Mfsa_model.Mfsa.t -> (Engine_sig.t, string) result
+(** Resolve the name and compile a packed engine instance. *)
+
+val compile_exn : string -> Mfsa_model.Mfsa.t -> Engine_sig.t
+(** @raise Invalid_argument on an unknown name. *)

@@ -1,8 +1,8 @@
 module Builder = Mfsa_model.Builder
 module Mfsa = Mfsa_model.Mfsa
 module Merge = Mfsa_model.Merge
-module Imfant = Mfsa_engine.Imfant
-module Hybrid = Mfsa_engine.Hybrid
+module Engine_sig = Mfsa_engine.Engine_sig
+module Registry = Mfsa_engine.Registry
 module Pipeline = Mfsa_core.Pipeline
 
 let log_src = Logs.Src.create "mfsa.live" ~doc:"Live ruleset updates"
@@ -20,17 +20,15 @@ type stats = {
   compactions : int;
 }
 
-type engine_kind = [ `Imfant | `Hybrid ]
-
-type eng = I of Imfant.t | H of Hybrid.t
-
 (* A compiled generation. [rule_of_fsa] maps the snapshot's merged-FSA
    identifiers back to stable rule ids; the engine is compiled lazily
    so a burst of updates pays for table construction once, at the
-   first match after it. *)
+   first match after it. The engine is held packed
+   (Engine_sig.t), so any registered engine works here without a
+   Live edit. *)
 type payload = {
   z : Mfsa.t;
-  engine : eng Lazy.t;
+  engine : Engine_sig.t Lazy.t;
   rule_of_fsa : int array;
 }
 
@@ -38,7 +36,7 @@ type snapshot = { sgen : int; payload : payload option }
 
 type t = {
   gc_threshold : float;
-  engine_kind : engine_kind;
+  engine_name : string;
   builder : Builder.t;
   slot_of : (int, int) Hashtbl.t;  (* stable rule id -> builder slot *)
   rule_of : (int, int) Hashtbl.t;  (* builder slot -> stable rule id *)
@@ -61,23 +59,21 @@ let refresh t =
         Some
           {
             z;
-            engine =
-              lazy
-                (match t.engine_kind with
-                | `Imfant -> I (Imfant.compile z)
-                | `Hybrid -> H (Hybrid.compile z));
+            engine = lazy (Registry.compile_exn t.engine_name z);
             rule_of_fsa =
               Array.map (fun slot -> Hashtbl.find t.rule_of slot) slot_of_id;
           }
   in
   t.snap <- { sgen = t.gen; payload }
 
-let create ?strategy ?(gc_threshold = 0.25) ?(engine = `Imfant) () =
+let create ?strategy ?(gc_threshold = 0.25) ?(engine = "imfant") () =
   if gc_threshold < 0. || gc_threshold > 1. then
     invalid_arg "Live.create: gc_threshold must be within [0, 1]";
+  if Option.is_none (Registry.find engine) then
+    invalid_arg ("Live.create: " ^ Registry.unknown_message engine);
   {
     gc_threshold;
-    engine_kind = engine;
+    engine_name = engine;
     builder = Builder.create ?strategy ();
     slot_of = Hashtbl.create 64;
     rule_of = Hashtbl.create 64;
@@ -165,6 +161,8 @@ let compact t =
 
 let generation t = t.gen
 
+let engine t = t.engine_name
+
 let n_rules t = Hashtbl.length t.slot_of
 
 let rules t =
@@ -190,22 +188,10 @@ let sort_events =
       if a.end_pos <> b.end_pos then Int.compare a.end_pos b.end_pos
       else Int.compare a.rule b.rule)
 
-(* Engine match events as (fsa, end_pos) pairs, erasing the per-engine
-   record types. *)
-let eng_run e input =
-  match e with
-  | I im ->
-      List.map
-        (fun { Imfant.fsa; end_pos } -> (fsa, end_pos))
-        (Imfant.run im input)
-  | H h ->
-      List.map
-        (fun { Hybrid.fsa; end_pos } -> (fsa, end_pos))
-        (Hybrid.run h input)
-
 let remap payload events =
   List.map
-    (fun (fsa, end_pos) -> { rule = payload.rule_of_fsa.(fsa); end_pos })
+    (fun { Engine_sig.fsa; end_pos } ->
+      { rule = payload.rule_of_fsa.(fsa); end_pos })
     events
   |> sort_events
 
@@ -218,7 +204,7 @@ let snapshot_mfsa s = Option.map (fun p -> p.z) s.payload
 let snapshot_run s input =
   match s.payload with
   | None -> []
-  | Some p -> remap p (eng_run (Lazy.force p.engine) input)
+  | Some p -> remap p (Engine_sig.run (Lazy.force p.engine) input)
 
 let run t input = snapshot_run t.snap input
 
@@ -226,22 +212,15 @@ let count t input = List.length (run t input)
 
 (* ------------------------------------------------------ Streaming *)
 
-type inner = IS of Imfant.session | HS of Hybrid.session
-
 type session = {
   owner : t;
   mutable snap : snapshot;
-  mutable inner : inner option;
+  mutable inner : Engine_sig.session option;
   mutable empty_pos : int;  (* stream position when the generation is empty *)
 }
 
 let make_inner snap =
-  Option.map
-    (fun p ->
-      match Lazy.force p.engine with
-      | I im -> IS (Imfant.session im)
-      | H h -> HS (Hybrid.session h))
-    snap.payload
+  Option.map (fun p -> Engine_sig.session (Lazy.force p.engine)) snap.payload
 
 let session (t : t) =
   let snap = t.snap in
@@ -251,34 +230,19 @@ let session_generation s = s.snap.sgen
 
 let position s =
   match s.inner with
-  | Some (IS i) -> Imfant.position i
-  | Some (HS h) -> Hybrid.position h
+  | Some i -> Engine_sig.position i
   | None -> s.empty_pos
-
-let inner_feed i chunk =
-  match i with
-  | IS i ->
-      List.map (fun { Imfant.fsa; end_pos } -> (fsa, end_pos)) (Imfant.feed i chunk)
-  | HS h ->
-      List.map (fun { Hybrid.fsa; end_pos } -> (fsa, end_pos)) (Hybrid.feed h chunk)
-
-let inner_finish i =
-  match i with
-  | IS i ->
-      List.map (fun { Imfant.fsa; end_pos } -> (fsa, end_pos)) (Imfant.finish i)
-  | HS h ->
-      List.map (fun { Hybrid.fsa; end_pos } -> (fsa, end_pos)) (Hybrid.finish h)
 
 let feed s chunk =
   match (s.inner, s.snap.payload) with
-  | Some i, Some p -> remap p (inner_feed i chunk)
+  | Some i, Some p -> remap p (Engine_sig.feed i chunk)
   | _ ->
       s.empty_pos <- s.empty_pos + String.length chunk;
       []
 
 let finish s =
   match (s.inner, s.snap.payload) with
-  | Some i, Some p -> remap p (inner_finish i)
+  | Some i, Some p -> remap p (Engine_sig.finish i)
   | _ -> []
 
 let reset s =

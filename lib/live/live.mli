@@ -51,30 +51,29 @@ type stats = {
   compactions : int;  (** Compaction passes run so far. *)
 }
 
-type engine_kind = [ `Imfant | `Hybrid ]
-(** Execution engine compiled for every generation: the
-    transition-centric {!Mfsa_engine.Imfant} (default) or the lazy-DFA
-    {!Mfsa_engine.Hybrid}. Matching semantics are identical; see the
-    engines' documentation for the performance trade-off. *)
-
 val create :
   ?strategy:Mfsa_model.Merge.strategy ->
   ?gc_threshold:float ->
-  ?engine:engine_kind ->
+  ?engine:string ->
   unit ->
   t
 (** Empty live ruleset at generation 0. [strategy] (default greedy)
     seeds every merge; [gc_threshold] (default 0.25) is the fraction
     of dead transitions that triggers a compaction pass after a
     removal — 0 compacts on every removal, 1 (almost) never.
-    [engine] (default [`Imfant]) selects the execution engine used by
-    every snapshot.
-    @raise Invalid_argument if [gc_threshold] is outside [\[0, 1\]]. *)
+    [engine] (default ["imfant"]) names the execution engine — any
+    name registered in {!Mfsa_engine.Registry} — compiled by every
+    snapshot; matching semantics are identical across engines, so the
+    choice is purely a performance trade-off. (The closed
+    [`Imfant]/[`Hybrid] variant of earlier releases is replaced by
+    these registry names; see the CHANGELOG.)
+    @raise Invalid_argument if [gc_threshold] is outside [\[0, 1\]] or
+    [engine] is not a registered engine name. *)
 
 val of_rules :
   ?strategy:Mfsa_model.Merge.strategy ->
   ?gc_threshold:float ->
-  ?engine:engine_kind ->
+  ?engine:string ->
   string array ->
   (t, Mfsa_core.Pipeline.error) result
 (** Bulk initial load: rule [i] of the array gets id [i]. Equivalent
@@ -97,6 +96,9 @@ val remove_rule : t -> int -> bool
 
 val generation : t -> int
 (** Generations advance by one on every successful update. *)
+
+val engine : t -> string
+(** The registered engine name every snapshot compiles. *)
 
 val n_rules : t -> int
 (** Live rules. *)
@@ -140,8 +142,9 @@ val count : t -> string -> int
 
 (** {2 Streaming}
 
-    Sessions wrap {!Mfsa_engine.Imfant.session} on the generation
-    current at creation ({!session}) or at the last {!reset}. A
+    Sessions wrap the selected engine's streaming session
+    ({!Mfsa_engine.Engine_sig.S.session}) on the generation current at
+    creation ({!session}) or at the last {!reset}. A
     session's generation never changes mid-stream — updates to the
     owner do not disturb it — which is exactly the zero-downtime swap
     discipline: drain the old generation, reset, continue on the new

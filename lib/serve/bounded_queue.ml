@@ -1,0 +1,53 @@
+type 'a t = {
+  buf : 'a Queue.t;
+  capacity : int;
+  m : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  mutable hwm : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity must be >= 1";
+  {
+    buf = Queue.create ();
+    capacity;
+    m = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    hwm = 0;
+  }
+
+let capacity q = q.capacity
+
+let push q v =
+  Mutex.lock q.m;
+  while Queue.length q.buf >= q.capacity do
+    Condition.wait q.not_full q.m
+  done;
+  Queue.push v q.buf;
+  if Queue.length q.buf > q.hwm then q.hwm <- Queue.length q.buf;
+  Condition.signal q.not_empty;
+  Mutex.unlock q.m
+
+let pop q =
+  Mutex.lock q.m;
+  while Queue.is_empty q.buf do
+    Condition.wait q.not_empty q.m
+  done;
+  let v = Queue.pop q.buf in
+  Condition.signal q.not_full;
+  Mutex.unlock q.m;
+  v
+
+let length q =
+  Mutex.lock q.m;
+  let n = Queue.length q.buf in
+  Mutex.unlock q.m;
+  n
+
+let hwm q =
+  Mutex.lock q.m;
+  let n = q.hwm in
+  Mutex.unlock q.m;
+  n

@@ -1,0 +1,27 @@
+(** A blocking bounded FIFO shared between domains — the submission
+    queue of {!Serve}, exposed on its own so the backpressure contract
+    is testable in isolation.
+
+    A full queue {e blocks} the producer until a consumer pops; no
+    element is ever dropped or reordered. The high-water mark records
+    the deepest the queue has ever been — the backpressure signal
+    {!Serve.stats} reports. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Blocks while the queue holds [capacity] elements. *)
+
+val pop : 'a t -> 'a
+(** Blocks while the queue is empty. *)
+
+val length : 'a t -> int
+(** Current depth (a snapshot — other domains keep moving). *)
+
+val hwm : 'a t -> int
+(** Deepest the queue has ever been. *)

@@ -1,0 +1,183 @@
+module Engine_sig = Mfsa_engine.Engine_sig
+module Registry = Mfsa_engine.Registry
+module Pool = Mfsa_engine.Pool
+
+let now () = Mfsa_util.Clock.now ()
+
+(* One queued input. [batch] is the rendezvous its result is
+   aggregated into: workers fill [results.(slot)], decrement
+   [remaining] and wake the submitter when the batch settles. *)
+type batch = {
+  results : Engine_sig.match_event list array;
+  mutable failed : exn option;
+  mutable remaining : int;
+}
+
+type job = { input : string; slot : int; batch : batch }
+
+type msg = Job of job | Stop
+
+type stats = {
+  domains : int;
+  batches : int;
+  inputs : int;
+  bytes : int;
+  elapsed : float;
+  queue_hwm : int;
+  queue_capacity : int;
+  per_domain_jobs : int array;
+  per_domain_busy : float array;
+}
+
+type t = {
+  engine_name : string;
+  n_domains : int;
+  queue : msg Bounded_queue.t;
+  mutable workers : unit Domain.t array;
+  (* Written by each worker for itself, read by [stats]; all writes
+     happen under [m], so stats snapshots are consistent. *)
+  per_domain_jobs : int array;
+  per_domain_busy : float array;
+  m : Mutex.t;
+  settled : Condition.t;  (* some batch's [remaining] reached 0 *)
+  mutable batches : int;
+  mutable inputs : int;
+  mutable bytes : int;
+  mutable elapsed : float;
+  mutable closed : bool;
+}
+
+(* Worker [i]: greedily pull the next job and run it on this domain's
+   private replica. Exceptions are captured into the job's batch — the
+   pool always drains; a poisoned input never wedges the service. *)
+let worker t i replica () =
+  let continue = ref true in
+  while !continue do
+    match Bounded_queue.pop t.queue with
+    | Stop -> continue := false
+    | Job j ->
+        let t0 = now () in
+        let outcome =
+          match Engine_sig.run replica j.input with
+          | events -> Ok events
+          | exception e -> Error e
+        in
+        let dt = now () -. t0 in
+        Mutex.lock t.m;
+        t.per_domain_jobs.(i) <- t.per_domain_jobs.(i) + 1;
+        t.per_domain_busy.(i) <- t.per_domain_busy.(i) +. dt;
+        (match outcome with
+        | Ok events -> j.batch.results.(j.slot) <- events
+        | Error e -> if j.batch.failed = None then j.batch.failed <- Some e);
+        j.batch.remaining <- j.batch.remaining - 1;
+        if j.batch.remaining = 0 then Condition.broadcast t.settled;
+        Mutex.unlock t.m
+  done
+
+let create ?(engine = "imfant") ?domains ?queue_capacity z =
+  let n_domains =
+    match domains with Some d -> d | None -> Pool.available_parallelism ()
+  in
+  if n_domains < 1 then invalid_arg "Serve.create: need at least one domain";
+  let queue_capacity =
+    match queue_capacity with Some c -> c | None -> 2 * n_domains
+  in
+  if queue_capacity < 1 then
+    invalid_arg "Serve.create: queue_capacity must be >= 1";
+  (* One replica per domain, compiled up front on the calling domain;
+     each is handed to exactly one worker and never shared. *)
+  let replicas =
+    Array.init n_domains (fun _ -> Registry.compile_exn engine z)
+  in
+  let t =
+    {
+      engine_name = engine;
+      n_domains;
+      queue = Bounded_queue.create ~capacity:queue_capacity;
+      workers = [||];
+      per_domain_jobs = Array.make n_domains 0;
+      per_domain_busy = Array.make n_domains 0.;
+      m = Mutex.create ();
+      settled = Condition.create ();
+      batches = 0;
+      inputs = 0;
+      bytes = 0;
+      elapsed = 0.;
+      closed = false;
+    }
+  in
+  t.workers <-
+    Array.init n_domains (fun i -> Domain.spawn (worker t i replicas.(i)));
+  t
+
+let engine t = t.engine_name
+
+let domains t = t.n_domains
+
+let match_batch t inputs =
+  Mutex.lock t.m;
+  let closed = t.closed in
+  Mutex.unlock t.m;
+  if closed then invalid_arg "Serve.match_batch: service is shut down";
+  let n = Array.length inputs in
+  if n = 0 then [||]
+  else begin
+    let batch =
+      { results = Array.make n []; failed = None; remaining = n }
+    in
+    let t0 = now () in
+    Array.iteri
+      (fun slot input -> Bounded_queue.push t.queue (Job { input; slot; batch }))
+      inputs;
+    Mutex.lock t.m;
+    while batch.remaining > 0 do
+      Condition.wait t.settled t.m
+    done;
+    t.batches <- t.batches + 1;
+    t.inputs <- t.inputs + n;
+    t.bytes <-
+      t.bytes + Array.fold_left (fun acc s -> acc + String.length s) 0 inputs;
+    t.elapsed <- t.elapsed +. (now () -. t0);
+    Mutex.unlock t.m;
+    match batch.failed with Some e -> raise e | None -> batch.results
+  end
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      domains = t.n_domains;
+      batches = t.batches;
+      inputs = t.inputs;
+      bytes = t.bytes;
+      elapsed = t.elapsed;
+      queue_hwm = Bounded_queue.hwm t.queue;
+      queue_capacity = Bounded_queue.capacity t.queue;
+      per_domain_jobs = Array.copy t.per_domain_jobs;
+      per_domain_busy = Array.copy t.per_domain_busy;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+let throughput_mbps (s : stats) =
+  if s.elapsed <= 0. then 0. else float_of_int s.bytes /. 1e6 /. s.elapsed
+
+let utilisation (s : stats) =
+  Array.map
+    (fun busy -> if s.elapsed <= 0. then 0. else busy /. s.elapsed)
+    s.per_domain_busy
+
+let shutdown t =
+  Mutex.lock t.m;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Mutex.unlock t.m;
+  if not was_closed then begin
+    (* Stops queue FIFO behind any still-queued jobs, so in-flight
+       batches drain before the workers exit. *)
+    for _ = 1 to t.n_domains do
+      Bounded_queue.push t.queue Stop
+    done;
+    Array.iter Domain.join t.workers
+  end

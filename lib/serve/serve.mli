@@ -1,0 +1,84 @@
+(** Domain-parallel batched match service.
+
+    The paper's multi-threaded evaluation (§VI-C2) distributes {e
+    automata} over a thread pool; this module adds the dual,
+    data-parallel axis needed to serve heavy traffic: one automaton,
+    many inputs, sharded across OCaml 5 domains. A {!t} owns a pool of
+    worker domains, each holding its {e own} compiled replica of the
+    selected engine — compiled engines carry mutable scratch (state
+    vectors, caches) and must never be shared across domains — plus a
+    bounded submission queue in front of the pool.
+
+    {!match_batch} pushes every input of a batch into the queue (the
+    push {e blocks} when the queue is full — backpressure, not drops),
+    the workers drain it greedily, and the results are aggregated in
+    submission order: element [i] of the result is exactly
+    [Engine_sig.run replica inputs.(i)], byte-identical to sequential
+    execution. A job that raises does not wedge the pool: the workers
+    keep draining, and the exception is re-raised by [match_batch]
+    once its batch has settled (the same drain-then-raise contract as
+    {!Mfsa_engine.Pool.run}).
+
+    {[
+      let srv = Serve.create ~engine:"hybrid" ~domains:4 z in
+      let results = Serve.match_batch srv packets in
+      (* results.(i) are packets.(i)'s matches, in order *)
+      Serve.shutdown srv
+    ]} *)
+
+type t
+
+type stats = {
+  domains : int;
+  batches : int;  (** Batches completed. *)
+  inputs : int;  (** Inputs processed. *)
+  bytes : int;  (** Input bytes processed. *)
+  elapsed : float;
+      (** Wall-clock seconds spent inside {!match_batch} (submission
+          to last result). *)
+  queue_hwm : int;
+      (** Submission-queue depth high-water mark — how hard the
+          backpressure bound was pushed. *)
+  queue_capacity : int;
+  per_domain_jobs : int array;  (** Jobs executed per worker domain. *)
+  per_domain_busy : float array;
+      (** Seconds each worker spent executing jobs. *)
+}
+
+val create :
+  ?engine:string -> ?domains:int -> ?queue_capacity:int -> Mfsa_model.Mfsa.t -> t
+(** Compile [domains] replicas (default
+    {!Mfsa_engine.Pool.available_parallelism}) of the named engine
+    (default ["imfant"], any {!Mfsa_engine.Registry} name) and spawn
+    one worker domain per replica. [queue_capacity] (default
+    [2 * domains]) bounds the submission queue.
+    @raise Invalid_argument on an unknown engine name, [domains < 1]
+    or [queue_capacity < 1]. *)
+
+val engine : t -> string
+
+val domains : t -> int
+
+val match_batch : t -> string array -> Mfsa_engine.Engine_sig.match_event list array
+(** Shard the batch across the worker domains and wait for every
+    result. [(match_batch t inputs).(i)] equals
+    [Engine_sig.run e inputs.(i)] for a fresh engine [e] — results are
+    aggregated in submission order regardless of completion order.
+    Safe to call from several client threads at once; a full
+    submission queue blocks the submitter. Re-raises the first
+    exception any of the batch's jobs raised, after the batch has
+    drained. @raise Invalid_argument after {!shutdown}. *)
+
+val stats : t -> stats
+(** Cumulative counters since {!create}. *)
+
+val throughput_mbps : stats -> float
+(** [bytes / elapsed], in MB/s; 0 before any batch. *)
+
+val utilisation : stats -> float array
+(** Per-domain busy fraction of the elapsed serving time ([1.0] =
+    that worker never waited); an empty-history service reports 0. *)
+
+val shutdown : t -> unit
+(** Stop the workers and join them. Idempotent; in-flight batches
+    drain first. *)

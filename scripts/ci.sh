@@ -21,9 +21,26 @@ echo "== engine-compare (smoke) =="
 out=$(MFSA_SCALE="${MFSA_SCALE:-0.1}" MFSA_STREAM_KB="${MFSA_STREAM_KB:-32}" \
   MFSA_REPS="${MFSA_REPS:-2}" dune exec bench/main.exe -- engine-compare)
 printf '%s\n' "$out"
-# The hybrid engine must report exactly iMFAnt's matches on every
+# Every registry engine must report exactly iMFAnt's matches on every
 # dataset; rows that disagree are marked DIVERGED by the experiment.
 if printf '%s' "$out" | grep -q DIVERGED; then
-  echo "ci: hybrid engine match counts diverged from iMFAnt" >&2
+  echo "ci: an engine's match counts diverged from iMFAnt" >&2
   exit 1
 fi
+
+echo "== serve (smoke) =="
+# A 2-domain Serve pool over the BRO ruleset must reproduce direct
+# sequential execution byte-for-byte; the bench exits non-zero and
+# prints DIVERGED on any mismatch.
+out=$(dune exec bench/main.exe -- serve-check)
+printf '%s\n' "$out"
+if printf '%s' "$out" | grep -q DIVERGED; then
+  echo "ci: sharded serving diverged from sequential execution" >&2
+  exit 1
+fi
+
+echo "== bench JSON artefacts =="
+MFSA_SCALE="${MFSA_SCALE:-0.1}" MFSA_STREAM_KB="${MFSA_STREAM_KB:-32}" \
+  MFSA_REPS="${MFSA_REPS:-2}" dune exec bench/main.exe -- json
+test -s BENCH_engines.json
+test -s BENCH_serve.json

@@ -93,32 +93,48 @@ The dataset dumper feeds the same workflow:
   $ wc -c < s.bin
   1024
   $ mfsa-compile r.txt -o r.anml && mfsa-match r.anml s.bin | tail -1 | sed 's/in .*(/in TIME (/'
-  total: 29 matches over 1024 bytes in TIME (1 thread)
+  total: 29 matches over 1024 bytes in TIME (imfant engine, 1 thread)
 
-Alternative engines must agree with iMFAnt on counts:
+Every registered engine is reachable through the same -e flag and must
+agree with iMFAnt on counts:
 
-  $ mfsa-match ruleset.anml stream.bin --engine dfa | grep -v "^total:"
+  $ for e in dfa decomposed hybrid infant; do mfsa-match ruleset.anml stream.bin --engine $e | grep -v "^total:"; done | sort -u
   rule 0.0  hello world                              1 matches
   rule 0.1  hello there                              1 matches
   rule 0.2  he(l|n)p                                 2 matches
 
-  $ mfsa-match ruleset.anml stream.bin --engine decomposed | grep -v "^total:"
-  rule 0.0  hello world                              1 matches
-  rule 0.1  hello there                              1 matches
-  rule 0.2  he(l|n)p                                 2 matches
+-e help lists the registry (the same flag and listing as mfsa-live and
+the bench driver):
 
-  $ mfsa-match ruleset.anml stream.bin --engine hybrid | grep -v "^total:"
-  rule 0.0  hello world                              1 matches
-  rule 0.1  hello there                              1 matches
-  rule 0.2  he(l|n)p                                 2 matches
+  $ mfsa-match ruleset.anml stream.bin -e help
+  decomposed   literal pre-filter + FSA confirmation (Hyperscan-style)
+  dfa          per-rule scanning DFAs (subset construction + Hopcroft)
+  hybrid       lazy-DFA configuration cache over iMFAnt (RE2-style)
+  imfant       transition-centric merged-automaton engine (paper §V, the default)
+  infant       per-rule iNFAnt baseline on the FSAs projected out of the MFSA
 
-The hybrid engine's cache instrumentation (-s):
+Every engine reports statistics through the common interface (-s):
 
-  $ mfsa-match ruleset.anml stream.bin --engine hybrid -s | grep "cache hit" | sed 's/rate [0-9.]*/rate R/;s/[0-9]* configs/N configs/;s/(.*)/(...)/;s/~[0-9]* KiB/~K KiB/'
-  mfsa 0: cache hit rate R, N configs (...), ~K KiB
+  $ mfsa-match ruleset.anml stream.bin -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
+  mfsa 0 stats: states=N, transitions=N, runs=N, bytes=N, avg_active=N, max_active=N
+
+  $ mfsa-match ruleset.anml stream.bin --engine hybrid -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
+  mfsa 0 stats: states=N, steps=N, hit_rate=N, resident_configs=N, configs_interned=N, flushes=N, cache_KiB=N
+
+  $ mfsa-match ruleset.anml stream.bin --engine dfa -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
+  mfsa 0 stats: rules=N, states=N, table_cells=N
+
+  $ mfsa-match ruleset.anml stream.bin --engine decomposed -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
+  mfsa 0 stats: prefiltered=N, fallback=N
+
+Unknown names get the registry's shared message, everywhere:
 
   $ mfsa-match ruleset.anml stream.bin --engine warp
-  mfsa-match: unknown engine "warp" (expected imfant, hybrid, dfa or decomposed)
+  mfsa-match: unknown engine "warp" (registered: decomposed, dfa, hybrid, imfant, infant)
+  [1]
+
+  $ mfsa-live -e warp < /dev/null
+  mfsa-live: unknown engine "warp" (registered: decomposed, dfa, hybrid, imfant, infant)
   [1]
 
 The COO vectors in the paper's Fig. 2 layout:
@@ -189,6 +205,10 @@ session pinned to the generation it opened on.
   gen 5: 2 rules, 5 states, 4 transitions (0 dead), 1 compactions
   rule 1  bca
   rule 2  cab
+
+The same script through another registry engine is indistinguishable:
+
+  $ mfsa-live -e hybrid live.txt > hybrid.out && mfsa-live live.txt > imfant.out && diff hybrid.out imfant.out
 
 A malformed rule is rejected without touching the ruleset; unknown ids
 are refused:

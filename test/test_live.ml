@@ -358,8 +358,12 @@ let test_session_on_empty_ruleset () =
 let test_live_hybrid_engine () =
   let rules = [| "hello world"; "he(l|n)p"; "lo w" |] in
   let mk engine = Result.get_ok (Live.of_rules ~engine rules) in
-  let li = mk `Imfant in
-  let lh = mk `Hybrid in
+  let li = mk "imfant" in
+  let lh = mk "hybrid" in
+  Alcotest.(check string) "engine name" "hybrid" (Live.engine lh);
+  (match Live.of_rules ~engine:"warp" rules with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown engine accepted");
   let input = "say hello world and ask for help" in
   check
     Alcotest.(list (pair int int))

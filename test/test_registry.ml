@@ -1,0 +1,292 @@
+(* Tests for the first-class engine API: registry surface, cross-engine
+   agreement through Engine_sig, stats, and the streaming contract —
+   including the buffered re-scan sessions of the per-rule engines. *)
+
+module P = Mfsa_frontend.Parser
+module Mfsa = Mfsa_model.Mfsa
+module Merge = Mfsa_model.Merge
+module Im = Mfsa_engine.Imfant
+module Engine_sig = Mfsa_engine.Engine_sig
+module Registry = Mfsa_engine.Registry
+module Gen = QCheck2.Gen
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let fsa_of src =
+  Mfsa_automata.Multiplicity.fuse
+    (Mfsa_automata.Epsilon.remove
+       (Mfsa_automata.Thompson.build
+          (Mfsa_automata.Simplify.char_classes_rule
+             (Mfsa_automata.Loops.expand_rule (P.parse_exn src)))))
+
+let merge_rules rules = Merge.merge (Array.of_list (List.map fsa_of rules))
+
+(* Within-position event order is engine-specific; compare sorted. *)
+let events l =
+  List.sort compare
+    (List.map (fun e -> (e.Engine_sig.fsa, e.Engine_sig.end_pos)) l)
+
+let builtins = [ "imfant"; "hybrid"; "infant"; "dfa"; "decomposed" ]
+
+let contains haystack needle =
+  let len = String.length needle in
+  let rec scan i =
+    i + len <= String.length haystack
+    && (String.sub haystack i len = needle || scan (i + 1))
+  in
+  scan 0
+
+(* ------------------------------------------------- Registry surface *)
+
+let test_names () =
+  let names = Registry.names () in
+  List.iter
+    (fun n ->
+      if not (List.mem n names) then
+        Alcotest.failf "built-in %S missing from Registry.names" n)
+    builtins;
+  check Alcotest.(list string) "sorted" (List.sort compare names) names;
+  List.iter
+    (fun n ->
+      (match Registry.find n with
+      | Some (module E : Engine_sig.S) ->
+          check Alcotest.string "find name matches" n E.name
+      | None -> Alcotest.failf "find %S = None" n);
+      match Registry.doc n with
+      | Some d -> check Alcotest.bool "doc non-empty" true (d <> "")
+      | None -> Alcotest.failf "doc %S = None" n)
+    names
+
+let test_unknown () =
+  check Alcotest.bool "find" true (Option.is_none (Registry.find "warp"));
+  (match Registry.find_exn "warp" with
+  | exception Invalid_argument msg ->
+      check Alcotest.bool "message names the engine" true (contains msg "warp")
+  | _ -> Alcotest.fail "find_exn accepted an unknown name");
+  (match Registry.compile "warp" (merge_rules [ "a" ]) with
+  | Error msg ->
+      check Alcotest.string "shared message" (Registry.unknown_message "warp")
+        msg
+  | Ok _ -> Alcotest.fail "compile accepted an unknown name")
+
+let test_help_lists_all () =
+  let help = Registry.help () in
+  List.iter
+    (fun n -> if not (contains help n) then Alcotest.failf "help misses %S" n)
+    (Registry.names ())
+
+(* A test-only engine that never matches: registering it makes it
+   selectable everywhere (latest wins on re-registration). *)
+module Null_engine : Engine_sig.S = struct
+  let name = "test-null"
+  let doc = "test-only engine that never matches"
+
+  type compiled = Mfsa.t
+
+  let compile z = z
+  let mfsa z = z
+  let run _ _ = []
+  let count _ _ = 0
+  let count_per_fsa (z : Mfsa.t) _ = Array.make z.Mfsa.n_fsas 0
+  let stats _ = [ ("matches", "0") ]
+  let reset_stats _ = ()
+
+  type session = { mutable pos : int }
+
+  let session _ = { pos = 0 }
+
+  let feed s chunk =
+    s.pos <- s.pos + String.length chunk;
+    []
+
+  let finish _ = []
+  let reset s = s.pos <- 0
+  let position s = s.pos
+end
+
+let test_register_custom () =
+  Registry.register (module Null_engine);
+  let z = merge_rules [ "ab"; "a" ] in
+  let eng = Registry.compile_exn "test-null" z in
+  check Alcotest.string "packed name" "test-null" (Engine_sig.name eng);
+  check Alcotest.int "no matches" 0 (Engine_sig.count eng "abab");
+  let s = Engine_sig.session eng in
+  ignore (Engine_sig.feed s "abab");
+  check Alcotest.int "position" 4 (Engine_sig.position s);
+  check Alcotest.bool "listed" true (List.mem "test-null" (Registry.names ()))
+
+(* --------------------------------------------- Cross-engine agreement *)
+
+let rules =
+  [ "hello world"; "he(l|n)p"; "lo w"; "a(b|c)*d"; "^start"; "end$"; "[0-9]{2}" ]
+
+let inputs =
+  [
+    "";
+    "say hello world and ask for help";
+    "start abd acd 42 end";
+    "abcbcd12ab";
+    "startend";
+    "no matches here!";
+  ]
+
+let test_all_engines_agree () =
+  let z = merge_rules rules in
+  let reference = Registry.compile_exn "imfant" z in
+  List.iter
+    (fun name ->
+      let eng = Registry.compile_exn name z in
+      check Alcotest.string "packed name" name (Engine_sig.name eng);
+      List.iter
+        (fun input ->
+          let expected = events (Engine_sig.run reference input) in
+          let got = events (Engine_sig.run eng input) in
+          check
+            Alcotest.(list (pair int int))
+            (Printf.sprintf "%s run on %S" name input)
+            expected got;
+          check Alcotest.int
+            (Printf.sprintf "%s count on %S" name input)
+            (List.length expected)
+            (Engine_sig.count eng input);
+          check
+            Alcotest.(array int)
+            (Printf.sprintf "%s count_per_fsa on %S" name input)
+            (Engine_sig.count_per_fsa reference input)
+            (Engine_sig.count_per_fsa eng input))
+        inputs)
+    builtins
+
+let test_stats_nonempty () =
+  let z = merge_rules rules in
+  List.iter
+    (fun name ->
+      let eng = Registry.compile_exn name z in
+      ignore (Engine_sig.run eng "say hello world 42");
+      let stats = Engine_sig.stats eng in
+      if stats = [] then Alcotest.failf "%s reports no stats" name;
+      List.iter
+        (fun (k, v) ->
+          if k = "" || v = "" then
+            Alcotest.failf "%s reports empty stat %S=%S" name k v)
+        stats;
+      Engine_sig.reset_stats eng)
+    builtins
+
+(* ------------------------------------------------------- Streaming *)
+
+(* Feeding chunk splits of [input] then finishing must reproduce the
+   whole-string run — for the native sessions (imfant, hybrid) and the
+   buffered re-scan sessions (infant, dfa, decomposed) alike. The
+   ruleset includes an end-anchored FSA, whose events must only appear
+   at finish. *)
+let splits input =
+  let n = String.length input in
+  [
+    [ input ];
+    [ String.sub input 0 (n / 2); String.sub input (n / 2) (n - (n / 2)) ];
+    List.init n (fun i -> String.sub input i 1);
+  ]
+
+let test_streaming_equivalence () =
+  let z = merge_rules rules in
+  let anchored_end = z.Mfsa.anchored_end in
+  List.iter
+    (fun name ->
+      let eng = Registry.compile_exn name z in
+      List.iter
+        (fun input ->
+          let expected = events (Engine_sig.run eng input) in
+          List.iter
+            (fun chunks ->
+              let s = Engine_sig.session eng in
+              let fed =
+                List.concat_map
+                  (fun chunk ->
+                    let evs = Engine_sig.feed s chunk in
+                    List.iter
+                      (fun e ->
+                        if anchored_end.(e.Engine_sig.fsa) then
+                          Alcotest.failf
+                            "%s reported end-anchored FSA %d before finish"
+                            name e.Engine_sig.fsa)
+                      evs;
+                    evs)
+                  chunks
+              in
+              let flushed = Engine_sig.finish s in
+              check Alcotest.int
+                (Printf.sprintf "%s position after %d chunks" name
+                   (List.length chunks))
+                (String.length input) (Engine_sig.position s);
+              check
+                Alcotest.(list (pair int int))
+                (Printf.sprintf "%s streaming %S in %d chunks" name input
+                   (List.length chunks))
+                expected
+                (events (fed @ flushed));
+              (* The session survives reset and replays identically. *)
+              Engine_sig.reset s;
+              check Alcotest.int "position after reset" 0
+                (Engine_sig.position s);
+              let refed = Engine_sig.feed s input in
+              let again = events (refed @ Engine_sig.finish s) in
+              check
+                Alcotest.(list (pair int int))
+                (Printf.sprintf "%s replay after reset" name)
+                expected again)
+            (splits input))
+        [ "say hello world and ask for help"; "start abd 42 end" ])
+    builtins
+
+(* ------------------------------------------------- Property: agreement *)
+
+let fsa_of_rule rule =
+  Mfsa_automata.Multiplicity.fuse
+    (Mfsa_automata.Epsilon.remove
+       (Mfsa_automata.Thompson.build
+          (Mfsa_automata.Simplify.char_classes_rule
+             (Mfsa_automata.Loops.expand_rule rule))))
+
+let prop_engines_agree =
+  QCheck2.Test.make ~count:40
+    ~name:"registry: every engine matches the imfant reference"
+    ~print:Gen_re.print_ruleset_input
+    (Gen.pair (Gen_re.ruleset ()) Gen_re.input)
+    (fun (rules, input) ->
+      let fsas = Array.of_list (List.map fsa_of_rule rules) in
+      let z = Merge.merge fsas in
+      let reference =
+        events (Engine_sig.run (Registry.compile_exn "imfant" z) input)
+      in
+      List.for_all
+        (fun name ->
+          events (Engine_sig.run (Registry.compile_exn name z) input)
+          = reference)
+        builtins)
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "surface",
+        [
+          Alcotest.test_case "built-ins registered" `Quick test_names;
+          Alcotest.test_case "unknown names" `Quick test_unknown;
+          Alcotest.test_case "help lists every engine" `Quick
+            test_help_lists_all;
+          Alcotest.test_case "custom engine registration" `Quick
+            test_register_custom;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "all engines agree" `Quick test_all_engines_agree;
+          Alcotest.test_case "stats non-empty" `Quick test_stats_nonempty;
+          qtest prop_engines_agree;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "chunked = whole-string" `Quick
+            test_streaming_equivalence;
+        ] );
+    ]

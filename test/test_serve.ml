@@ -1,0 +1,283 @@
+(* Tests for the domain-parallel match service: submission-order
+   aggregation equal to sequential execution (unit + qcheck over 1–4
+   domains), the blocking bounded queue (backpressure, no drops), and
+   the drain-then-raise exception contract — the same one as Pool.run,
+   extended to the persistent worker pool. *)
+
+module Mfsa = Mfsa_model.Mfsa
+module Merge = Mfsa_model.Merge
+module Im = Mfsa_engine.Imfant
+module Engine_sig = Mfsa_engine.Engine_sig
+module Registry = Mfsa_engine.Registry
+module Serve = Mfsa_serve.Serve
+module Bounded_queue = Mfsa_serve.Bounded_queue
+module P = Mfsa_frontend.Parser
+module Gen = QCheck2.Gen
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let fsa_of src =
+  Mfsa_automata.Multiplicity.fuse
+    (Mfsa_automata.Epsilon.remove
+       (Mfsa_automata.Thompson.build
+          (Mfsa_automata.Simplify.char_classes_rule
+             (Mfsa_automata.Loops.expand_rule (P.parse_exn src)))))
+
+let merge_rules rules = Merge.merge (Array.of_list (List.map fsa_of rules))
+
+let pairs l = List.map (fun e -> (e.Engine_sig.fsa, e.Engine_sig.end_pos)) l
+
+(* --------------------------------------------------- Bounded queue *)
+
+let test_queue_rejects_bad_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Bounded_queue.create: capacity must be >= 1") (fun () ->
+      ignore (Bounded_queue.create ~capacity:0))
+
+(* A full queue blocks the producer — it neither drops nor overwrites.
+   The third push only returns once a consumer has popped; afterwards
+   all three values come out in FIFO order. *)
+let test_queue_full_blocks () =
+  let q = Bounded_queue.create ~capacity:2 in
+  Bounded_queue.push q 1;
+  Bounded_queue.push q 2;
+  let pushed = Atomic.make false in
+  let producer =
+    Domain.spawn (fun () ->
+        Bounded_queue.push q 3;
+        Atomic.set pushed true)
+  in
+  (* Give the producer ample time to (wrongly) complete. *)
+  Unix.sleepf 0.05;
+  check Alcotest.bool "producer blocked on a full queue" false
+    (Atomic.get pushed);
+  check Alcotest.int "depth capped at capacity" 2 (Bounded_queue.length q);
+  check Alcotest.int "fifo head survives" 1 (Bounded_queue.pop q);
+  Domain.join producer;
+  check Alcotest.bool "producer resumed after a pop" true (Atomic.get pushed);
+  check Alcotest.int "second" 2 (Bounded_queue.pop q);
+  check Alcotest.int "third (nothing dropped)" 3 (Bounded_queue.pop q);
+  check Alcotest.int "drained" 0 (Bounded_queue.length q);
+  check Alcotest.int "high-water mark" 2 (Bounded_queue.hwm q);
+  check Alcotest.int "capacity" 2 (Bounded_queue.capacity q)
+
+(* Pop blocks on an empty queue until a push arrives. *)
+let test_queue_empty_blocks () =
+  let q = Bounded_queue.create ~capacity:4 in
+  let got = Atomic.make 0 in
+  let consumer =
+    Domain.spawn (fun () -> Atomic.set got (Bounded_queue.pop q))
+  in
+  Unix.sleepf 0.02;
+  check Alcotest.int "consumer still waiting" 0 (Atomic.get got);
+  Bounded_queue.push q 7;
+  Domain.join consumer;
+  check Alcotest.int "woken with the value" 7 (Atomic.get got)
+
+(* ------------------------------------------------- Serve basics *)
+
+let rules = [ "hello"; "he(l|n)p"; "a(b|c)*d"; "end$" ]
+
+let inputs =
+  [| "say hello"; ""; "abd acd end"; "help help"; "no match"; "abcbcbd" |]
+
+let test_batch_matches_sequential () =
+  let z = merge_rules rules in
+  let im = Im.compile z in
+  let expected = Array.map (fun i -> pairs (Im.run im i)) inputs in
+  List.iter
+    (fun domains ->
+      let srv = Serve.create ~domains z in
+      check Alcotest.int "domains accessor" domains (Serve.domains srv);
+      check Alcotest.string "engine accessor" "imfant" (Serve.engine srv);
+      let got = Array.map pairs (Serve.match_batch srv inputs) in
+      Array.iteri
+        (fun i exp ->
+          check
+            Alcotest.(list (pair int int))
+            (Printf.sprintf "input %d on %d domains" i domains)
+            exp got.(i))
+        expected;
+      check Alcotest.(array (list (pair int int))) "results in order" expected
+        got;
+      Serve.shutdown srv)
+    [ 1; 2; 3 ]
+
+let test_empty_batch () =
+  let srv = Serve.create ~domains:2 (merge_rules rules) in
+  check Alcotest.int "empty batch" 0 (Array.length (Serve.match_batch srv [||]));
+  Serve.shutdown srv
+
+let test_stats_accumulate () =
+  let z = merge_rules rules in
+  let srv = Serve.create ~domains:2 ~queue_capacity:3 z in
+  ignore (Serve.match_batch srv inputs);
+  ignore (Serve.match_batch srv [| "hello" |]);
+  let s = Serve.stats srv in
+  Serve.shutdown srv;
+  check Alcotest.int "batches" 2 s.Serve.batches;
+  check Alcotest.int "inputs" (Array.length inputs + 1) s.Serve.inputs;
+  check Alcotest.int "bytes"
+    (Array.fold_left (fun a i -> a + String.length i) 0 inputs + 5)
+    s.Serve.bytes;
+  check Alcotest.int "jobs sum to inputs"
+    (Array.length inputs + 1)
+    (Array.fold_left ( + ) 0 s.Serve.per_domain_jobs);
+  check Alcotest.int "queue capacity" 3 s.Serve.queue_capacity;
+  check Alcotest.bool "hwm within capacity" true
+    (s.Serve.queue_hwm >= 1 && s.Serve.queue_hwm <= 3);
+  check Alcotest.bool "elapsed positive" true (s.Serve.elapsed > 0.);
+  check Alcotest.bool "throughput positive" true
+    (Serve.throughput_mbps s > 0.);
+  check Alcotest.int "one utilisation figure per domain" 2
+    (Array.length (Serve.utilisation s))
+
+let test_create_validates () =
+  let z = merge_rules rules in
+  List.iter
+    (fun mk ->
+      match mk () with
+      | exception Invalid_argument _ -> ()
+      | srv ->
+          Serve.shutdown srv;
+          Alcotest.fail "bad Serve.create accepted")
+    [
+      (fun () -> Serve.create ~engine:"warp" z);
+      (fun () -> Serve.create ~domains:0 z);
+      (fun () -> Serve.create ~queue_capacity:0 z);
+    ]
+
+(* ------------------------------------------- Failure and shutdown *)
+
+exception Boom of string
+
+(* A registered engine that raises on poisoned inputs: exercises both
+   the open registry (tests can shadow or extend the built-ins) and
+   the service's drain-then-raise contract. *)
+module Failing_engine : Engine_sig.S = struct
+  let name = "test-failing"
+  let doc = "test-only imfant that raises on inputs containing 'X'"
+
+  type compiled = Im.t
+
+  let compile = Im.compile
+  let mfsa = Im.mfsa
+
+  let run c input =
+    if String.contains input 'X' then raise (Boom input) else Im.run c input
+
+  let count c input = List.length (run c input)
+
+  let count_per_fsa c input =
+    ignore (run c input);
+    Im.count_per_fsa c input
+
+  let stats _ = [ ("poisoned_byte", "X") ]
+  let reset_stats _ = ()
+
+  type session = Im.session
+
+  let session = Im.session
+  let feed = Im.feed
+  let finish = Im.finish
+  let reset = Im.reset
+  let position = Im.position
+end
+
+let () = Registry.register (module Failing_engine)
+
+let test_raising_job_drains_pool () =
+  let z = merge_rules rules in
+  let srv = Serve.create ~engine:"test-failing" ~domains:2 z in
+  (match Serve.match_batch srv [| "hello"; "poisoned X"; "abd"; "help" |] with
+  | _ -> Alcotest.fail "expected the job's exception"
+  | exception Boom input -> check Alcotest.string "which job" "poisoned X" input);
+  (* The pool survives: the healthy jobs of the failed batch ran, and
+     the service keeps answering. *)
+  let after = Serve.match_batch srv [| "say hello" |] in
+  check
+    Alcotest.(list (pair int int))
+    "still serving after a failure"
+    (pairs (Im.run (Im.compile z) "say hello"))
+    (pairs after.(0));
+  let s = Serve.stats srv in
+  check Alcotest.int "every job of both batches executed" 5
+    (Array.fold_left ( + ) 0 s.Serve.per_domain_jobs);
+  Serve.shutdown srv
+
+let test_shutdown () =
+  let srv = Serve.create ~domains:2 (merge_rules rules) in
+  ignore (Serve.match_batch srv [| "hello" |]);
+  Serve.shutdown srv;
+  Serve.shutdown srv;
+  (* idempotent *)
+  match Serve.match_batch srv [| "hello" |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "match_batch accepted after shutdown"
+
+(* ------------------------------------------------------ Property *)
+
+let fsa_of_rule rule =
+  Mfsa_automata.Multiplicity.fuse
+    (Mfsa_automata.Epsilon.remove
+       (Mfsa_automata.Thompson.build
+          (Mfsa_automata.Simplify.char_classes_rule
+             (Mfsa_automata.Loops.expand_rule rule))))
+
+let print_case ((rules, inputs), domains) =
+  Printf.sprintf "%s inputs=[%s] domains=%d"
+    (Gen_re.print_ruleset_input (rules, String.concat "|" inputs))
+    (String.concat "; " (List.map (Printf.sprintf "%S") inputs))
+    domains
+
+let prop_serve_agrees_with_sequential =
+  QCheck2.Test.make ~count:30
+    ~name:"serve: match_batch = sequential Imfant.run, any domain count"
+    ~print:print_case
+    (Gen.pair
+       (Gen.pair (Gen_re.ruleset ())
+          (Gen.list_size (Gen.int_range 0 10) Gen_re.input))
+       (Gen.int_range 1 4))
+    (fun ((rules, inputs), domains) ->
+      let fsas = Array.of_list (List.map fsa_of_rule rules) in
+      let z = Merge.merge fsas in
+      let im = Im.compile z in
+      let expected =
+        Array.map (fun i -> pairs (Im.run im i)) (Array.of_list inputs)
+      in
+      let srv = Serve.create ~domains z in
+      let got =
+        Array.map pairs (Serve.match_batch srv (Array.of_list inputs))
+      in
+      Serve.shutdown srv;
+      got = expected)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "bounded-queue",
+        [
+          Alcotest.test_case "rejects bad capacity" `Quick
+            test_queue_rejects_bad_capacity;
+          Alcotest.test_case "full queue blocks, never drops" `Quick
+            test_queue_full_blocks;
+          Alcotest.test_case "empty queue blocks pop" `Quick
+            test_queue_empty_blocks;
+        ] );
+      ( "batches",
+        [
+          Alcotest.test_case "batch = sequential" `Quick
+            test_batch_matches_sequential;
+          Alcotest.test_case "empty batch" `Quick test_empty_batch;
+          Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+          qtest prop_serve_agrees_with_sequential;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "raising job drains the pool" `Quick
+            test_raising_job_drains_pool;
+          Alcotest.test_case "shutdown" `Quick test_shutdown;
+        ] );
+    ]
