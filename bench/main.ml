@@ -41,6 +41,8 @@ module Registry = Mfsa_engine.Registry
 module Engine_sig = Mfsa_engine.Engine_sig
 module Pool = Mfsa_engine.Pool
 module Serve = Mfsa_serve.Serve
+module Obs = Mfsa_obs.Obs
+module Snapshot = Mfsa_obs.Snapshot
 
 (* ------------------------------------------------------- Bechamel *)
 
@@ -256,6 +258,7 @@ type serve_row = {
   sr_queue_capacity : int;
   sr_utilisation : float array;
   sr_agree : bool;
+  sr_obs : Snapshot.t;  (* parallel service's metric view, pre-shutdown *)
 }
 
 (* One batch of independent inputs per dataset, sharded across the
@@ -286,11 +289,12 @@ let serve_measurements ~engine cfg =
           results := Serve.match_batch srv inputs
         done;
         let st = Serve.stats srv in
+        let snap = Serve.snapshot srv in
         Serve.shutdown srv;
-        (!results, st)
+        (!results, st, snap)
       in
-      let seq_results, seq_stats = run_service 1 in
-      let par_results, par_stats = run_service n_domains in
+      let seq_results, seq_stats, _ = run_service 1 in
+      let par_results, par_stats, par_snap = run_service n_domains in
       {
         sr_dataset = ds.Datasets.abbr;
         sr_engine = engine;
@@ -303,6 +307,8 @@ let serve_measurements ~engine cfg =
         sr_queue_capacity = par_stats.Serve.queue_capacity;
         sr_utilisation = Serve.utilisation par_stats;
         sr_agree = seq_results = reference && par_results = reference;
+        sr_obs =
+          Snapshot.with_labels [ ("dataset", ds.Datasets.abbr) ] par_snap;
       })
     (Datasets.all ~scale:cfg.E.scale ())
 
@@ -373,8 +379,7 @@ let serve_check ~engine () =
 
 (* -------------------------------------------------- JSON export *)
 
-let write_engines_json ?engines cfg =
-  let rows = E.engine_rows ?engines cfg in
+let write_engines_json rows =
   let path = "BENCH_engines.json" in
   let oc = open_out path in
   output_string oc "[\n";
@@ -399,8 +404,7 @@ let json_float_array a =
       (Array.to_list (Array.map (Printf.sprintf "%.4f") a))
   ^ "]"
 
-let write_serve_json ~engine cfg =
-  let rows = serve_measurements ~engine cfg in
+let write_serve_json rows =
   let path = "BENCH_serve.json" in
   let oc = open_out path in
   output_string oc "[\n";
@@ -423,6 +427,25 @@ let write_serve_json ~engine cfg =
   output_string oc "]\n";
   close_out oc;
   Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+
+(* Everything the json run observed, as one metric snapshot: the
+   process-wide registry (compile-stage spans and counters from every
+   compile the run performed), each engine row's warm counters
+   (dataset- and engine-labelled) and each parallel service's full
+   view (per-domain histograms included). *)
+let write_obs_json engine_rows serve_rows =
+  let merged =
+    Snapshot.merge
+      (Obs.snapshot Obs.default
+      :: (List.map (fun r -> r.E.er_stats) engine_rows
+         @ List.map (fun r -> r.sr_obs) serve_rows))
+  in
+  let path = "BENCH_obs.json" in
+  let oc = open_out path in
+  output_string oc (Snapshot.to_json merged);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d samples)\n" path (List.length merged)
 
 (* ---------------------------------------------------- Entry point *)
 
@@ -466,8 +489,11 @@ let () =
   | [ "bechamel" ] -> run_bechamel ()
   | [ "json" ] ->
       let cfg = E.default () in
-      write_engines_json ?engines cfg;
-      write_serve_json ~engine cfg
+      let engine_rows = E.engine_rows ?engines cfg in
+      let serve_rows = serve_measurements ~engine cfg in
+      write_engines_json engine_rows;
+      write_serve_json serve_rows;
+      write_obs_json engine_rows serve_rows
   | [ "serve-check" ] -> serve_check ~engine ()
   | [] ->
       let cfg = E.default () in

@@ -7,15 +7,22 @@
    line; blank lines and lines starting with '#' are skipped. *)
 
 module Live = Mfsa_live.Live
+module Snapshot = Mfsa_obs.Snapshot
 
 (* [pats] remembers every pattern ever added (the live handle forgets
    removed rules), so events from a session still pinned to an older
-   generation keep their labels. *)
+   generation keep their labels. [metrics_every] > 0 dumps the metric
+   snapshot after every N executed commands — a poor man's scrape
+   loop for script-driven runs. *)
 type st = {
   lv : Live.t;
   mutable sess : Live.session option;
   pats : (int, string) Hashtbl.t;
+  metrics_every : int;
+  mutable executed : int;
 }
+
+let print_metrics st = print_string (Snapshot.to_prometheus (Live.metrics st.lv))
 
 let print_events st evs =
   List.iter
@@ -93,13 +100,14 @@ let exec st line =
         "gen %d: %d rules, %d states, %d transitions (%d dead), %d compactions\n"
         s.Live.generation s.Live.live_rules s.Live.states s.Live.transitions
         s.Live.dead_transitions s.Live.compactions
+  | "metrics", "" -> print_metrics st
   | _ ->
       Printf.printf
         "error: unknown command %S (expected add/remove/match/feed/finish/\
-         reset/compact/rules/stats)\n"
+         reset/compact/rules/stats/metrics)\n"
         line
 
-let run script gc_threshold rules engine =
+let run script gc_threshold rules metrics_every engine =
   match Engine_cli.resolve ~prog:"mfsa-live" engine with
   | Error code -> code
   | Ok engine -> (
@@ -112,7 +120,15 @@ let run script gc_threshold rules engine =
       Printf.eprintf "mfsa-live: %s\n" (Mfsa_core.Pipeline.error_to_string e);
       1
   | Ok lv ->
-      let st = { lv; sess = None; pats = Hashtbl.create 64 } in
+      let st =
+        {
+          lv;
+          sess = None;
+          pats = Hashtbl.create 64;
+          metrics_every;
+          executed = 0;
+        }
+      in
       List.iter (fun (id, p) -> Hashtbl.replace st.pats id p) (Live.rules lv);
       let ic = match script with Some p -> open_in p | None -> stdin in
       Fun.protect
@@ -121,7 +137,12 @@ let run script gc_threshold rules engine =
           (try
              while true do
                let line = String.trim (input_line ic) in
-               if line <> "" && line.[0] <> '#' then exec st line
+               if line <> "" && line.[0] <> '#' then begin
+                 exec st line;
+                 st.executed <- st.executed + 1;
+                 if st.metrics_every > 0 && st.executed mod st.metrics_every = 0
+                 then print_metrics st
+               end
              done
            with End_of_file -> ());
           0))
@@ -150,11 +171,22 @@ let rules =
     value & opt_all string []
     & info [ "r"; "rule" ] ~docv:"RE" ~doc:"Initial rule (repeatable).")
 
+let metrics_every =
+  Arg.(
+    value & opt int 0
+    & info [ "metrics-every" ] ~docv:"N"
+        ~doc:
+          "Print a Prometheus metrics dump (the $(b,metrics) command's \
+           output, tagged with the current generation) after every $(docv) \
+           executed commands; 0 (the default) disables the periodic dump.")
+
 let cmd =
   Cmd.v
     (Cmd.info "mfsa-live" ~version:"1.0.0"
        ~doc:"Drive a live MFSA ruleset: incremental adds, retirement, \
              compaction and generation-pinned streaming")
-    Term.(const run $ script $ gc_threshold $ rules $ Engine_cli.term ())
+    Term.(
+      const run $ script $ gc_threshold $ rules $ metrics_every
+      $ Engine_cli.term ())
 
 let () = exit (Cmd.eval' cmd)

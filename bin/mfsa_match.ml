@@ -1,16 +1,25 @@
 (* mfsa-match: the MFSA engines as a CLI (paper §V).
 
-   Loads an extended-ANML file produced by mfsa-compile and matches an
+   Loads an extended-ANML file produced by mfsa-compile (or, with
+   --rules, compiles a plain rules file in-process) and matches an
    input stream with any registered engine, printing per-rule match
    counts and, optionally, every match event — the engine-side half of
-   the compile → file → execute path. *)
+   the compile → file → execute path. With --metrics the run is
+   instead served through the domain-parallel Serve layer and the only
+   output is a metrics dump (Prometheus text or JSON) covering the
+   compile pipeline, the engines and the service — the scrape target
+   the CI observability gate validates. *)
 
 module Anml = Mfsa_anml.Anml
 module Mfsa = Mfsa_model.Mfsa
 module Engine_sig = Mfsa_engine.Engine_sig
 module Registry = Mfsa_engine.Registry
 module Pool = Mfsa_engine.Pool
+module Pipeline = Mfsa_core.Pipeline
 module Report = Mfsa_core.Report
+module Serve = Mfsa_serve.Serve
+module Obs = Mfsa_obs.Obs
+module Snapshot = Mfsa_obs.Snapshot
 
 let now () = Mfsa_util.Clock.now ()
 
@@ -20,14 +29,65 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run anml_path input_path threads list_events stats engine =
+(* One pattern per line, '#' comments allowed — the mfsa-compile
+   ruleset format. *)
+let read_rules path =
+  read_file path
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun l ->
+         let l = String.trim l in
+         if l = "" || l.[0] = '#' then None else Some l)
+  |> Array.of_list
+
+let load_mfsas ~rules path =
+  if rules then
+    match Pipeline.compile (read_rules path) with
+    | Ok c -> Ok c.Pipeline.mfsas
+    | Error e ->
+        Error
+          (Printf.sprintf "cannot compile %s: %s" path
+             (Pipeline.error_to_string e))
+  else
+    match Anml.read_file path with
+    | Ok mfsas -> Ok mfsas
+    | Error msg -> Error (Printf.sprintf "cannot load %s: %s" path msg)
+
+(* --metrics: serve the input through one Serve instance per MFSA
+   (threads worker domains each) and print nothing but the merged
+   metric snapshot — process-wide registry (compile spans when --rules
+   compiled here) plus every service's full view, tagged mfsa=<i>. *)
+let run_metrics mfsas input threads engine fmt =
+  let snaps =
+    List.mapi
+      (fun gi z ->
+        let srv = Serve.create ~engine ~domains:threads z in
+        Fun.protect
+          ~finally:(fun () -> Serve.shutdown srv)
+          (fun () ->
+            ignore (Serve.match_batch srv [| input |]);
+            Snapshot.with_labels
+              [ ("mfsa", string_of_int gi) ]
+              (Serve.snapshot srv)))
+      mfsas
+  in
+  let merged = Snapshot.merge (Obs.snapshot Obs.default :: snaps) in
+  print_string
+    (match fmt with
+    | `Prometheus -> Snapshot.to_prometheus merged
+    | `Json -> Snapshot.to_json merged ^ "\n");
+  0
+
+let run anml_path input_path threads list_events stats rules metrics engine =
   match Engine_cli.resolve ~prog:"mfsa-match" engine with
   | Error code -> code
   | Ok engine -> (
-      match Anml.read_file anml_path with
+      match load_mfsas ~rules anml_path with
       | Error msg ->
-          Printf.eprintf "mfsa-match: cannot load %s: %s\n" anml_path msg;
+          Printf.eprintf "mfsa-match: %s\n" msg;
           1
+      | Ok mfsas when metrics <> None ->
+          let input = read_file input_path in
+          run_metrics mfsas input threads engine (Option.get metrics)
       | Ok mfsas ->
           let input = read_file input_path in
           let engines =
@@ -64,7 +124,8 @@ let run anml_path input_path threads list_events stats engine =
                   (String.concat ", "
                      (List.map
                         (fun (k, v) -> k ^ "=" ^ v)
-                        (Engine_sig.stats engines.(gi)))))
+                        (Snapshot.to_kv ~drop_labels:[ "engine" ]
+                           (Engine_sig.stats engines.(gi))))))
             result.Pool.values;
           Printf.printf
             "total: %d matches over %d bytes in %s (%s engine, %d thread%s)\n"
@@ -81,6 +142,30 @@ let anml_path =
     required
     & pos 0 (some file) None
     & info [] ~docv:"ANML" ~doc:"Extended-ANML file produced by mfsa-compile.")
+
+let rules =
+  Arg.(
+    value & flag
+    & info [ "rules" ]
+        ~doc:
+          "Treat $(docv) as a plain rules file (one pattern per line) and \
+           compile it in-process instead of loading extended ANML — the \
+           compile-stage latency spans then appear in $(b,--metrics) output."
+        ~docv:"ANML")
+
+let metrics =
+  let fmt =
+    Arg.enum [ ("prom", `Prometheus); ("json", `Json) ]
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Prometheus) (some fmt) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Serve the stream through the domain-parallel service (one worker \
+           per $(b,--threads)) and print only a metrics dump in $(docv) \
+           format ($(b,prom), the default, or $(b,json)): compile-stage \
+           spans, engine counters and per-domain service histograms.")
 
 let input_path =
   Arg.(
@@ -111,6 +196,6 @@ let cmd =
        ~doc:"Execute compiled MFSAs against an input stream")
     Term.(
       const run $ anml_path $ input_path $ threads $ list_events $ stats
-      $ Engine_cli.term ())
+      $ rules $ metrics $ Engine_cli.term ())
 
 let () = exit (Cmd.eval' cmd)

@@ -195,7 +195,7 @@ let fig8 cfg =
                       merging = !acc.Pipeline.merging +. t.Pipeline.merging;
                       backend = !acc.Pipeline.backend +. t.Pipeline.backend;
                     }
-              | Error e -> failwith (Pipeline.error_to_string e)
+              | Error e -> raise (Pipeline.Compile_error e)
             done;
             let r = float_of_int cfg.reps in
             let avg x = x /. r in
@@ -781,6 +781,7 @@ type engine_row = {
   er_hit_rate : float;
   er_matches : int;
   er_agree : bool;
+  er_stats : Mfsa_obs.Snapshot.t;
 }
 
 (* Engine order: the reference engine first, then the rest of the
@@ -833,8 +834,8 @@ let engine_measurements ?engines cfg =
     (contexts cfg)
 
 let stat_hit_rate stats =
-  match List.assoc_opt "hit_rate" stats with
-  | Some v -> ( match float_of_string_opt v with Some f -> f | None -> 0.)
+  match Mfsa_obs.Snapshot.number stats "mfsa_engine_cache_hit_ratio" with
+  | Some v -> v
   | None -> 0.
 
 let engine_rows ?engines cfg =
@@ -851,6 +852,10 @@ let engine_rows ?engines cfg =
             er_hit_rate = stat_hit_rate stats;
             er_matches = Array.fold_left ( + ) 0 per;
             er_agree = agree;
+            er_stats =
+              Mfsa_obs.Snapshot.with_labels
+                [ ("dataset", ds.Datasets.abbr) ]
+                stats;
           })
         rows)
     (engine_measurements ?engines cfg)
@@ -907,7 +912,7 @@ let complexity cfg =
   let all_fsas =
     match Pipeline.build_fsas ds.Datasets.rules with
     | Ok fsas -> fsas
-    | Error e -> failwith (Pipeline.error_to_string e)
+    | Error e -> raise (Pipeline.Compile_error e)
   in
   let sizes = [ 13; 27; 54; 108; 217 ] in
   let points =

@@ -96,11 +96,15 @@ type engine_row = {
   er_time : float;  (** Seconds per pass over the stream. *)
   er_mbps : float;  (** Stream megabytes per second. *)
   er_hit_rate : float;
-      (** Warm cache hit rate, parsed from the engine's ["hit_rate"]
-          stat; 0 for engines that report none. *)
+      (** Warm cache hit rate, read from the engine's
+          [mfsa_engine_cache_hit_ratio] gauge; 0 for engines that
+          report none. *)
   er_matches : int;  (** Total match events on the stream. *)
   er_agree : bool;
       (** Per-FSA match counts identical to the iMFAnt reference. *)
+  er_stats : Mfsa_obs.Snapshot.t;
+      (** The engine's full warm metric snapshot, tagged with a
+          [dataset] label — exported verbatim into [BENCH_obs.json]. *)
 }
 
 val engine_rows : ?engines:string list -> config -> engine_row list

@@ -37,6 +37,14 @@ type error = { rule_index : int; pattern : string; message : string }
 let error_to_string { rule_index; pattern; message } =
   Printf.sprintf "rule %d (%s): %s" rule_index pattern message
 
+exception Compile_error of error
+
+let () =
+  Printexc.register_printer (function
+    | Compile_error e ->
+        Some ("Mfsa_core.Pipeline.Compile_error: " ^ error_to_string e)
+    | _ -> None)
+
 exception Stop of error
 
 let now () = Mfsa_util.Clock.now ()
@@ -47,6 +55,52 @@ let timed cell f =
   cell := !cell +. (now () -. t0);
   r
 
+(* --------------------------------------------------- Stage tracing *)
+
+(* One latency histogram per compile stage, in the process-wide
+   registry: every compile — batch, or a single rule arriving through
+   a Live update — adds one observation per stage, so production
+   deployments see where compile time goes without the bench harness.
+   The lumped stage_times quantities keep the paper's Fig. 8 grouping;
+   the spans split the middle-end into its three passes. *)
+let stage_span =
+  let h stage =
+    Mfsa_obs.Obs.histogram ~registry:Mfsa_obs.Obs.default
+      ~help:"Compile-pipeline stage latency in seconds, per compile call"
+      ~labels:[ ("stage", stage) ]
+      "mfsa_compile_stage_seconds"
+  in
+  let frontend = h "frontend"
+  and expansion = h "loop_expansion"
+  and thompson = h "thompson"
+  and epsilon = h "epsilon_removal"
+  and multiplicity = h "multiplicity"
+  and merge = h "merge"
+  and emit = h "emit" in
+  fun stage ->
+    match stage with
+    | `Frontend -> frontend
+    | `Expansion -> expansion
+    | `Thompson -> thompson
+    | `Epsilon -> epsilon
+    | `Multiplicity -> multiplicity
+    | `Merge -> merge
+    | `Emit -> emit
+
+let compiles_total =
+  Mfsa_obs.Obs.counter ~registry:Mfsa_obs.Obs.default
+    ~help:"Successful pipeline compile calls" "mfsa_compile_total"
+
+let compile_rules_total =
+  Mfsa_obs.Obs.counter ~registry:Mfsa_obs.Obs.default
+    ~help:"Rules successfully taken through the per-rule stages"
+    "mfsa_compile_rules_total"
+
+let compile_errors_total =
+  Mfsa_obs.Obs.counter ~registry:Mfsa_obs.Obs.default
+    ~help:"Compile calls rejected with a rule error"
+    "mfsa_compile_errors_total"
+
 let rule_error i pattern = function
   | Parser.Parse_error { pos; message } ->
       { rule_index = i; pattern; message = Printf.sprintf "at offset %d: %s" pos message }
@@ -54,12 +108,18 @@ let rule_error i pattern = function
   | e -> raise e
 
 let compile_stages patterns =
-  let fe = ref 0. and conv = ref 0. and opt = ref 0. in
+  let fe = ref 0.
+  and exp = ref 0.
+  and conv = ref 0.
+  and eps = ref 0.
+  and mult = ref 0. in
   (* Front-end: lexical and syntactic analyses of every rule. *)
   let parse i pattern =
     match timed fe (fun () -> Parser.parse_exn pattern) with
     | rule -> rule
-    | exception e -> raise (Stop (rule_error i pattern e))
+    | exception e ->
+        Mfsa_obs.Obs.inc compile_errors_total;
+        raise (Stop (rule_error i pattern e))
   in
   let rules = Array.mapi parse patterns in
   (* Middle-end, per rule: loop expansion (optimisation), Thompson
@@ -68,16 +128,25 @@ let compile_stages patterns =
   let build i rule =
     match
       let expanded =
-        timed opt (fun () -> Simplify.char_classes_rule (Loops.expand_rule rule))
+        timed exp (fun () -> Simplify.char_classes_rule (Loops.expand_rule rule))
       in
       let nfa = timed conv (fun () -> Thompson.build expanded) in
-      timed opt (fun () -> Multiplicity.fuse (Epsilon.remove nfa))
+      let nfa = timed eps (fun () -> Epsilon.remove nfa) in
+      timed mult (fun () -> Multiplicity.fuse nfa)
     with
     | fsa -> fsa
-    | exception e -> raise (Stop (rule_error i patterns.(i) e))
+    | exception e ->
+        Mfsa_obs.Obs.inc compile_errors_total;
+        raise (Stop (rule_error i patterns.(i) e))
   in
   let fsas = Array.mapi build rules in
-  (rules, fsas, !fe, !conv, !opt)
+  Mfsa_obs.Obs.add compile_rules_total (Array.length patterns);
+  Mfsa_obs.Obs.observe (stage_span `Frontend) !fe;
+  Mfsa_obs.Obs.observe (stage_span `Expansion) !exp;
+  Mfsa_obs.Obs.observe (stage_span `Thompson) !conv;
+  Mfsa_obs.Obs.observe (stage_span `Epsilon) !eps;
+  Mfsa_obs.Obs.observe (stage_span `Multiplicity) !mult;
+  (rules, fsas, !fe, !conv, !exp +. !eps +. !mult)
 
 let build_fsas patterns =
   match compile_stages patterns with
@@ -112,6 +181,9 @@ let compile ?strategy ?(m = 0) patterns =
         let t1 = now () in
         let anml = Anml.write mfsas in
         let backend = now () -. t1 in
+        Mfsa_obs.Obs.observe (stage_span `Merge) merging;
+        Mfsa_obs.Obs.observe (stage_span `Emit) backend;
+        Mfsa_obs.Obs.inc compiles_total;
         Log.info (fun l ->
             l
               "compiled %d rules into %d MFSA(s): FE %.3fms, AST->FSA %.3fms, \
@@ -138,4 +210,4 @@ let compile ?strategy ?(m = 0) patterns =
 let compile_exn ?strategy ?m patterns =
   match compile ?strategy ?m patterns with
   | Ok c -> c
-  | Error e -> failwith (error_to_string e)
+  | Error e -> raise (Compile_error e)

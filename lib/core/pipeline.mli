@@ -5,7 +5,16 @@
     construction), single-FSA middle-end optimisation (loop expansion,
     ε-removal, multiplicity fusion), MFSA merging with factor [M], and
     extended-ANML generation. Each stage's wall-clock time is recorded
-    — the quantities broken down in the paper's Fig. 8. *)
+    — the quantities broken down in the paper's Fig. 8.
+
+    Every compile also feeds the process-wide metrics registry
+    ({!Mfsa_obs.Obs.default}): one observation per stage in the
+    [mfsa_compile_stage_seconds{stage=...}] latency histogram (stages
+    [frontend], [loop_expansion], [thompson], [epsilon_removal],
+    [multiplicity], [merge], [emit]) plus the [mfsa_compile_total],
+    [mfsa_compile_rules_total] and [mfsa_compile_errors_total]
+    counters — so live-update deployments see compile cost at run
+    time, not only under the bench harness. *)
 
 type stage_times = {
   frontend : float;  (** Lexing + parsing, seconds (Fig. 8 "FE"). *)
@@ -32,6 +41,15 @@ type error = { rule_index : int; pattern : string; message : string }
 
 val error_to_string : error -> string
 
+exception Compile_error of error
+(** The typed form of a rule rejection, raised by the [_exn] entry
+    points here, in {!Mfsa_core.Ruleset} and in {!Mfsa_live.Live}.
+    Serving layers match on it to reject an update while keeping the
+    previous generation live; a printer is registered with
+    {!Printexc}, so an uncaught one still names the rule. (These
+    used to raise bare [Failure], which nothing upstream could
+    distinguish from an internal error.) *)
+
 val compile :
   ?strategy:Mfsa_model.Merge.strategy ->
   ?m:int ->
@@ -44,7 +62,7 @@ val compile :
 
 val compile_exn :
   ?strategy:Mfsa_model.Merge.strategy -> ?m:int -> string array -> compiled
-(** @raise Failure with the formatted error. *)
+(** @raise Compile_error on a rejected rule. *)
 
 val build_fsa : string -> (Mfsa_automata.Nfa.t, error) result
 (** Single-rule convenience: front-end + conversion + single-FSA

@@ -50,7 +50,7 @@ let compile ?(m = 0) ?(cluster = false) ?(ccsplit = false) ?strategy patterns =
 let compile_exn ?m ?cluster ?ccsplit ?strategy patterns =
   match compile ?m ?cluster ?ccsplit ?strategy patterns with
   | Ok t -> t
-  | Error e -> failwith (Pipeline.error_to_string e)
+  | Error e -> raise (Pipeline.Compile_error e)
 
 let n_rules t = Array.length t.patterns
 

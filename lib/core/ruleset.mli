@@ -39,7 +39,7 @@ val compile_exn :
   ?strategy:Mfsa_model.Merge.strategy ->
   string array ->
   t
-(** @raise Failure on the first offending rule. *)
+(** @raise Pipeline.Compile_error on the first offending rule. *)
 
 val n_rules : t -> int
 

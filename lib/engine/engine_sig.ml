@@ -11,7 +11,7 @@ module type S = sig
   val run : compiled -> string -> match_event list
   val count : compiled -> string -> int
   val count_per_fsa : compiled -> string -> int array
-  val stats : compiled -> (string * string) list
+  val stats : compiled -> Mfsa_obs.Snapshot.t
   val reset_stats : compiled -> unit
 
   type session

@@ -57,15 +57,24 @@ module type S = sig
   val count_per_fsa : compiled -> string -> int array
   (** Match counts per merged FSA (the agreement-check primitive). *)
 
-  val stats : compiled -> (string * string) list
-  (** Engine-specific counters as printable key/value pairs. Every
-      engine reports something: at minimum its automaton size, plus
-      whatever instrumentation it accumulates across {!run}s (iMFAnt:
-      active-set pressure; hybrid: cache hit rate; DFA: table size). *)
+  val stats : compiled -> Mfsa_obs.Snapshot.t
+  (** Engine counters as a typed metric snapshot, every sample
+      labelled [engine=<name>] and named in the [mfsa_engine_*]
+      namespace (catalogue in the README's Observability section).
+      Every engine reports something: at minimum its automaton size,
+      plus whatever instrumentation it accumulates across {!run}s
+      (iMFAnt: active-set pressure; hybrid: cache behaviour; DFA:
+      table size). Snapshots feed the {!Mfsa_obs.Snapshot} exporters
+      directly and merge with pipeline and serving metrics. *)
 
   val reset_stats : compiled -> unit
-  (** Zero the cumulative counters (a no-op for engines without
-      any). *)
+  (** Return the observable metric state to that of a fresh
+      {!compile}: cumulative counters to zero, and any internal state
+      the metrics expose (the hybrid's configuration cache) dropped
+      with them — [reset_stats] followed by a run reproduces the
+      metric snapshot of a fresh compile, the reproducibility
+      property the test suite checks. A no-op for engines without
+      mutable instrumentation. *)
 
   (** {2 Streaming}
 
@@ -117,7 +126,7 @@ val mfsa : t -> Mfsa_model.Mfsa.t
 val run : t -> string -> match_event list
 val count : t -> string -> int
 val count_per_fsa : t -> string -> int array
-val stats : t -> (string * string) list
+val stats : t -> Mfsa_obs.Snapshot.t
 val reset_stats : t -> unit
 
 val session : t -> session

@@ -78,6 +78,15 @@ val stats : t -> stats
 
 val reset_stats : t -> unit
 
+val flush : t -> unit
+(** Drop every dynamically interned configuration, as if the cache
+    bound had just been hit: the next step from any configuration
+    takes the NFA fallback path again. Outstanding sessions survive
+    (they re-intern their configuration). Counts as a flush in
+    {!stats}; combined with {!reset_stats} it returns the engine to
+    its freshly-compiled observable state — what the registry
+    adapter's [reset_stats] does. *)
+
 val run : t -> string -> match_event list
 (** All matches, ordered by end position (ties by FSA id). Equal to
     {!Imfant.run} on the same automaton and input. *)

@@ -1,4 +1,5 @@
 module Mfsa = Mfsa_model.Mfsa
+module Snapshot = Mfsa_obs.Snapshot
 open Engine_sig
 
 (* ------------------------------------------------------------------ *)
@@ -22,7 +23,7 @@ module type Base = sig
   val run : compiled -> string -> match_event list
   val count : compiled -> string -> int
   val count_per_fsa : compiled -> string -> int array
-  val stats : compiled -> (string * string) list
+  val stats : compiled -> Mfsa_obs.Snapshot.t
   val reset_stats : compiled -> unit
 end
 
@@ -107,13 +108,22 @@ module Imfant_engine : Engine_sig.S = struct
 
   let stats c =
     let z = mfsa c in
+    let labels = [ ("engine", name) ] in
     [
-      ("states", string_of_int z.Mfsa.n_states);
-      ("transitions", string_of_int (Mfsa.n_transitions z));
-      ("runs", string_of_int c.runs);
-      ("bytes", string_of_int c.bytes);
-      ("avg_active", Printf.sprintf "%.2f" c.avg_active);
-      ("max_active", string_of_int c.max_active);
+      Snapshot.gauge_i ~labels ~help:"States in the compiled automaton"
+        "mfsa_engine_states" z.Mfsa.n_states;
+      Snapshot.gauge_i ~labels ~help:"Transitions in the compiled automaton"
+        "mfsa_engine_transitions" (Mfsa.n_transitions z);
+      Snapshot.counter_i ~labels ~help:"Instrumented runs executed"
+        "mfsa_engine_runs_total" c.runs;
+      Snapshot.counter_i ~labels ~help:"Input bytes processed by instrumented runs"
+        "mfsa_engine_bytes_total" c.bytes;
+      Snapshot.gauge ~labels
+        ~help:"Mean active FSAs per position of the last run (Table II)"
+        "mfsa_engine_active_fsas_avg" c.avg_active;
+      Snapshot.gauge_i ~labels
+        ~help:"Peak active FSAs per position across runs (Table II)"
+        "mfsa_engine_active_fsas_max" c.max_active;
     ]
 
   let reset_stats c =
@@ -162,17 +172,34 @@ module Hybrid_engine : Engine_sig.S = struct
       if s.Hybrid.steps = 0 then 0.
       else float_of_int s.Hybrid.hits /. float_of_int s.Hybrid.steps
     in
+    let labels = [ ("engine", name) ] in
     [
-      ("states", string_of_int (Hybrid.mfsa c).Mfsa.n_states);
-      ("steps", string_of_int s.Hybrid.steps);
-      ("hit_rate", Printf.sprintf "%.6f" hit_rate);
-      ("resident_configs", string_of_int s.Hybrid.resident_configs);
-      ("configs_interned", string_of_int s.Hybrid.configs_interned);
-      ("flushes", string_of_int s.Hybrid.flushes);
-      ("cache_KiB", string_of_int (s.Hybrid.cache_bytes / 1024));
+      Snapshot.gauge_i ~labels ~help:"States in the compiled automaton"
+        "mfsa_engine_states" (Hybrid.mfsa c).Mfsa.n_states;
+      Snapshot.counter_i ~labels ~help:"Bytes stepped through the lazy DFA"
+        "mfsa_engine_steps_total" s.Hybrid.steps;
+      Snapshot.counter_i ~labels ~help:"Memoised steps"
+        "mfsa_engine_cache_hits_total" s.Hybrid.hits;
+      Snapshot.counter_i ~labels ~help:"Steps taking the NFA fallback path"
+        "mfsa_engine_cache_misses_total" s.Hybrid.misses;
+      Snapshot.gauge ~labels ~help:"hits / steps since the last reset"
+        "mfsa_engine_cache_hit_ratio" hit_rate;
+      Snapshot.gauge_i ~labels ~help:"Configurations resident in the cache"
+        "mfsa_engine_cache_resident_configs" s.Hybrid.resident_configs;
+      Snapshot.counter_i ~labels ~help:"Configurations interned"
+        "mfsa_engine_cache_interned_total" s.Hybrid.configs_interned;
+      Snapshot.counter_i ~labels ~help:"Full cache flushes"
+        "mfsa_engine_cache_flushes_total" s.Hybrid.flushes;
+      Snapshot.gauge_i ~labels ~help:"Approximate cache footprint"
+        "mfsa_engine_cache_bytes" s.Hybrid.cache_bytes;
     ]
 
-  let reset_stats = Hybrid.reset_stats
+  (* Metric reproducibility (Engine_sig contract): the counters AND
+     the cache state they describe go back to the freshly-compiled
+     state, so reset + run replays the cold-cache metric trajectory. *)
+  let reset_stats c =
+    Hybrid.flush c;
+    Hybrid.reset_stats c
 
   type session = Hybrid.session
 
@@ -222,9 +249,12 @@ module Infant_base = struct
     let states =
       Array.fold_left (fun acc eng -> acc + Infant.n_states eng) 0 c.engines
     in
+    let labels = [ ("engine", name) ] in
     [
-      ("rules", string_of_int (Array.length c.engines));
-      ("states", string_of_int states);
+      Snapshot.gauge_i ~labels ~help:"Projected per-rule automata"
+        "mfsa_engine_rules" (Array.length c.engines);
+      Snapshot.gauge_i ~labels ~help:"States across the projected automata"
+        "mfsa_engine_states" states;
     ]
 
   let reset_stats _ = ()
@@ -268,10 +298,14 @@ module Dfa_base = struct
     let states =
       Array.fold_left (fun acc eng -> acc + Dfa_engine.n_states eng) 0 c.engines
     in
+    let labels = [ ("engine", name) ] in
     [
-      ("rules", string_of_int (Array.length c.engines));
-      ("states", string_of_int states);
-      ("table_cells", string_of_int (states * 256));
+      Snapshot.gauge_i ~labels ~help:"Projected per-rule automata"
+        "mfsa_engine_rules" (Array.length c.engines);
+      Snapshot.gauge_i ~labels ~help:"DFA states across the projected rules"
+        "mfsa_engine_states" states;
+      Snapshot.gauge_i ~labels ~help:"256-way transition table cells"
+        "mfsa_engine_table_cells" (states * 256);
     ]
 
   let reset_stats _ = ()
@@ -310,9 +344,13 @@ module Decomposed_base = struct
     counts
 
   let stats c =
+    let labels = [ ("engine", name) ] in
     [
-      ("prefiltered", string_of_int (Decomposed.n_prefiltered c.d));
-      ("fallback", string_of_int (Decomposed.n_fallback c.d));
+      Snapshot.gauge_i ~labels
+        ~help:"Rules handled through the literal pre-filter"
+        "mfsa_engine_rules_prefiltered" (Decomposed.n_prefiltered c.d);
+      Snapshot.gauge_i ~labels ~help:"Rules scanned conventionally"
+        "mfsa_engine_rules_fallback" (Decomposed.n_fallback c.d);
     ]
 
   let reset_stats _ = ()

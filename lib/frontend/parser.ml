@@ -50,6 +50,13 @@ and parse_atom st =
       | Some { token = Lexer.Rparen; _ } ->
           advance st;
           Some inner
+      (* An anchor is what stopped the group: blame the anchor at its
+         own position, not the '(' — "unmatched '('" would point the
+         user at the wrong character. *)
+      | Some { token = Lexer.Caret; pos } ->
+          fail pos "'^' is only supported at the start of the pattern"
+      | Some { token = Lexer.Dollar; pos } ->
+          fail pos "'$' is only supported at the end of the pattern"
       | _ -> fail pos "unmatched '('")
   | Some { token = Lexer.Star | Lexer.Plus | Lexer.Quest | Lexer.Repeat _; pos }
     ->

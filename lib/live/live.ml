@@ -44,6 +44,8 @@ type t = {
   mutable next_id : int;
   mutable gen : int;
   mutable compactions : int;
+  mutable updates_ok : int;
+  mutable updates_rejected : int;
   mutable snap : snapshot;
 }
 
@@ -81,6 +83,8 @@ let create ?strategy ?(gc_threshold = 0.25) ?(engine = "imfant") () =
     next_id = 0;
     gen = 0;
     compactions = 0;
+    updates_ok = 0;
+    updates_rejected = 0;
     snap = { sgen = 0; payload = None };
   }
 
@@ -102,16 +106,20 @@ let of_rules ?strategy ?gc_threshold ?engine patterns =
           let slot = Builder.add t.builder a in
           ignore (register t patterns.(i) slot))
         fsas;
+      t.updates_ok <- Array.length patterns;
       refresh t;
       Ok t
 
 let add_rule t pattern =
   match Pipeline.build_fsa pattern with
-  | Error e -> Error e
+  | Error e ->
+      t.updates_rejected <- t.updates_rejected + 1;
+      Error e
   | Ok a ->
       let slot = Builder.add t.builder a in
       let id = register t pattern slot in
       t.gen <- t.gen + 1;
+      t.updates_ok <- t.updates_ok + 1;
       refresh t;
       Log.debug (fun m ->
           m "gen %d: added rule %d %S (slot %d)" t.gen id pattern slot);
@@ -120,7 +128,7 @@ let add_rule t pattern =
 let add_rule_exn t pattern =
   match add_rule t pattern with
   | Ok id -> id
-  | Error e -> failwith (Pipeline.error_to_string e)
+  | Error e -> raise (Pipeline.Compile_error e)
 
 (* Compaction renumbers builder slots; rethread the stable-id maps
    through the relocation map. *)
@@ -148,6 +156,7 @@ let remove_rule t id =
       Hashtbl.remove t.patterns_tbl id;
       if Builder.garbage_ratio t.builder > t.gc_threshold then compact_now t;
       t.gen <- t.gen + 1;
+      t.updates_ok <- t.updates_ok + 1;
       refresh t;
       Log.debug (fun m ->
           m "gen %d: removed rule %d (garbage %.2f)" t.gen id
@@ -180,6 +189,46 @@ let stats t =
     dead_transitions = Builder.dead_transitions t.builder;
     compactions = t.compactions;
   }
+
+(* Every sample is tagged with the generation it describes, so a
+   scraper watching a rolling deployment can line rule/state counts
+   up with the update that produced them. Engine metrics appear only
+   once the lazy engine of the current snapshot has actually been
+   forced — metrics export must not be the thing that triggers table
+   construction. *)
+let metrics t =
+  let module S = Mfsa_obs.Snapshot in
+  let own =
+    [
+      S.gauge_i ~help:"Current ruleset generation" "mfsa_live_generation" t.gen;
+      S.gauge_i ~help:"Live rules in the current generation"
+        "mfsa_live_rules" (n_rules t);
+      S.gauge_i ~help:"Builder states, including garbage" "mfsa_live_states"
+        (Builder.n_states t.builder);
+      S.gauge_i ~help:"Builder transitions, including dead ones"
+        "mfsa_live_transitions"
+        (Builder.n_transitions t.builder);
+      S.gauge_i ~help:"Retired transitions awaiting compaction"
+        "mfsa_live_dead_transitions"
+        (Builder.dead_transitions t.builder);
+      S.counter_i ~help:"Compaction passes run" "mfsa_live_compactions_total"
+        t.compactions;
+      S.counter_i ~help:"Ruleset updates by outcome"
+        ~labels:[ ("result", "ok") ]
+        "mfsa_live_updates_total" t.updates_ok;
+      S.counter_i ~help:"Ruleset updates by outcome"
+        ~labels:[ ("result", "rejected") ]
+        "mfsa_live_updates_total" t.updates_rejected;
+    ]
+  in
+  let engine =
+    match t.snap.payload with
+    | Some p when Lazy.is_val p.engine -> Engine_sig.stats (Lazy.force p.engine)
+    | _ -> []
+  in
+  S.with_labels
+    [ ("generation", string_of_int t.snap.sgen) ]
+    (S.merge [ own; engine ])
 
 (* ------------------------------------------------------- Matching *)
 

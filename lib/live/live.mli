@@ -87,7 +87,8 @@ val add_rule : t -> string -> (int, Mfsa_core.Pipeline.error) result
     untouched. *)
 
 val add_rule_exn : t -> string -> int
-(** @raise Failure on a malformed rule. *)
+(** @raise Mfsa_core.Pipeline.Compile_error on a malformed rule; the
+    ruleset is untouched and the previous generation keeps serving. *)
 
 val remove_rule : t -> int -> bool
 (** Retire the rule: matches for it stop with the new generation.
@@ -112,6 +113,17 @@ val compact : t -> unit
 (** Force a compaction pass regardless of the garbage threshold. *)
 
 val stats : t -> stats
+
+val metrics : t -> Mfsa_obs.Snapshot.t
+(** {!stats} plus the update counters as a metric snapshot:
+    [mfsa_live_generation], [mfsa_live_rules], [mfsa_live_states],
+    [mfsa_live_transitions], [mfsa_live_dead_transitions] gauges,
+    the [mfsa_live_compactions_total] counter and
+    [mfsa_live_updates_total{result="ok"|"rejected"}] — every sample
+    tagged [generation=<current generation>]. Includes the serving
+    engine's own metrics if (and only if) the current generation's
+    lazy engine has already been forced by a match — exporting
+    metrics never triggers engine compilation. *)
 
 (** {2 Matching}
 

@@ -1,0 +1,167 @@
+module Clock = Mfsa_util.Clock
+
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+type histogram = {
+  bounds : float array;
+  counts : int Atomic.t array;  (* length bounds + 1; last = overflow *)
+  sum : float Atomic.t;
+  total : int Atomic.t;
+}
+
+type metric = MCounter of counter | MGauge of gauge | MHist of histogram
+
+type t = {
+  lock : Mutex.t;
+  tbl : (string * Snapshot.labels, string * metric) Hashtbl.t;
+      (* (name, labels) -> (help, metric) *)
+}
+
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 32 }
+
+let default = create ()
+
+let enabled_flag = Atomic.make true
+
+let set_enabled b = Atomic.set enabled_flag b
+
+let enabled () = Atomic.get enabled_flag
+
+(* 2^-20 s (~1 µs) .. 2^4 s: 25 log2 buckets. *)
+let latency_buckets = Array.init 25 (fun i -> Float.pow 2. (float_of_int (i - 20)))
+
+let norm_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function
+  | MCounter _ -> "counter"
+  | MGauge _ -> "gauge"
+  | MHist _ -> "histogram"
+
+(* Get-or-create under the registry lock; only registration takes it,
+   updates go straight to the atomics. *)
+let intern registry help labels name make match_metric =
+  let key = (name, norm_labels labels) in
+  Mutex.lock registry.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry.lock)
+    (fun () ->
+      match Hashtbl.find_opt registry.tbl key with
+      | Some (_, m) -> (
+          match match_metric m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Obs: %s is already registered as a %s" name (kind_name m)))
+      | None ->
+          let v, m = make () in
+          Hashtbl.replace registry.tbl key (help, m);
+          v)
+
+let counter ?(registry = default) ?(help = "") ?(labels = []) name =
+  intern registry help labels name
+    (fun () ->
+      let c = Atomic.make 0 in
+      (c, MCounter c))
+    (function MCounter c -> Some c | _ -> None)
+
+let gauge ?(registry = default) ?(help = "") ?(labels = []) name =
+  intern registry help labels name
+    (fun () ->
+      let g = Atomic.make 0. in
+      (g, MGauge g))
+    (function MGauge g -> Some g | _ -> None)
+
+let histogram ?(registry = default) ?(help = "") ?(labels = [])
+    ?(bounds = latency_buckets) name =
+  intern registry help labels name
+    (fun () ->
+      let h =
+        {
+          bounds;
+          counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+          sum = Atomic.make 0.;
+          total = Atomic.make 0;
+        }
+      in
+      (h, MHist h))
+    (function MHist h -> Some h | _ -> None)
+
+(* --------------------------------------------------------- Updates *)
+
+let add c by = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c by)
+
+let inc c = add c 1
+
+let set g v = if Atomic.get enabled_flag then Atomic.set g v
+
+let rec atomic_add_float a x =
+  let v = Atomic.get a in
+  if not (Atomic.compare_and_set a v (v +. x)) then atomic_add_float a x
+
+(* Binary search for the first bound >= v; the overflow bucket when
+   none is. *)
+let bucket_of bounds v =
+  let n = Array.length bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v <= bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    ignore (Atomic.fetch_and_add h.counts.(bucket_of h.bounds v) 1);
+    ignore (Atomic.fetch_and_add h.total 1);
+    atomic_add_float h.sum v
+  end
+
+let time h f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = Clock.now () in
+    Fun.protect ~finally:(fun () -> observe h (Clock.now () -. t0)) f
+  end
+
+(* --------------------------------------------------------- Reading *)
+
+let counter_value c = Atomic.get c
+
+let gauge_value g = Atomic.get g
+
+let snapshot registry =
+  Mutex.lock registry.lock;
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry.tbl []
+  in
+  Mutex.unlock registry.lock;
+  Snapshot.normalize
+    (List.map
+       (fun ((name, labels), (help, m)) ->
+         match m with
+         | MCounter c ->
+             Snapshot.counter_i ~help ~labels name (Atomic.get c)
+         | MGauge g -> Snapshot.gauge ~help ~labels name (Atomic.get g)
+         | MHist h ->
+             Snapshot.histogram ~help ~labels name ~bounds:h.bounds
+               ~counts:(Array.map Atomic.get h.counts)
+               ~sum:(Atomic.get h.sum))
+       entries)
+
+let reset registry =
+  Mutex.lock registry.lock;
+  Hashtbl.iter
+    (fun _ (_, m) ->
+      match m with
+      | MCounter c -> Atomic.set c 0
+      | MGauge g -> Atomic.set g 0.
+      | MHist h ->
+          Array.iter (fun cell -> Atomic.set cell 0) h.counts;
+          Atomic.set h.sum 0.;
+          Atomic.set h.total 0)
+    registry.tbl;
+  Mutex.unlock registry.lock

@@ -1,0 +1,86 @@
+(** Low-overhead runtime metrics registry.
+
+    The paper's evaluation is offline instrumentation; a serving
+    deployment needs the same quantities at run time. This registry
+    holds counters, gauges and log-bucketed latency histograms behind
+    get-or-create handles: registration takes a lock once, after which
+    every update is a handful of atomic operations — safe to call from
+    any domain (the {!Mfsa_serve.Serve} workers do), cheap enough for
+    per-batch accounting on hot paths. {!snapshot} freezes the whole
+    registry into a {!Snapshot.t} for the exporters.
+
+    {!default} is the process-wide registry: the compile pipeline's
+    stage spans land there, and the CLIs scrape it. Subsystems that
+    want isolation (one {!Mfsa_serve.Serve} instance per registry, so
+    two services never collide on a series) {!create} their own.
+
+    Updates can be disabled globally ({!set_enabled}) for overhead
+    A/B runs; registration and snapshots still work, observations
+    become no-ops. *)
+
+type t
+(** A metrics registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry. *)
+
+val set_enabled : bool -> unit
+(** Globally enable (default) or disable metric updates. *)
+
+val enabled : unit -> bool
+
+type counter
+type gauge
+type histogram
+
+(** {2 Registration}
+
+    Get-or-create: the same (name, labels) pair always returns the
+    same handle, so call sites need no coordination.
+    @raise Invalid_argument when the name/labels pair is already
+    registered with a different metric kind. *)
+
+val counter : ?registry:t -> ?help:string -> ?labels:Snapshot.labels -> string -> counter
+val gauge : ?registry:t -> ?help:string -> ?labels:Snapshot.labels -> string -> gauge
+
+val histogram :
+  ?registry:t ->
+  ?help:string ->
+  ?labels:Snapshot.labels ->
+  ?bounds:float array ->
+  string ->
+  histogram
+(** [bounds] default to {!latency_buckets}. *)
+
+val latency_buckets : float array
+(** Power-of-two seconds from 2{^-20} (≈1 µs) to 2{^4} (16 s) — the
+    default histogram bucketing, wide enough for compile stages and
+    batch latencies alike. *)
+
+(** {2 Updates} *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+(** Record one value (seconds, for latency histograms). *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** A span: run the thunk and {!observe} its wall-clock duration
+    (observed even when the thunk raises). *)
+
+(** {2 Reading} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+
+val snapshot : t -> Snapshot.t
+(** Freeze every registered metric, in canonical (name, labels)
+    order. *)
+
+val reset : t -> unit
+(** Zero every registered metric (handles stay valid) — for tests and
+    measurement-window restarts. *)

@@ -1,0 +1,272 @@
+type labels = (string * string) list
+
+type histogram = {
+  bounds : float array;
+  counts : int array;
+  sum : float;
+  count : int;
+}
+
+type value = Counter of float | Gauge of float | Histogram of histogram
+
+type sample = { name : string; help : string; labels : labels; value : value }
+
+type t = sample list
+
+(* ----------------------------------------------------- Constructors *)
+
+let norm_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let sample ?(help = "") ?(labels = []) name value =
+  { name; help; labels = norm_labels labels; value }
+
+let counter ?help ?labels name v = sample ?help ?labels name (Counter v)
+
+let counter_i ?help ?labels name v = counter ?help ?labels name (float_of_int v)
+
+let gauge ?help ?labels name v = sample ?help ?labels name (Gauge v)
+
+let gauge_i ?help ?labels name v = gauge ?help ?labels name (float_of_int v)
+
+let histogram ?help ?labels name ~bounds ~counts ~sum =
+  if Array.length counts <> Array.length bounds + 1 then
+    invalid_arg "Snapshot.histogram: need one count cell per bound plus overflow";
+  let count = Array.fold_left ( + ) 0 counts in
+  sample ?help ?labels name (Histogram { bounds; counts; sum; count })
+
+(* ------------------------------------------------------ Combinators *)
+
+let compare_sample a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else compare a.labels b.labels
+
+let normalize t = List.stable_sort compare_sample t
+
+let merge ts = normalize (List.concat ts)
+
+let with_labels extra t =
+  let extra = norm_labels extra in
+  List.map
+    (fun s ->
+      let added =
+        List.filter (fun (k, _) -> not (List.mem_assoc k s.labels)) extra
+      in
+      { s with labels = norm_labels (s.labels @ added) })
+    t
+
+let without_label key t =
+  List.map
+    (fun s -> { s with labels = List.remove_assoc key s.labels })
+    t
+
+let find ?labels t name =
+  List.find_opt
+    (fun s ->
+      s.name = name
+      && match labels with None -> true | Some l -> s.labels = norm_labels l)
+    t
+
+let number ?labels t name =
+  match find ?labels t name with
+  | Some { value = Counter v | Gauge v; _ } -> Some v
+  | Some { value = Histogram _; _ } | None -> None
+
+let equal a b =
+  (* Help strings describe, they don't identify: two snapshots of the
+     same counters are equal even if one carries help text. *)
+  let strip t = List.map (fun s -> { s with help = "" }) (normalize t) in
+  strip a = strip b
+
+(* ------------------------------------------------------- Rendering *)
+
+(* Numbers in a form both Prometheus parsers and the cram tests'
+   [0-9.]* scrubbing accept: integral values without a point or
+   exponent, the rest in plain decimal. *)
+let fmt_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6f" v
+
+let fmt_bound v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+let pp ppf t =
+  List.iter
+    (fun s ->
+      let v =
+        match s.value with
+        | Counter v -> fmt_number v
+        | Gauge v -> fmt_number v
+        | Histogram h ->
+            Printf.sprintf "histogram(count=%d, sum=%s)" h.count
+              (fmt_number h.sum)
+      in
+      Format.fprintf ppf "%s%s = %s@." s.name (render_labels s.labels) v)
+    (normalize t)
+
+(* ------------------------------------------------------ Prometheus *)
+
+let type_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let to_prometheus t =
+  let t = normalize t in
+  let buf = Buffer.create 1024 in
+  let last_header = ref "" in
+  List.iter
+    (fun s ->
+      (* One HELP/TYPE header per name; normalization grouped the
+         samples, so emit it at each name change. *)
+      if s.name <> !last_header then begin
+        last_header := s.name;
+        if s.help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" s.name s.help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" s.name (type_name s.value))
+      end;
+      match s.value with
+      | Counter v | Gauge v ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" s.name
+               (render_labels s.labels)
+               (fmt_number v))
+      | Histogram h ->
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              cumulative := !cumulative + h.counts.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" s.name
+                   (render_labels (s.labels @ [ ("le", fmt_bound bound) ]))
+                   !cumulative))
+            h.bounds;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" s.name
+               (render_labels (s.labels @ [ ("le", "+Inf") ]))
+               h.count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" s.name
+               (render_labels s.labels)
+               (fmt_number h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" s.name
+               (render_labels s.labels)
+               h.count))
+    t;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------ JSON *)
+
+let json_escape v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let json_labels labels =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+         labels)
+  ^ "}"
+
+let to_json t =
+  let t = normalize t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[\n";
+  let last = List.length t - 1 in
+  List.iteri
+    (fun i s ->
+      let prefix =
+        Printf.sprintf "  {\"name\": \"%s\", \"type\": \"%s\", \"labels\": %s"
+          (json_escape s.name) (type_name s.value) (json_labels s.labels)
+      in
+      Buffer.add_string buf prefix;
+      (match s.value with
+      | Counter v | Gauge v ->
+          Buffer.add_string buf (Printf.sprintf ", \"value\": %s" (fmt_number v))
+      | Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf ", \"count\": %d, \"sum\": %s, \"buckets\": ["
+               h.count (fmt_number h.sum));
+          Array.iteri
+            (fun k bound ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s{\"le\": \"%s\", \"count\": %d}"
+                   (if k = 0 then "" else ", ")
+                   (fmt_bound bound) h.counts.(k)))
+            h.bounds;
+          Buffer.add_string buf
+            (Printf.sprintf "%s{\"le\": \"+Inf\", \"count\": %d}]"
+               (if Array.length h.bounds = 0 then "" else ", ")
+               h.counts.(Array.length h.bounds)));
+      Buffer.add_string buf
+        (Printf.sprintf "}%s\n" (if i = last then "" else ",")))
+    t;
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+(* ----------------------------------------------------------- to_kv *)
+
+let to_kv ?(drop_labels = []) t =
+  List.concat_map
+    (fun s ->
+      let labels =
+        List.filter (fun (k, _) -> not (List.mem k drop_labels)) s.labels
+      in
+      let key suffix =
+        s.name ^ suffix
+        ^
+        match labels with
+        | [] -> ""
+        | _ ->
+            "{"
+            ^ String.concat ","
+                (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+            ^ "}"
+      in
+      match s.value with
+      | Counter v | Gauge v -> [ (key "", fmt_number v) ]
+      | Histogram h ->
+          [
+            (key "_count", string_of_int h.count);
+            (key "_sum", fmt_number h.sum);
+          ])
+    (normalize t)

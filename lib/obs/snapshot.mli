@@ -1,0 +1,111 @@
+(** Typed metric snapshots and their exporters.
+
+    A snapshot is an immutable, self-describing list of metric
+    samples: what {!Obs.snapshot} captures from a live registry, what
+    {!Mfsa_engine.Engine_sig.S.stats} returns from an engine's
+    internal counters, and what the exporters below turn into
+    Prometheus text or JSON. Snapshots from different sources compose
+    by list concatenation ({!merge}), so one scrape can cover the
+    compile pipeline, every engine replica and the serving layer.
+
+    Samples are plain data: snapshots taken from deterministic
+    counters compare with {!equal} (the reset-reproducibility property
+    suite relies on this). *)
+
+type labels = (string * string) list
+(** Label pairs, e.g. [[("engine", "imfant"); ("domain", "0")]].
+    Normalised to ascending key order by the constructors. *)
+
+type histogram = {
+  bounds : float array;
+      (** Ascending upper bounds (inclusive, seconds for latency
+          histograms). *)
+  counts : int array;
+      (** Per-bucket (non-cumulative) counts; length
+          [Array.length bounds + 1], the last cell being the overflow
+          (+Inf) bucket. *)
+  sum : float;  (** Sum of all observed values. *)
+  count : int;  (** Total observations. *)
+}
+
+type value = Counter of float | Gauge of float | Histogram of histogram
+
+type sample = {
+  name : string;
+      (** Prometheus-style metric name: [a-zA-Z_:] followed by
+          alphanumerics, underscores and colons. *)
+  help : string;  (** One-line description ([# HELP]). *)
+  labels : labels;
+  value : value;
+}
+
+type t = sample list
+
+(** {2 Constructors} *)
+
+val counter : ?help:string -> ?labels:labels -> string -> float -> sample
+val counter_i : ?help:string -> ?labels:labels -> string -> int -> sample
+val gauge : ?help:string -> ?labels:labels -> string -> float -> sample
+val gauge_i : ?help:string -> ?labels:labels -> string -> int -> sample
+
+val histogram :
+  ?help:string ->
+  ?labels:labels ->
+  string ->
+  bounds:float array ->
+  counts:int array ->
+  sum:float ->
+  sample
+(** @raise Invalid_argument if [counts] is not one longer than
+    [bounds]. *)
+
+(** {2 Combinators} *)
+
+val merge : t list -> t
+(** Concatenation plus {!normalize}. *)
+
+val normalize : t -> t
+(** Sort samples by (name, labels) — the canonical order every
+    exporter and {!equal} work on. *)
+
+val with_labels : labels -> t -> t
+(** Add the given labels to every sample (existing keys win over the
+    added ones). *)
+
+val without_label : string -> t -> t
+(** Drop one label key from every sample — e.g. the [engine] label
+    when the context already names the engine. *)
+
+val find : ?labels:labels -> t -> string -> sample option
+(** First sample with that name (and, when given, those exact
+    labels). *)
+
+val number : ?labels:labels -> t -> string -> float option
+(** The numeric value of a counter or gauge sample found by {!find};
+    [None] for histograms or absent samples. *)
+
+val equal : t -> t -> bool
+(** Structural equality up to sample order. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Exporters} *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format: one [# HELP]/[# TYPE] header
+    per metric name, histograms as cumulative [_bucket]/[_sum]/
+    [_count] series with [le] labels. Samples sharing a name are
+    grouped under one header; label values are escaped. *)
+
+val to_json : t -> string
+(** A JSON array, one object per sample:
+    [{"name": ..., "type": "counter"|"gauge"|"histogram",
+      "labels": {...}, "value": ...}] — histograms carry
+    ["count"], ["sum"] and ["buckets": [{"le": "...", "count": n}]]
+    with the overflow bucket's bound serialized as ["+Inf"]. *)
+
+val to_kv : ?drop_labels:string list -> t -> (string * string) list
+(** Compact human-readable pairs, for one-line status output: the
+    sample name (suffixed [{k=v,...}] when labels remain after
+    [drop_labels]), with integral values rendered without a decimal
+    point and histograms flattened to [name_count]/[name_sum]. *)

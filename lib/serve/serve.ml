@@ -1,6 +1,8 @@
 module Engine_sig = Mfsa_engine.Engine_sig
 module Registry = Mfsa_engine.Registry
 module Pool = Mfsa_engine.Pool
+module Obs = Mfsa_obs.Obs
+module Snapshot = Mfsa_obs.Snapshot
 
 let now () = Mfsa_util.Clock.now ()
 
@@ -34,16 +36,29 @@ type t = {
   n_domains : int;
   queue : msg Bounded_queue.t;
   mutable workers : unit Domain.t array;
+  replicas : Engine_sig.t array;  (* replica [i] belongs to worker [i] *)
   (* Written by each worker for itself, read by [stats]; all writes
      happen under [m], so stats snapshots are consistent. *)
   per_domain_jobs : int array;
   per_domain_busy : float array;
+  (* Per-instance registry: two services in one process never collide
+     on a series. Histogram updates are atomic, so workers observe
+     without taking [m]. *)
+  reg : Obs.t;
+  batch_h : Obs.histogram;
+  job_h : Obs.histogram array;
   m : Mutex.t;
   settled : Condition.t;  (* some batch's [remaining] reached 0 *)
   mutable batches : int;
   mutable inputs : int;
   mutable bytes : int;
   mutable elapsed : float;
+  (* Batches currently inside [match_batch], and the sum of their
+     start times: [stats] charges them [now - t0] each, so elapsed
+     (and everything derived from it) moves while a long batch is
+     still in flight instead of sticking at the last settled value. *)
+  mutable inflight : int;
+  mutable inflight_t0 : float;
   mutable closed : bool;
 }
 
@@ -63,6 +78,7 @@ let worker t i replica () =
           | exception e -> Error e
         in
         let dt = now () -. t0 in
+        Obs.observe t.job_h.(i) dt;
         Mutex.lock t.m;
         t.per_domain_jobs.(i) <- t.per_domain_jobs.(i) + 1;
         t.per_domain_busy.(i) <- t.per_domain_busy.(i) +. dt;
@@ -89,20 +105,39 @@ let create ?(engine = "imfant") ?domains ?queue_capacity z =
   let replicas =
     Array.init n_domains (fun _ -> Registry.compile_exn engine z)
   in
+  let reg = Obs.create () in
+  let batch_h =
+    Obs.histogram ~registry:reg
+      ~help:"Batch latency in seconds, submission to last result"
+      "mfsa_serve_batch_seconds"
+  in
+  let job_h =
+    Array.init n_domains (fun i ->
+        Obs.histogram ~registry:reg
+          ~help:"Single-input execution latency in seconds, per worker domain"
+          ~labels:[ ("domain", string_of_int i) ]
+          "mfsa_serve_job_seconds")
+  in
   let t =
     {
       engine_name = engine;
       n_domains;
       queue = Bounded_queue.create ~capacity:queue_capacity;
       workers = [||];
+      replicas;
       per_domain_jobs = Array.make n_domains 0;
       per_domain_busy = Array.make n_domains 0.;
+      reg;
+      batch_h;
+      job_h;
       m = Mutex.create ();
       settled = Condition.create ();
       batches = 0;
       inputs = 0;
       bytes = 0;
       elapsed = 0.;
+      inflight = 0;
+      inflight_t0 = 0.;
       closed = false;
     }
   in
@@ -115,17 +150,23 @@ let engine t = t.engine_name
 let domains t = t.n_domains
 
 let match_batch t inputs =
+  let t0 = now () in
   Mutex.lock t.m;
   let closed = t.closed in
+  let n = Array.length inputs in
+  if (not closed) && n > 0 then begin
+    (* Register the batch as in flight under the same lock as the
+       closed check, so [stats] charges it from its first moment. *)
+    t.inflight <- t.inflight + 1;
+    t.inflight_t0 <- t.inflight_t0 +. t0
+  end;
   Mutex.unlock t.m;
   if closed then invalid_arg "Serve.match_batch: service is shut down";
-  let n = Array.length inputs in
   if n = 0 then [||]
   else begin
     let batch =
       { results = Array.make n []; failed = None; remaining = n }
     in
-    let t0 = now () in
     Array.iteri
       (fun slot input -> Bounded_queue.push t.queue (Job { input; slot; batch }))
       inputs;
@@ -133,24 +174,37 @@ let match_batch t inputs =
     while batch.remaining > 0 do
       Condition.wait t.settled t.m
     done;
+    let dt = now () -. t0 in
     t.batches <- t.batches + 1;
     t.inputs <- t.inputs + n;
     t.bytes <-
       t.bytes + Array.fold_left (fun acc s -> acc + String.length s) 0 inputs;
-    t.elapsed <- t.elapsed +. (now () -. t0);
+    t.elapsed <- t.elapsed +. dt;
+    t.inflight <- t.inflight - 1;
+    t.inflight_t0 <- t.inflight_t0 -. t0;
     Mutex.unlock t.m;
+    Obs.observe t.batch_h dt;
     match batch.failed with Some e -> raise e | None -> batch.results
   end
 
 let stats t =
   Mutex.lock t.m;
+  (* Read the clock under the lock: every registered t0 is <= [now],
+     so the in-flight contribution can never be negative. *)
+  let now = now () in
   let s =
     {
       domains = t.n_domains;
       batches = t.batches;
       inputs = t.inputs;
       bytes = t.bytes;
-      elapsed = t.elapsed;
+      (* Settled batch time plus [now - t0] for each batch still in
+         flight: a stats call mid-batch sees serving time (and so
+         throughput and utilisation denominators) advance, instead of
+         the pre-fix behaviour of reporting the last settled value —
+         0 until the very first batch returned. *)
+      elapsed =
+        t.elapsed +. (float_of_int t.inflight *. now) -. t.inflight_t0;
       queue_hwm = Bounded_queue.hwm t.queue;
       queue_capacity = Bounded_queue.capacity t.queue;
       per_domain_jobs = Array.copy t.per_domain_jobs;
@@ -167,6 +221,50 @@ let utilisation (s : stats) =
   Array.map
     (fun busy -> if s.elapsed <= 0. then 0. else busy /. s.elapsed)
     s.per_domain_busy
+
+let snapshot t =
+  let module S = Snapshot in
+  let s = stats t in
+  let own =
+    [
+      S.gauge_i ~help:"Worker domains" "mfsa_serve_domains" s.domains;
+      S.counter_i ~help:"Batches completed" "mfsa_serve_batches_total"
+        s.batches;
+      S.counter_i ~help:"Inputs processed" "mfsa_serve_inputs_total" s.inputs;
+      S.counter_i ~help:"Input bytes processed" "mfsa_serve_bytes_total"
+        s.bytes;
+      S.counter ~help:"Wall-clock serving seconds, in-flight batches included"
+        "mfsa_serve_elapsed_seconds_total" s.elapsed;
+      S.gauge ~help:"Aggregate throughput over the serving time, MB/s"
+        "mfsa_serve_throughput_mbps" (throughput_mbps s);
+      S.gauge_i ~help:"Submission-queue depth high-water mark"
+        "mfsa_serve_queue_depth_hwm" s.queue_hwm;
+      S.gauge_i ~help:"Submission-queue capacity" "mfsa_serve_queue_capacity"
+        s.queue_capacity;
+    ]
+  in
+  let util = utilisation s in
+  let per_domain =
+    List.concat
+      (List.init s.domains (fun i ->
+           let d = [ ("domain", string_of_int i) ] in
+           [
+             S.counter_i ~help:"Jobs executed, per worker domain" ~labels:d
+               "mfsa_serve_jobs_total" s.per_domain_jobs.(i);
+             S.counter ~help:"Seconds spent executing jobs, per worker domain"
+               ~labels:d "mfsa_serve_busy_seconds_total" s.per_domain_busy.(i);
+             S.gauge ~help:"Busy fraction of the serving time, per worker domain"
+               ~labels:d "mfsa_serve_utilisation" util.(i);
+           ]))
+  in
+  let engines =
+    List.concat
+      (List.init s.domains (fun i ->
+           S.with_labels
+             [ ("domain", string_of_int i) ]
+             (Engine_sig.stats t.replicas.(i))))
+  in
+  S.merge [ own; per_domain; Obs.snapshot t.reg; engines ]
 
 let shutdown t =
   Mutex.lock t.m;

@@ -35,7 +35,11 @@ type stats = {
   bytes : int;  (** Input bytes processed. *)
   elapsed : float;
       (** Wall-clock seconds spent inside {!match_batch} (submission
-          to last result). *)
+          to last result), {e including} batches still in flight at
+          the moment of the {!stats} call — each contributes the time
+          since its submission, so throughput and utilisation read
+          sensibly mid-batch instead of 0 (or the last settled value)
+          until the batch returns. *)
   queue_hwm : int;
       (** Submission-queue depth high-water mark — how hard the
           backpressure bound was pushed. *)
@@ -78,6 +82,22 @@ val throughput_mbps : stats -> float
 val utilisation : stats -> float array
 (** Per-domain busy fraction of the elapsed serving time ([1.0] =
     that worker never waited); an empty-history service reports 0. *)
+
+val snapshot : t -> Mfsa_obs.Snapshot.t
+(** The full metric view of the service: {!stats} as
+    [mfsa_serve_domains], [mfsa_serve_batches_total],
+    [mfsa_serve_inputs_total], [mfsa_serve_bytes_total],
+    [mfsa_serve_elapsed_seconds_total], [mfsa_serve_throughput_mbps],
+    [mfsa_serve_queue_depth_hwm] and [mfsa_serve_queue_capacity];
+    per-domain [mfsa_serve_jobs_total], [mfsa_serve_busy_seconds_total]
+    and [mfsa_serve_utilisation] (labelled [domain=<i>]); the
+    latency histograms [mfsa_serve_batch_seconds] and
+    [mfsa_serve_job_seconds{domain=<i>}]; and each replica's own
+    engine metrics tagged with its domain. The service-level series
+    are mutex-consistent; replica engine counters are read without
+    stopping the workers, so they are exact only when no batch is in
+    flight (always memory-safe, possibly a few jobs stale
+    otherwise). *)
 
 val shutdown : t -> unit
 (** Stop the workers and join them. Idempotent; in-flight batches

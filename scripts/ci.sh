@@ -44,3 +44,66 @@ MFSA_SCALE="${MFSA_SCALE:-0.1}" MFSA_STREAM_KB="${MFSA_STREAM_KB:-32}" \
   MFSA_REPS="${MFSA_REPS:-2}" dune exec bench/main.exe -- json
 test -s BENCH_engines.json
 test -s BENCH_serve.json
+test -s BENCH_obs.json
+# The observability artefact must be a JSON array of metric samples.
+head -1 BENCH_obs.json | grep -qx '\[' || {
+  echo "ci: BENCH_obs.json is not a metrics array" >&2; exit 1; }
+grep -q '"name": "mfsa_serve_inputs_total"' BENCH_obs.json || {
+  echo "ci: BENCH_obs.json is missing serve series" >&2; exit 1; }
+
+echo "== metrics exposition (observability gate) =="
+# The Prometheus scrape body must be well-formed: every sample line
+# names a series whose base name carries a # TYPE declaration, no
+# series (name + label set) appears twice, and histogram suffixes
+# only hang off declared histograms. awk keeps this dependency-free.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+printf 'hello world\nhello there\nhe(l|n)p\n' > "$tmp/rules.txt"
+printf 'say hello there or hello world and ask for henp or help' > "$tmp/stream.bin"
+dune exec bin/mfsa_match.exe -- \
+  --rules "$tmp/rules.txt" "$tmp/stream.bin" --metrics > "$tmp/metrics.prom"
+test -s "$tmp/metrics.prom"
+awk '
+  /^# TYPE / {
+    if ($3 in type) { print "ci: duplicate TYPE for " $3; bad = 1 }
+    type[$3] = $4; next
+  }
+  /^# HELP / { next }
+  /^#/ { print "ci: unknown comment line: " $0; bad = 1; next }
+  NF != 2 { print "ci: malformed sample line: " $0; bad = 1; next }
+  {
+    series = $1
+    base = series; sub(/\{.*/, "", base)
+    if (seen[series]++) { print "ci: duplicate series " series; bad = 1 }
+    if (base in type) next
+    hist = base
+    if (sub(/_(bucket|sum|count)$/, "", hist) && type[hist] == "histogram")
+      next
+    print "ci: sample without TYPE declaration: " series; bad = 1
+  }
+  END {
+    if (NR == 0) { print "ci: empty metrics exposition"; bad = 1 }
+    exit bad
+  }' "$tmp/metrics.prom"
+# Compile spans, Serve counters and engine stats must all be present.
+for series in mfsa_compile_stage_seconds_count mfsa_serve_batches_total \
+              mfsa_engine_runs_total; do
+  grep -q "^$series" "$tmp/metrics.prom" || {
+    echo "ci: metrics exposition is missing $series" >&2; exit 1; }
+done
+# The JSON exporter must agree with the Prometheus one on sample count.
+dune exec bin/mfsa_match.exe -- \
+  --rules "$tmp/rules.txt" "$tmp/stream.bin" --metrics json > "$tmp/metrics.json"
+prom_n=$(grep -cv '^#' "$tmp/metrics.prom" || true)
+json_n=$(grep -c '"name"' "$tmp/metrics.json" || true)
+json_hist_rows=$(grep '"name"' "$tmp/metrics.json" | grep -c '"buckets"' || true)
+# Each Prometheus histogram series expands to bounds+1 bucket lines
+# plus _sum and _count; recompute the flat-line count from the JSON.
+json_flat=$((json_n - json_hist_rows))
+hist_lines=$(grep -c '_bucket{' "$tmp/metrics.prom" || true)
+expected=$((json_flat + hist_lines + 2 * json_hist_rows))
+if [ "$prom_n" -ne "$expected" ]; then
+  echo "ci: exporters disagree (prom $prom_n lines vs json-derived $expected)" >&2
+  exit 1
+fi
+echo "metrics exposition OK ($prom_n sample lines, $json_n series)"

@@ -116,16 +116,55 @@ the bench driver):
 Every engine reports statistics through the common interface (-s):
 
   $ mfsa-match ruleset.anml stream.bin -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
-  mfsa 0 stats: states=N, transitions=N, runs=N, bytes=N, avg_active=N, max_active=N
+  mfsa 0 stats: mfsa_engine_active_fsas_avg=N, mfsa_engine_active_fsas_max=N, mfsa_engine_bytes_total=N, mfsa_engine_runs_total=N, mfsa_engine_states=N, mfsa_engine_transitions=N
 
   $ mfsa-match ruleset.anml stream.bin --engine hybrid -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
-  mfsa 0 stats: states=N, steps=N, hit_rate=N, resident_configs=N, configs_interned=N, flushes=N, cache_KiB=N
+  mfsa 0 stats: mfsa_engine_cache_bytes=N, mfsa_engine_cache_flushes_total=N, mfsa_engine_cache_hit_ratio=N, mfsa_engine_cache_hits_total=N, mfsa_engine_cache_interned_total=N, mfsa_engine_cache_misses_total=N, mfsa_engine_cache_resident_configs=N, mfsa_engine_states=N, mfsa_engine_steps_total=N
 
   $ mfsa-match ruleset.anml stream.bin --engine dfa -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
-  mfsa 0 stats: rules=N, states=N, table_cells=N
+  mfsa 0 stats: mfsa_engine_rules=N, mfsa_engine_states=N, mfsa_engine_table_cells=N
 
   $ mfsa-match ruleset.anml stream.bin --engine decomposed -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
-  mfsa 0 stats: prefiltered=N, fallback=N
+  mfsa 0 stats: mfsa_engine_rules_fallback=N, mfsa_engine_rules_prefiltered=N
+
+The full observability export (--metrics) replaces the report with a
+Prometheus scrape body; compiling from --rules makes the pipeline
+stage spans appear alongside the Serve and engine series.  Latencies
+vary run to run, so assert the deterministic series and the shape:
+
+  $ mfsa-match --rules rules.txt stream.bin --metrics > metrics.prom
+  $ grep -c '^# TYPE' metrics.prom
+  23
+  $ grep '^# TYPE mfsa_compile' metrics.prom
+  # TYPE mfsa_compile_errors_total counter
+  # TYPE mfsa_compile_rules_total counter
+  # TYPE mfsa_compile_stage_seconds histogram
+  # TYPE mfsa_compile_total counter
+  $ grep -E '^mfsa_(compile_rules_total|compile_total|serve_domains|serve_batches_total|serve_inputs_total|engine_runs_total)' metrics.prom
+  mfsa_compile_rules_total 3
+  mfsa_compile_total 1
+  mfsa_engine_runs_total{domain="0",engine="imfant",mfsa="0"} 1
+  mfsa_serve_batches_total{mfsa="0"} 1
+  mfsa_serve_domains{mfsa="0"} 1
+  mfsa_serve_inputs_total{mfsa="0"} 1
+
+Histograms expose cumulative buckets, so every count is bounded by the
++Inf bucket and the _count line agrees with it:
+
+  $ grep 'mfsa_serve_batch_seconds_bucket.*+Inf' metrics.prom
+  mfsa_serve_batch_seconds_bucket{mfsa="0",le="+Inf"} 1
+  $ grep 'mfsa_serve_batch_seconds_count' metrics.prom
+  mfsa_serve_batch_seconds_count{mfsa="0"} 1
+
+The same snapshot as a JSON document:
+
+  $ mfsa-match --rules rules.txt stream.bin --metrics json > metrics.json
+  $ head -1 metrics.json
+  [
+  $ grep -c '"name"' metrics.json
+  29
+  $ grep '"mfsa_serve_inputs_total"' metrics.json
+    {"name": "mfsa_serve_inputs_total", "type": "counter", "labels": {"mfsa": "0"}, "value": 1},
 
 Unknown names get the registry's shared message, everywhere:
 
@@ -217,3 +256,48 @@ are refused:
   error: rule 0 ((broken): at offset 0: unmatched '('
   error: no live rule 7
   gen 0: 0 rules, 0 states, 0 transitions (0 dead), 0 compactions
+
+The metrics command scrapes the live ruleset: every sample carries the
+generation it describes, updates are counted by outcome, and engine
+series appear once a match has forced the lazy compile:
+
+  $ printf 'add abc\nmatch xabc\nmetrics\n' | mfsa-live | tail -26
+  mfsa_engine_states{engine="imfant",generation="1"} 4
+  # HELP mfsa_engine_transitions Transitions in the compiled automaton
+  # TYPE mfsa_engine_transitions gauge
+  mfsa_engine_transitions{engine="imfant",generation="1"} 3
+  # HELP mfsa_live_compactions_total Compaction passes run
+  # TYPE mfsa_live_compactions_total counter
+  mfsa_live_compactions_total{generation="1"} 0
+  # HELP mfsa_live_dead_transitions Retired transitions awaiting compaction
+  # TYPE mfsa_live_dead_transitions gauge
+  mfsa_live_dead_transitions{generation="1"} 0
+  # HELP mfsa_live_generation Current ruleset generation
+  # TYPE mfsa_live_generation gauge
+  mfsa_live_generation{generation="1"} 1
+  # HELP mfsa_live_rules Live rules in the current generation
+  # TYPE mfsa_live_rules gauge
+  mfsa_live_rules{generation="1"} 1
+  # HELP mfsa_live_states Builder states, including garbage
+  # TYPE mfsa_live_states gauge
+  mfsa_live_states{generation="1"} 4
+  # HELP mfsa_live_transitions Builder transitions, including dead ones
+  # TYPE mfsa_live_transitions gauge
+  mfsa_live_transitions{generation="1"} 3
+  # HELP mfsa_live_updates_total Ruleset updates by outcome
+  # TYPE mfsa_live_updates_total counter
+  mfsa_live_updates_total{generation="1",result="ok"} 1
+  mfsa_live_updates_total{generation="1",result="rejected"} 0
+
+Metrics export never forces the lazy engine compile itself — before
+any match the scrape carries no engine series:
+
+  $ printf 'add abc\nmetrics\n' | mfsa-live | grep -c mfsa_engine
+  0
+  [1]
+
+--metrics-every dumps the same scrape every N commands, for a
+long-running feed:
+
+  $ printf 'add abc\nadd bc\nmatch xabc\n' | mfsa-live --metrics-every 2 | grep '^mfsa_live_generation'
+  mfsa_live_generation{generation="2"} 2

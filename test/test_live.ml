@@ -261,7 +261,30 @@ let test_live_bad_rule_leaves_ruleset_untouched () =
   | Error _ -> ());
   check Alcotest.int "generation unchanged" gen (Live.generation lv);
   check Alcotest.int "rules unchanged" 1 (Live.n_rules lv);
-  assert_anchor lv "abcabc"
+  assert_anchor lv "abcabc";
+  (* The _exn form raises the typed error, not an anonymous Failure —
+     serving layers match on it to reject the update and keep the old
+     generation live, exactly as just verified above. *)
+  (match Live.add_rule_exn lv "(broken" with
+  | exception Mfsa_core.Pipeline.Compile_error e ->
+      check Alcotest.string "typed message" "at offset 0: unmatched '('"
+        e.Mfsa_core.Pipeline.message
+  | _ -> Alcotest.fail "expected Compile_error");
+  check Alcotest.int "generation still unchanged" gen (Live.generation lv);
+  assert_anchor lv "abcabc";
+  (* Both rejections are on the books, tagged with the generation. *)
+  let module S = Mfsa_obs.Snapshot in
+  let m = Live.metrics lv in
+  check
+    Alcotest.(option (float 1e-9))
+    "rejected counter" (Some 2.)
+    (S.number ~labels:[ ("result", "rejected"); ("generation", string_of_int gen) ]
+       m "mfsa_live_updates_total");
+  check
+    Alcotest.(option (float 1e-9))
+    "ok counter" (Some 1.)
+    (S.number ~labels:[ ("result", "ok"); ("generation", string_of_int gen) ]
+       m "mfsa_live_updates_total")
 
 let test_live_gc_threshold () =
   (* Threshold 0: every removal compacts; no garbage survives. *)

@@ -88,7 +88,18 @@ let test_anchor_errors () =
     (e.P.message = "'^' is only supported at the start of the pattern");
   let e = parse_fails "a$b" in
   check Alcotest.bool "interior dollar" true
-    (e.P.message = "'$' is only supported at the end of the pattern")
+    (e.P.message = "'$' is only supported at the end of the pattern");
+  check Alcotest.int "interior dollar position" 1 e.P.pos;
+  (* Anchors inside a group used to be misreported as "unmatched '('"
+     at the group's position; the anchor itself is the error. *)
+  let e = parse_fails "(a$)" in
+  check Alcotest.string "dollar in group"
+    "'$' is only supported at the end of the pattern" e.P.message;
+  check Alcotest.int "dollar in group position" 2 e.P.pos;
+  let e = parse_fails "(^a)" in
+  check Alcotest.string "caret in group"
+    "'^' is only supported at the start of the pattern" e.P.message;
+  check Alcotest.int "caret in group position" 1 e.P.pos
 
 let test_syntax_errors () =
   let e = parse_fails "(ab" in

@@ -65,9 +65,18 @@ let test_compile_empty_ruleset () =
   | Error e -> check Alcotest.string "message" "empty ruleset" e.Pl.message
 
 let test_compile_exn_raises () =
-  Alcotest.check_raises "failure"
-    (Failure "rule 0 ((): at offset 0: unmatched '('") (fun () ->
-      ignore (Pl.compile_exn [| "(" |]))
+  Alcotest.check_raises "typed compile error"
+    (Pl.Compile_error
+       { rule_index = 0; pattern = "("; message = "at offset 0: unmatched '('" })
+    (fun () -> ignore (Pl.compile_exn [| "(" |]));
+  (* The registered printer renders the error for uncaught contexts. *)
+  match Pl.compile_exn [| "(" |] with
+  | exception Pl.Compile_error e ->
+      check Alcotest.string "printer"
+        "Mfsa_core.Pipeline.Compile_error: rule 0 ((): at offset 0: unmatched \
+         '('"
+        (Printexc.to_string (Pl.Compile_error e))
+  | _ -> Alcotest.fail "expected Compile_error"
 
 let test_anml_output_loads_and_runs () =
   let c = Pl.compile_exn ~m:2 rules in

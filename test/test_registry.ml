@@ -89,7 +89,13 @@ module Null_engine : Engine_sig.S = struct
   let run _ _ = []
   let count _ _ = 0
   let count_per_fsa (z : Mfsa.t) _ = Array.make z.Mfsa.n_fsas 0
-  let stats _ = [ ("matches", "0") ]
+  let stats _ =
+    [
+      Mfsa_obs.Snapshot.counter_i
+        ~labels:[ ("engine", name) ]
+        "mfsa_engine_matches_total" 0;
+    ]
+
   let reset_stats _ = ()
 
   type session = { mutable pos : int }
@@ -159,6 +165,7 @@ let test_all_engines_agree () =
     builtins
 
 let test_stats_nonempty () =
+  let module S = Mfsa_obs.Snapshot in
   let z = merge_rules rules in
   List.iter
     (fun name ->
@@ -167,9 +174,15 @@ let test_stats_nonempty () =
       let stats = Engine_sig.stats eng in
       if stats = [] then Alcotest.failf "%s reports no stats" name;
       List.iter
-        (fun (k, v) ->
-          if k = "" || v = "" then
-            Alcotest.failf "%s reports empty stat %S=%S" name k v)
+        (fun s ->
+          if s.S.name = "" then Alcotest.failf "%s reports an unnamed sample" name;
+          if not (String.length s.S.name > 12 && String.sub s.S.name 0 12 = "mfsa_engine_")
+          then
+            Alcotest.failf "%s sample %s outside the mfsa_engine_ namespace"
+              name s.S.name;
+          match List.assoc_opt "engine" s.S.labels with
+          | Some e when e = name -> ()
+          | _ -> Alcotest.failf "%s sample %s lacks engine label" name s.S.name)
         stats;
       Engine_sig.reset_stats eng)
     builtins

@@ -103,8 +103,13 @@ let test_compile_errors () =
   | Error e -> check Alcotest.int "index" 1 e.Pl.rule_index
   | Ok _ -> Alcotest.fail "expected error");
   Alcotest.check_raises "compile_exn"
-    (Failure "rule 1 ((bad): at offset 0: unmatched '('") (fun () ->
-      ignore (R.compile_exn [| "ok"; "(bad" |]))
+    (Pl.Compile_error
+       {
+         rule_index = 1;
+         pattern = "(bad";
+         message = "at offset 0: unmatched '('";
+       })
+    (fun () -> ignore (R.compile_exn [| "ok"; "(bad" |]))
 
 let test_compression_reported () =
   let rs = R.compile_exn [| "prefixed1"; "prefixed2"; "prefixed3" |] in

@@ -133,6 +133,88 @@ let test_stats_accumulate () =
   check Alcotest.int "one utilisation figure per domain" 2
     (Array.length (Serve.utilisation s))
 
+(* The elapsed-time bugfix: serving time used to accumulate only when
+   a batch settled, so stats taken mid-batch reported elapsed 0 (and
+   throughput/utilisation 0 or stale) however long the service had
+   been grinding. Submit a long batch from another domain and poll:
+   we must observe elapsed > 0 while batches is still 0. *)
+let test_elapsed_advances_mid_batch () =
+  let z = merge_rules rules in
+  let srv = Serve.create ~domains:1 z in
+  let input =
+    String.concat ""
+      (List.init 50_000 (fun _ -> "say hello world and ask for help "))
+  in
+  let submitter =
+    Domain.spawn (fun () -> ignore (Serve.match_batch srv [| input; input |]))
+  in
+  let deadline = Mfsa_util.Clock.now () +. 30. in
+  let rec poll () =
+    let s = Serve.stats srv in
+    if s.Serve.batches = 0 && s.Serve.elapsed > 0. then `Seen
+    else if s.Serve.batches > 0 then `Settled_first
+    else if Mfsa_util.Clock.now () > deadline then `Timeout
+    else begin
+      Domain.cpu_relax ();
+      poll ()
+    end
+  in
+  let outcome = poll () in
+  Domain.join submitter;
+  let settled = Serve.stats srv in
+  Serve.shutdown srv;
+  (match outcome with
+  | `Seen -> ()
+  | `Settled_first ->
+      Alcotest.fail "batch settled before a mid-batch stats call landed"
+  | `Timeout -> Alcotest.fail "elapsed never advanced mid-batch");
+  (* After settling, the in-flight term is gone: plain accumulation. *)
+  check Alcotest.int "inflight drained" 2 settled.Serve.inputs
+
+let test_snapshot_series () =
+  let z = merge_rules rules in
+  let srv = Serve.create ~domains:2 z in
+  ignore (Serve.match_batch srv inputs);
+  let snap = Serve.snapshot srv in
+  Serve.shutdown srv;
+  let module S = Mfsa_obs.Snapshot in
+  check
+    Alcotest.(option (float 1e-9))
+    "batches" (Some 1.)
+    (S.number snap "mfsa_serve_batches_total");
+  check
+    Alcotest.(option (float 1e-9))
+    "inputs"
+    (Some (float_of_int (Array.length inputs)))
+    (S.number snap "mfsa_serve_inputs_total");
+  (* Per-domain series exist for both workers, and the job latency
+     histogram counted every input exactly once across domains. *)
+  let jobs d =
+    Option.get
+      (S.number ~labels:[ ("domain", string_of_int d) ] snap
+         "mfsa_serve_jobs_total")
+  in
+  check (Alcotest.float 1e-9) "jobs partitioned"
+    (float_of_int (Array.length inputs))
+    (jobs 0 +. jobs 1);
+  let hist_count d =
+    match
+      S.find ~labels:[ ("domain", string_of_int d) ] snap
+        "mfsa_serve_job_seconds"
+    with
+    | Some { S.value = S.Histogram h; _ } -> h.S.count
+    | _ -> Alcotest.failf "job histogram missing for domain %d" d
+  in
+  check Alcotest.int "histogram observations = inputs"
+    (Array.length inputs)
+    (hist_count 0 + hist_count 1);
+  (* Replica engine metrics are included, tagged by domain. *)
+  check Alcotest.bool "replica stats present" true
+    (S.find
+       ~labels:[ ("domain", "0"); ("engine", "imfant") ]
+       snap "mfsa_engine_runs_total"
+    <> None)
+
 let test_create_validates () =
   let z = merge_rules rules in
   List.iter
@@ -173,7 +255,13 @@ module Failing_engine : Engine_sig.S = struct
     ignore (run c input);
     Im.count_per_fsa c input
 
-  let stats _ = [ ("poisoned_byte", "X") ]
+  let stats _ =
+    [
+      Mfsa_obs.Snapshot.gauge_i
+        ~labels:[ ("engine", name) ]
+        "mfsa_engine_poisoned_bytes" 1;
+    ]
+
   let reset_stats _ = ()
 
   type session = Im.session
@@ -271,6 +359,9 @@ let () =
             test_batch_matches_sequential;
           Alcotest.test_case "empty batch" `Quick test_empty_batch;
           Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+          Alcotest.test_case "elapsed advances mid-batch" `Quick
+            test_elapsed_advances_mid_batch;
+          Alcotest.test_case "snapshot series" `Quick test_snapshot_series;
           Alcotest.test_case "create validates" `Quick test_create_validates;
           qtest prop_serve_agrees_with_sequential;
         ] );
