@@ -354,9 +354,13 @@ let serve_bench ~engine cfg =
   Buffer.contents buf
 
 (* CI smoke gate: a 2-domain service over the BRO ruleset must agree
-   byte-for-byte with running the engine directly on every input.
-   Exits 1 on divergence (the DIVERGED marker is also grepped by
-   scripts/ci.sh). *)
+   byte-for-byte with running the engine directly on every input —
+   and the clean reference is always the *underlying* engine, so a
+   faulty{..}:-wrapped engine plus the service's retry/supervision
+   budget must be indistinguishable from an unwrapped sequential run.
+   The fault counters are printed for scripts/ci.sh to assert the
+   injection actually exercised the recovery paths. Exits 1 on
+   divergence (the DIVERGED marker is also grepped by ci.sh). *)
 let serve_check ~engine () =
   let ds = Datasets.bro217 ~scale:0.25 () in
   let fsas = Result.get_ok (Pipeline.build_fsas ds.Datasets.rules) in
@@ -365,15 +369,19 @@ let serve_check ~engine () =
     Array.init 8 (fun i ->
         Stream_gen.generate ~seed:(11 + i) ~size:8192 ds.Datasets.rules)
   in
-  let eng = Registry.compile_exn engine z in
+  let baseline = Registry.underlying engine in
+  let eng = Registry.compile_exn baseline z in
   let reference = Array.map (Engine_sig.run eng) inputs in
-  let srv = Serve.create ~engine ~domains:2 z in
+  let srv = Serve.create ~engine ~domains:2 ~retries:4 ~backoff:0.0002 z in
   let got = Serve.match_batch srv inputs in
-  let hwm = (Serve.stats srv).Serve.queue_hwm in
+  let st = Serve.stats srv in
   Serve.shutdown srv;
   let ok = got = reference in
-  Printf.printf "serve-check %s (BRO, 2 domains, %d inputs, queue hwm %d): %s\n"
-    engine (Array.length inputs) hwm
+  Printf.printf
+    "serve-check %s (BRO, 2 domains, %d inputs, queue hwm %d, retries %d, \
+     restarts %d, timeouts %d, rejected %d): %s\n"
+    engine (Array.length inputs) st.Serve.queue_hwm st.Serve.retries
+    st.Serve.restarts st.Serve.timeouts st.Serve.rejected
     (if ok then "AGREE" else "DIVERGED");
   if not ok then exit 1
 

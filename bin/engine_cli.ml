@@ -14,20 +14,24 @@ let term ?(default = "imfant") () =
           (Printf.sprintf
              "Matching engine, by registry name (default %s). Pass $(b,help) \
               to list the registered engines. Engines report identical match \
-              counts; they differ in execution strategy."
+              counts; they differ in execution strategy. Any name can be \
+              wrapped as $(b,faulty{seed=..,fail_every=..}:)$(docv) for \
+              deterministic fault injection."
              default))
 
 (* [resolve ~prog name] validates [name] against the registry.
-   [Ok name] is registered; [Error code] means this function already
-   printed (the `help` listing on stdout, or the unknown-engine
-   message on stderr) and the CLI should exit with [code]. *)
+   [Ok name] is resolvable (registered, or a well-formed faulty{..}:
+   wrapper spec); [Error code] means this function already printed
+   (the `help` listing on stdout, or the unknown-engine / malformed-
+   spec message on stderr) and the CLI should exit with [code]. *)
 let resolve ~prog name =
   if name = "help" then begin
     print_string (Registry.help ());
     Error 0
   end
-  else if Option.is_none (Registry.find name) then begin
-    Printf.eprintf "%s: %s\n" prog (Registry.unknown_message name);
-    Error 1
-  end
-  else Ok name
+  else
+    match Registry.find_exn name with
+    | (module _ : Mfsa_engine.Engine_sig.S) -> Ok name
+    | exception Invalid_argument msg ->
+        Printf.eprintf "%s: %s\n" prog msg;
+        Error 1

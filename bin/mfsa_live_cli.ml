@@ -4,7 +4,12 @@
    stdin), exercising the zero-downtime update path end to end:
    incremental rule adds, O(1)-amortised removals, explicit
    compaction, generation-pinned streaming sessions. One command per
-   line; blank lines and lines starting with '#' are skipped. *)
+   line; blank lines and lines starting with '#' are skipped.
+
+   The -e flag accepts any Registry name, including the
+   faulty{..}:<engine> fault-injection wrapper — note live sessions
+   stream through the wrapped engine's session API, which injects no
+   faults (Faulty models per-request serving failures). *)
 
 module Live = Mfsa_live.Live
 module Snapshot = Mfsa_obs.Snapshot

@@ -55,16 +55,30 @@ let load_mfsas ~rules path =
 (* --metrics: serve the input through one Serve instance per MFSA
    (threads worker domains each) and print nothing but the merged
    metric snapshot — process-wide registry (compile spans when --rules
-   compiled here) plus every service's full view, tagged mfsa=<i>. *)
-let run_metrics mfsas input threads engine fmt =
+   compiled here) plus every service's full view, tagged mfsa=<i>.
+   The serving path carries the fault-tolerance knobs: --deadline,
+   --retries and --admission; a batch that times out or is rejected
+   still dumps the metrics (the timeout/rejection counters included)
+   but exits non-zero with the typed error on stderr. *)
+let run_metrics mfsas input threads engine fmt ~deadline ~retries ~admission =
+  let failed = ref None in
   let snaps =
     List.mapi
       (fun gi z ->
-        let srv = Serve.create ~engine ~domains:threads z in
+        let srv = Serve.create ~engine ~domains:threads ~admission ~retries z in
         Fun.protect
           ~finally:(fun () -> Serve.shutdown srv)
           (fun () ->
-            ignore (Serve.match_batch srv [| input |]);
+            (match Serve.try_match_batch ?deadline srv [| input |] with
+            | Ok _ -> ()
+            | Error e ->
+                if !failed = None then failed := Some (Serve.error_to_string e)
+            | exception Serve.Job_error { slot; error } ->
+                if !failed = None then
+                  failed :=
+                    Some
+                      (Printf.sprintf "job %d failed: %s" slot
+                         (Printexc.to_string error)));
             Snapshot.with_labels
               [ ("mfsa", string_of_int gi) ]
               (Serve.snapshot srv)))
@@ -75,9 +89,14 @@ let run_metrics mfsas input threads engine fmt =
     (match fmt with
     | `Prometheus -> Snapshot.to_prometheus merged
     | `Json -> Snapshot.to_json merged ^ "\n");
-  0
+  match !failed with
+  | None -> 0
+  | Some msg ->
+      Printf.eprintf "mfsa-match: %s\n" msg;
+      1
 
-let run anml_path input_path threads list_events stats rules metrics engine =
+let run anml_path input_path threads list_events stats rules metrics deadline
+    retries admission engine =
   match Engine_cli.resolve ~prog:"mfsa-match" engine with
   | Error code -> code
   | Ok engine -> (
@@ -87,7 +106,8 @@ let run anml_path input_path threads list_events stats rules metrics engine =
           1
       | Ok mfsas when metrics <> None ->
           let input = read_file input_path in
-          run_metrics mfsas input threads engine (Option.get metrics)
+          run_metrics mfsas input threads engine (Option.get metrics) ~deadline
+            ~retries ~admission
       | Ok mfsas ->
           let input = read_file input_path in
           let engines =
@@ -190,12 +210,51 @@ let stats =
            active-FSA pressure for imfant, cache behaviour for hybrid, table \
            sizes for dfa, ...).")
 
+let deadline =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Per-batch deadline for the $(b,--metrics) serving path, in \
+           seconds. An expired deadline cancels the batch's unexecuted jobs \
+           and exits non-zero after dumping the metrics (the \
+           mfsa_serve_timeouts_total counter records it).")
+
+let retries =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts a job gets on a transient or replica-poisoning \
+           fault before the failure surfaces — the retry budget of the \
+           $(b,--metrics) serving path (pair with a $(b,faulty{..}:)-wrapped \
+           $(b,--engine) to exercise it).")
+
+let admission =
+  let policy =
+    Arg.enum
+      [
+        ("block", Serve.Block); ("reject", Serve.Reject);
+        ("shed", Serve.Shed_oldest);
+      ]
+  in
+  Arg.(
+    value
+    & opt policy Serve.Block
+    & info [ "admission" ] ~docv:"POLICY"
+        ~doc:
+          "What a full submission queue does to a $(b,--metrics) batch: \
+           $(b,block) the submitter (backpressure, the default), \
+           $(b,reject) the batch, or $(b,shed) the oldest queued job of \
+           another batch.")
+
 let cmd =
   Cmd.v
     (Cmd.info "mfsa-match" ~version:"1.0.0"
        ~doc:"Execute compiled MFSAs against an input stream")
     Term.(
       const run $ anml_path $ input_path $ threads $ list_events $ stats
-      $ rules $ metrics $ Engine_cli.term ())
+      $ rules $ metrics $ deadline $ retries $ admission $ Engine_cli.term ())
 
 let () = exit (Cmd.eval' cmd)

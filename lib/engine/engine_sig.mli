@@ -24,7 +24,18 @@
     Compiled engines own mutable scratch (state vectors, caches,
     counters): a compiled value must not be shared across domains.
     Compile one replica per domain — {!Mfsa_serve.Serve} does exactly
-    that. *)
+    that.
+
+    {b Domain confinement of [stats]/[reset_stats]:} engine counters
+    are plain mutable fields updated inside {!S.run}, so reading them
+    from another domain while the owner is mid-run is an
+    unsynchronized cross-domain access. The rule is that {e every}
+    operation on a compiled value — including [stats] and
+    [reset_stats] — must run on the domain that owns it.
+    {!Mfsa_serve.Serve.snapshot} honours this by routing replica stat
+    reads through the worker protocol: each worker snapshots its own
+    replica at a quiescent point (between jobs) and publishes the
+    result under the service lock. *)
 
 type match_event = { fsa : int; end_pos : int }
 (** A match of merged FSA [fsa] ending at byte offset [end_pos]. The

@@ -376,35 +376,62 @@ let () =
       (module Decomposed_engine);
     ]
 
-let find name = Hashtbl.find_opt table name
-
 let names () =
   Hashtbl.fold (fun name _ acc -> name :: acc) table []
   |> List.sort String.compare
 
 let unknown_message name =
-  Printf.sprintf "unknown engine %S (registered: %s)" name
+  Printf.sprintf
+    "unknown engine %S (registered: %s; any name can be wrapped as \
+     faulty{seed=..,fail_every=..}:<engine> for fault injection)"
+    name
     (String.concat ", " (names ()))
 
+(* Name resolution: exact table entries win; otherwise the name is
+   tried against the [faulty{...}:<inner>] wrapper grammar, recursing
+   on the inner name so wrappers nest. Each resolution of a wrapper
+   spec builds a fresh first-class module closed over its config —
+   stateless until compiled, so this is cheap. *)
+let rec resolve name =
+  match Hashtbl.find_opt table name with
+  | Some m -> Ok m
+  | None -> (
+      match Faulty.split_spec name with
+      | None -> Error (unknown_message name)
+      | Some (Error msg) ->
+          Error (Printf.sprintf "bad faulty spec %S: %s" name msg)
+      | Some (Ok (cfg, inner)) ->
+          Result.map (Faulty.make ~name cfg) (resolve inner))
+
+let find name = Result.to_option (resolve name)
+
+let rec underlying name =
+  match Faulty.split_spec name with
+  | Some (Ok (_, inner)) -> underlying inner
+  | _ -> name
+
+(* The bare message, not a "Registry.find_exn:"-prefixed one: the
+   CLIs print it verbatim after their own program name. *)
 let find_exn name =
-  match find name with
-  | Some e -> e
-  | None -> invalid_arg ("Registry.find_exn: " ^ unknown_message name)
+  match resolve name with Ok e -> e | Error msg -> invalid_arg msg
 
 let doc name =
   Option.map (fun (module E : Engine_sig.S) -> E.doc) (find name)
 
 let help () =
-  names ()
+  (names ()
   |> List.map (fun name ->
          Printf.sprintf "%-12s %s\n" name
            (Option.value ~default:"" (doc name)))
-  |> String.concat ""
+  |> String.concat "")
+  ^ "faulty{..}:<engine>  deterministic fault-injection wrapper \
+     (seed=, fail_every=, poison_every=, delay_every=, delay_ms=, \
+     fail=, poison=, delay=)\n"
 
 let compile name z =
-  match find name with
-  | None -> Error (unknown_message name)
-  | Some (module E : Engine_sig.S) ->
+  match resolve name with
+  | Error msg -> Error msg
+  | Ok (module E : Engine_sig.S) ->
       Ok (Engine_sig.pack (module E) (E.compile z))
 
 let compile_exn name z =

@@ -25,7 +25,15 @@
 
     The per-rule baselines satisfy the streaming half of the signature
     by re-scanning a buffered copy of the stream (documented in
-    {!Engine_sig.S}); their match semantics are identical. *)
+    {!Engine_sig.S}); their match semantics are identical.
+
+    Beyond the table, the registry resolves the {!Faulty} wrapper
+    grammar: any name of the form [faulty{k=v,...}:<engine>] (the
+    parameter block optional, wrappers nestable) denotes the named
+    engine behind a seeded deterministic fault injector — the
+    reproducible failure source the {!Mfsa_serve.Serve}
+    fault-tolerance tests and CI smoke run against. Wrapper names are
+    resolvable by {!find}/{!compile} but do not appear in {!names}. *)
 
 val register : (module Engine_sig.S) -> unit
 (** Make an engine selectable by name. Re-registering a name replaces
@@ -33,10 +41,19 @@ val register : (module Engine_sig.S) -> unit
     libraries can shadow built-ins. *)
 
 val find : string -> (module Engine_sig.S) option
+(** Table lookup, falling back to the [faulty{...}:<inner>] wrapper
+    grammar ([None] on a malformed spec — {!compile} carries the
+    detailed message). *)
 
 val find_exn : string -> (module Engine_sig.S)
 (** @raise Invalid_argument on an unknown name, listing the
-    registered ones. *)
+    registered ones (or detailing a malformed wrapper spec). *)
+
+val underlying : string -> string
+(** The innermost engine name once every [faulty] wrapper is
+    stripped: [underlying "faulty{seed=3}:imfant" = "imfant"] — what a
+    fault-injected serving run compares against as its clean
+    sequential baseline. The identity on non-wrapper names. *)
 
 val names : unit -> string list
 (** Registered names, sorted. *)

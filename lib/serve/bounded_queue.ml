@@ -30,6 +30,51 @@ let push q v =
   Condition.signal q.not_empty;
   Mutex.unlock q.m
 
+let try_push q v =
+  Mutex.lock q.m;
+  let ok = Queue.length q.buf < q.capacity in
+  if ok then begin
+    Queue.push v q.buf;
+    if Queue.length q.buf > q.hwm then q.hwm <- Queue.length q.buf;
+    Condition.signal q.not_empty
+  end;
+  Mutex.unlock q.m;
+  ok
+
+let try_push_evict q v ~evictable =
+  Mutex.lock q.m;
+  let outcome =
+    if Queue.length q.buf < q.capacity then begin
+      Queue.push v q.buf;
+      `Pushed
+    end
+    else begin
+      (* Rebuild the queue without its oldest evictable element; FIFO
+         order of the survivors is preserved. *)
+      let tmp = Queue.create () in
+      let victim = ref None in
+      Queue.iter
+        (fun x ->
+          if !victim = None && evictable x then victim := Some x
+          else Queue.push x tmp)
+        q.buf;
+      match !victim with
+      | None -> `Full
+      | Some x ->
+          Queue.clear q.buf;
+          Queue.transfer tmp q.buf;
+          Queue.push v q.buf;
+          `Evicted x
+    end
+  in
+  (match outcome with
+  | `Pushed | `Evicted _ ->
+      if Queue.length q.buf > q.hwm then q.hwm <- Queue.length q.buf;
+      Condition.signal q.not_empty
+  | `Full -> ());
+  Mutex.unlock q.m;
+  outcome
+
 let pop q =
   Mutex.lock q.m;
   while Queue.is_empty q.buf do

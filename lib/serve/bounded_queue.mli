@@ -17,6 +17,21 @@ val capacity : 'a t -> int
 val push : 'a t -> 'a -> unit
 (** Blocks while the queue holds [capacity] elements. *)
 
+val try_push : 'a t -> 'a -> bool
+(** Non-blocking push: [false] (and no change) when the queue is full
+    — the primitive behind {!Serve}'s [Reject] admission policy and
+    its best-effort worker wake-ups. *)
+
+val try_push_evict :
+  'a t -> 'a -> evictable:('a -> bool) -> [ `Pushed | `Evicted of 'a | `Full ]
+(** Non-blocking push that may make room by dropping the {e oldest}
+    element satisfying [evictable] ([Shed_oldest] admission).
+    [`Pushed]: there was room. [`Evicted v]: the queue was full, [v]
+    was removed (FIFO order of the survivors preserved) and the new
+    element entered. [`Full]: full and nothing evictable — no change.
+    [evictable] runs under the queue lock; it must not block or touch
+    the queue. *)
+
 val pop : 'a t -> 'a
 (** Blocks while the queue is empty. *)
 

@@ -39,6 +39,31 @@ if printf '%s' "$out" | grep -q DIVERGED; then
   exit 1
 fi
 
+echo "== serve fault injection (smoke) =="
+# The same gate under a seeded deterministic fault schedule: the
+# faulty{..}:imfant wrapper injects transient faults, delays and a
+# replica-poisoning fault, and the service's retry + supervision
+# budget must absorb all of it — byte-identical results (AGREE, zero
+# divergences) with the recovery paths demonstrably exercised
+# (non-zero retry and replica-restart counters in the summary line).
+out=$(dune exec bench/main.exe -- serve-check \
+  -e 'faulty{seed=7,fail_every=3,delay_every=5,delay_ms=1,poison_every=5}:imfant')
+printf '%s\n' "$out"
+if printf '%s' "$out" | grep -q DIVERGED; then
+  echo "ci: fault-injected serving diverged from the clean baseline" >&2
+  exit 1
+fi
+retries=$(printf '%s' "$out" | sed -n 's/.*retries \([0-9]*\),.*/\1/p')
+restarts=$(printf '%s' "$out" | sed -n 's/.*restarts \([0-9]*\),.*/\1/p')
+if [ -z "$retries" ] || [ "$retries" -lt 1 ]; then
+  echo "ci: fault injection never exercised a retry (retries=$retries)" >&2
+  exit 1
+fi
+if [ -z "$restarts" ] || [ "$restarts" -lt 1 ]; then
+  echo "ci: fault injection never respawned a replica (restarts=$restarts)" >&2
+  exit 1
+fi
+
 echo "== bench JSON artefacts =="
 MFSA_SCALE="${MFSA_SCALE:-0.1}" MFSA_STREAM_KB="${MFSA_STREAM_KB:-32}" \
   MFSA_REPS="${MFSA_REPS:-2}" dune exec bench/main.exe -- json
@@ -85,8 +110,11 @@ awk '
     if (NR == 0) { print "ci: empty metrics exposition"; bad = 1 }
     exit bad
   }' "$tmp/metrics.prom"
-# Compile spans, Serve counters and engine stats must all be present.
+# Compile spans, Serve counters (the fault-tolerance ones included)
+# and engine stats must all be present.
 for series in mfsa_compile_stage_seconds_count mfsa_serve_batches_total \
+              mfsa_serve_timeouts_total mfsa_serve_retries_total \
+              mfsa_serve_rejected_total mfsa_serve_replica_restarts_total \
               mfsa_engine_runs_total; do
   grep -q "^$series" "$tmp/metrics.prom" || {
     echo "ci: metrics exposition is missing $series" >&2; exit 1; }

@@ -112,6 +112,7 @@ the bench driver):
   hybrid       lazy-DFA configuration cache over iMFAnt (RE2-style)
   imfant       transition-centric merged-automaton engine (paper §V, the default)
   infant       per-rule iNFAnt baseline on the FSAs projected out of the MFSA
+  faulty{..}:<engine>  deterministic fault-injection wrapper (seed=, fail_every=, poison_every=, delay_every=, delay_ms=, fail=, poison=, delay=)
 
 Every engine reports statistics through the common interface (-s):
 
@@ -134,7 +135,7 @@ vary run to run, so assert the deterministic series and the shape:
 
   $ mfsa-match --rules rules.txt stream.bin --metrics > metrics.prom
   $ grep -c '^# TYPE' metrics.prom
-  23
+  27
   $ grep '^# TYPE mfsa_compile' metrics.prom
   # TYPE mfsa_compile_errors_total counter
   # TYPE mfsa_compile_rules_total counter
@@ -162,18 +163,43 @@ The same snapshot as a JSON document:
   $ head -1 metrics.json
   [
   $ grep -c '"name"' metrics.json
-  29
+  33
   $ grep '"mfsa_serve_inputs_total"' metrics.json
     {"name": "mfsa_serve_inputs_total", "type": "counter", "labels": {"mfsa": "0"}, "value": 1},
+
+Fault injection through the serving path: the faulty{..} wrapper is
+deterministic, so a schedule that fails every attempt exhausts the
+--retries budget reproducibly — the run exits non-zero with the typed
+job failure, yet still dumps the metrics, retry counter included:
+
+  $ mfsa-match --rules rules.txt stream.bin --metrics --retries 2 \
+  >   -e 'faulty{seed=3,fail_every=1}:imfant' > faulty.prom
+  mfsa-match: job 0 failed: Mfsa_engine.Faulty.Transient_fault("faulty{seed=3,fail_every=1}:imfant")
+  [1]
+  $ grep '^mfsa_serve_retries_total' faulty.prom
+  mfsa_serve_retries_total{mfsa="0"} 2
+
+A budget that covers the schedule absorbs the faults silently:
+
+  $ mfsa-match --rules rules.txt stream.bin --metrics --retries 2 \
+  >   -e 'faulty{seed=3,fail_every=2}:imfant' > faulty2.prom
+  $ grep '^mfsa_serve_replica_restarts_total' faulty2.prom
+  mfsa_serve_replica_restarts_total{mfsa="0"} 0
+
+Malformed wrapper specs are rejected with the parse error:
+
+  $ mfsa-match ruleset.anml stream.bin -e 'faulty{fail=2.0}:imfant'
+  mfsa-match: bad faulty spec "faulty{fail=2.0}:imfant": fail wants a probability in [0,1], got "2.0"
+  [1]
 
 Unknown names get the registry's shared message, everywhere:
 
   $ mfsa-match ruleset.anml stream.bin --engine warp
-  mfsa-match: unknown engine "warp" (registered: decomposed, dfa, hybrid, imfant, infant)
+  mfsa-match: unknown engine "warp" (registered: decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
   [1]
 
   $ mfsa-live -e warp < /dev/null
-  mfsa-live: unknown engine "warp" (registered: decomposed, dfa, hybrid, imfant, infant)
+  mfsa-live: unknown engine "warp" (registered: decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
   [1]
 
 The COO vectors in the paper's Fig. 2 layout:

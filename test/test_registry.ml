@@ -122,6 +122,104 @@ let test_register_custom () =
   check Alcotest.int "position" 4 (Engine_sig.position s);
   check Alcotest.bool "listed" true (List.mem "test-null" (Registry.names ()))
 
+(* ------------------------------------------------ Faulty wrapper *)
+
+module Faulty = Mfsa_engine.Faulty
+
+let test_faulty_resolution () =
+  (* The wrapper grammar resolves through find/compile but stays out
+     of the plain name table. *)
+  (match Registry.find "faulty:imfant" with
+  | Some (module E : Engine_sig.S) ->
+      check Alcotest.string "wrapper keeps the full spec as its name"
+        "faulty:imfant" E.name
+  | None -> Alcotest.fail "faulty:imfant did not resolve");
+  check Alcotest.bool "wrappers not listed" false
+    (List.exists
+       (fun n -> contains n "faulty")
+       (Registry.names ()));
+  check Alcotest.string "underlying strips one wrapper" "imfant"
+    (Registry.underlying "faulty{seed=3}:imfant");
+  check Alcotest.string "underlying strips nested wrappers" "hybrid"
+    (Registry.underlying "faulty:faulty{seed=1}:hybrid");
+  check Alcotest.string "underlying is identity elsewhere" "dfa"
+    (Registry.underlying "dfa");
+  (* Nested wrappers compile. *)
+  (match Registry.find "faulty{seed=1}:faulty:imfant" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "nested faulty wrapper did not resolve");
+  check Alcotest.bool "help mentions the wrapper grammar" true
+    (contains (Registry.help ()) "faulty")
+
+let test_faulty_malformed () =
+  let z = merge_rules [ "a" ] in
+  List.iter
+    (fun (spec, fragment) ->
+      match Registry.compile spec z with
+      | Ok _ -> Alcotest.failf "malformed spec %S accepted" spec
+      | Error msg ->
+          if not (contains msg fragment) then
+            Alcotest.failf "error for %S lacks %S: %s" spec fragment msg)
+    [
+      ("faulty:", "missing inner engine");
+      ("faulty{seed=1:imfant", "unterminated");
+      ("faulty{seed=one}:imfant", "seed");
+      ("faulty{fail=2.0}:imfant", "probability");
+      ("faulty{fail_every=-1}:imfant", "non-negative");
+      ("faulty{warp=1}:imfant", "unknown parameter");
+      ("faulty{seed=1}imfant", "':<engine>'");
+      ("faulty:warp", "unknown engine");
+    ]
+
+let test_faulty_deterministic_schedule () =
+  let z = merge_rules [ "ab" ] in
+  let run_schedule () =
+    let eng = Registry.compile_exn "faulty{seed=9,fail_every=3}:imfant" z in
+    List.init 12 (fun _ ->
+        match Engine_sig.run eng "xabx" with
+        | _ -> `Ok
+        | exception Faulty.Transient_fault _ -> `Fault)
+  in
+  let first = run_schedule () in
+  check Alcotest.int "every 3rd attempt faults" 4
+    (List.length (List.filter (( = ) `Fault) first));
+  check Alcotest.bool "same seed, same schedule" true (first = run_schedule ());
+  (* Successful attempts behave exactly like the inner engine. *)
+  let eng = Registry.compile_exn "faulty{seed=9,fail_every=2}:imfant" z in
+  let reference = events (Engine_sig.run (Registry.compile_exn "imfant" z) "xabx") in
+  check
+    Alcotest.(list (pair int int))
+    "clean attempt = inner engine" reference
+    (events (Engine_sig.run eng "xabx"))
+
+let test_faulty_poison_sticky () =
+  let z = merge_rules [ "ab" ] in
+  let eng = Registry.compile_exn "faulty{fail_every=0,poison_every=2}:imfant" z in
+  ignore (Engine_sig.run eng "xabx");
+  (match Engine_sig.run eng "xabx" with
+  | _ -> Alcotest.fail "attempt 2 should poison"
+  | exception Faulty.Replica_poisoned _ -> ());
+  (* Sticky: every later call fails without advancing the schedule. *)
+  (match Engine_sig.run eng "xabx" with
+  | _ -> Alcotest.fail "poisoned replica answered"
+  | exception Faulty.Replica_poisoned _ -> ());
+  let module S = Mfsa_obs.Snapshot in
+  let poisoned () =
+    S.number
+      ~labels:[ ("engine", "faulty{fail_every=0,poison_every=2}:imfant") ]
+      (Engine_sig.stats eng) "mfsa_engine_fault_poisoned"
+  in
+  check Alcotest.(option (float 0.)) "poisoned gauge up" (Some 1.) (poisoned ());
+  (* reset_stats restores a fresh replica and replays the schedule —
+     the metric-reproducibility contract. *)
+  Engine_sig.reset_stats eng;
+  check Alcotest.(option (float 0.)) "reset clears poison" (Some 0.)
+    (poisoned ());
+  (match Engine_sig.run eng "xabx" with
+  | _ -> ()
+  | exception e ->
+      Alcotest.failf "attempt 1 after reset faulted: %s" (Printexc.to_string e))
+
 (* --------------------------------------------- Cross-engine agreement *)
 
 let rules =
@@ -290,6 +388,15 @@ let () =
             test_help_lists_all;
           Alcotest.test_case "custom engine registration" `Quick
             test_register_custom;
+        ] );
+      ( "faulty",
+        [
+          Alcotest.test_case "wrapper resolution" `Quick test_faulty_resolution;
+          Alcotest.test_case "malformed specs" `Quick test_faulty_malformed;
+          Alcotest.test_case "deterministic schedule" `Quick
+            test_faulty_deterministic_schedule;
+          Alcotest.test_case "poison is sticky until reset" `Quick
+            test_faulty_poison_sticky;
         ] );
       ( "agreement",
         [
