@@ -385,6 +385,315 @@ let serve_check ~engine () =
     (if ok then "AGREE" else "DIVERGED");
   if not ok then exit 1
 
+(* ------------------------------------------------------- Loadgen *)
+
+module Client = Mfsa_served.Client
+module Protocol = Mfsa_served.Protocol
+
+(* Open-loop load generation against a live mfsa-served daemon.
+
+   Request [k] of [rate * duration] is *scheduled* at [t0 + k/rate]
+   regardless of how long earlier requests took, and its latency is
+   measured from that scheduled instant to the response — the
+   coordinated-omission-safe convention: a stalled server keeps
+   accumulating scheduled-but-late requests instead of silently
+   slowing the arrival process down. Requests are round-robined over
+   [clients] persistent connections, one thread each.
+
+   With --expect, every response is compared to local sequential
+   execution (Live over the *underlying* engine, so a faulty{..}:
+   daemon with a retry budget is held to the clean baseline); any
+   difference counts as a divergence. The summary and
+   BENCH_served.json carry throughput, log2-histogram latency
+   quantiles, divergences, and the server-side retry/restart counters
+   scraped from METRICS — which is how the CI soak gate checks the
+   fault-injection path actually recovered. *)
+
+type loadgen_cfg = {
+  lg_host : string;
+  lg_port : int option;
+  lg_port_file : string option;
+  lg_rules : string option;
+  lg_rate : float;
+  lg_duration : float;
+  lg_clients : int;
+  lg_batch : int;
+  lg_bytes : int;
+  lg_seed : int;
+  lg_expect : bool;
+  lg_out : string;
+}
+
+let loadgen_default =
+  {
+    lg_host = "127.0.0.1";
+    lg_port = None;
+    lg_port_file = None;
+    lg_rules = None;
+    lg_rate = 200.;
+    lg_duration = 30.;
+    lg_clients = 4;
+    lg_batch = 1;
+    lg_bytes = 2048;
+    lg_seed = 42;
+    lg_expect = false;
+    lg_out = "BENCH_served.json";
+  }
+
+let loadgen_usage =
+  "bench loadgen --rules FILE [--host ADDR] (--port N | --port-file FILE)\n\
+  \  [--rate REQ_PER_S] [--duration S] [--clients N] [--batch INPUTS]\n\
+  \  [--bytes PER_INPUT] [--seed N] [--expect] [--out FILE] [-e ENGINE]\n"
+
+let parse_loadgen rest =
+  let die fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "bench loadgen: %s\n%s" m loadgen_usage;
+        exit 2)
+      fmt
+  in
+  let int_arg k v = match int_of_string_opt v with
+    | Some i -> i
+    | None -> die "%s wants an integer, got %S" k v
+  in
+  let float_arg k v = match float_of_string_opt v with
+    | Some f -> f
+    | None -> die "%s wants a number, got %S" k v
+  in
+  let rec go c = function
+    | [] -> c
+    | "--host" :: v :: r -> go { c with lg_host = v } r
+    | "--port" :: v :: r -> go { c with lg_port = Some (int_arg "--port" v) } r
+    | "--port-file" :: v :: r -> go { c with lg_port_file = Some v } r
+    | "--rules" :: v :: r -> go { c with lg_rules = Some v } r
+    | "--rate" :: v :: r -> go { c with lg_rate = float_arg "--rate" v } r
+    | "--duration" :: v :: r ->
+        go { c with lg_duration = float_arg "--duration" v } r
+    | "--clients" :: v :: r ->
+        go { c with lg_clients = int_arg "--clients" v } r
+    | "--batch" :: v :: r -> go { c with lg_batch = int_arg "--batch" v } r
+    | "--bytes" :: v :: r -> go { c with lg_bytes = int_arg "--bytes" v } r
+    | "--seed" :: v :: r -> go { c with lg_seed = int_arg "--seed" v } r
+    | "--expect" :: r -> go { c with lg_expect = true } r
+    | "--out" :: v :: r -> go { c with lg_out = v } r
+    | a :: _ -> die "unknown flag %S" a
+  in
+  let c = go loadgen_default rest in
+  if c.lg_rate <= 0. then die "--rate must be > 0";
+  if c.lg_duration <= 0. then die "--duration must be > 0";
+  if c.lg_clients < 1 then die "--clients must be >= 1";
+  if c.lg_batch < 1 then die "--batch must be >= 1";
+  if c.lg_bytes < 1 then die "--bytes must be >= 1";
+  c
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l ->
+            let l = String.trim l in
+            go (if l = "" || l.[0] = '#' then acc else l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Sum every sample of a Prometheus counter family from exposition
+   text — labelled series (one per generation here) included. *)
+let prom_sum body name =
+  List.fold_left
+    (fun acc line ->
+      let n = String.length name in
+      if
+        String.length line > n
+        && String.sub line 0 n = name
+        && (line.[n] = '{' || line.[n] = ' ')
+      then
+        match String.rindex_opt line ' ' with
+        | Some i -> (
+            match
+              float_of_string_opt
+                (String.sub line (i + 1) (String.length line - i - 1))
+            with
+            | Some v -> acc +. v
+            | None -> acc)
+        | None -> acc
+      else acc)
+    0.
+    (String.split_on_char '\n' body)
+
+let pct_ms h q = Snapshot.quantile h q *. 1e3
+
+let write_served_json cfg ~engine ~requests ~elapsed ~bytes ~h ~divergences
+    ~errors ~retries ~restarts =
+  let oc = open_out cfg.lg_out in
+  Printf.fprintf oc
+    "[\n\
+    \  {\"engine\": %S, \"rate\": %.3f, \"duration_s\": %.3f, \
+     \"clients\": %d, \"batch\": %d, \"requests\": %d, \
+     \"achieved_rps\": %.3f, \"bytes\": %d, \"mb_per_s\": %.3f, \
+     \"p50_s\": %.6f, \"p95_s\": %.6f, \"p99_s\": %.6f, \"mean_s\": %.6f, \
+     \"divergences\": %d, \"errors\": %d, \"server_retries\": %d, \
+     \"server_restarts\": %d}\n\
+     ]\n"
+    engine cfg.lg_rate cfg.lg_duration cfg.lg_clients cfg.lg_batch requests
+    (if elapsed > 0. then float_of_int requests /. elapsed else 0.)
+    bytes
+    (if elapsed > 0. then float_of_int bytes /. 1e6 /. elapsed else 0.)
+    (Snapshot.quantile h 0.50) (Snapshot.quantile h 0.95)
+    (Snapshot.quantile h 0.99)
+    (if h.Snapshot.count > 0 then h.Snapshot.sum /. float_of_int h.Snapshot.count
+     else 0.)
+    divergences errors retries restarts;
+  close_out oc;
+  Printf.printf "wrote %s\n" cfg.lg_out
+
+let loadgen ~engine rest =
+  let cfg = parse_loadgen rest in
+  let port =
+    match (cfg.lg_port, cfg.lg_port_file) with
+    | Some p, _ -> p
+    | None, Some f -> (
+        match read_lines f with
+        | l :: _ when int_of_string_opt l <> None -> int_of_string l
+        | _ ->
+            Printf.eprintf "bench loadgen: %s does not contain a port number\n"
+              f;
+            exit 2)
+    | None, None ->
+        Printf.eprintf "bench loadgen: pass --port or --port-file\n%s"
+          loadgen_usage;
+        exit 2
+  in
+  let rules =
+    match cfg.lg_rules with
+    | Some f -> Array.of_list (read_lines f)
+    | None ->
+        Printf.eprintf "bench loadgen: pass --rules FILE\n%s" loadgen_usage;
+        exit 2
+  in
+  (* A fixed pool of generated inputs: request k's batch is a
+     deterministic slice, so the expected results are computed once. *)
+  let pool_size = 64 in
+  let pool =
+    Array.init pool_size (fun i ->
+        Stream_gen.generate ~seed:(cfg.lg_seed + i) ~size:cfg.lg_bytes rules)
+  in
+  let expected =
+    if not cfg.lg_expect then [||]
+    else
+      let lv =
+        match Live.of_rules ~engine:(Registry.underlying engine) rules with
+        | Ok lv -> lv
+        | Error e ->
+            Printf.eprintf "bench loadgen: cannot compile baseline: %s\n"
+              (Pipeline.error_to_string e);
+            exit 2
+      in
+      Array.map
+        (fun input ->
+          List.map
+            (fun e -> { Protocol.rule = e.Live.rule; end_pos = e.Live.end_pos })
+            (Live.run lv input))
+        pool
+  in
+  let n_requests = max 1 (int_of_float (cfg.lg_rate *. cfg.lg_duration)) in
+  let reg = Obs.create () in
+  let lat =
+    Obs.histogram ~registry:reg ~help:"Scheduled-to-response request latency"
+      "loadgen_latency_seconds"
+  in
+  let divergences = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let batch_of k =
+    Array.init cfg.lg_batch (fun j ->
+        pool.(((k * cfg.lg_batch) + j) mod pool_size))
+  in
+  let expected_of k =
+    Array.init cfg.lg_batch (fun j ->
+        expected.(((k * cfg.lg_batch) + j) mod pool_size))
+  in
+  let t0 = Mfsa_util.Clock.now () +. 0.05 (* let every client connect *) in
+  let client i () =
+    match Client.connect ~host:cfg.lg_host ~port () with
+    | Error msg ->
+        Printf.eprintf "bench loadgen: client %d: %s\n" i msg;
+        Atomic.incr errors
+    | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            let k = ref i in
+            while !k < n_requests do
+              let scheduled = t0 +. (float_of_int !k /. cfg.lg_rate) in
+              let now = Mfsa_util.Clock.now () in
+              if scheduled > now then Unix.sleepf (scheduled -. now);
+              (match Client.submit c (batch_of !k) with
+              | Ok results ->
+                  Obs.observe lat (Mfsa_util.Clock.now () -. scheduled);
+                  Atomic.incr completed;
+                  if cfg.lg_expect && results <> expected_of !k then
+                    Atomic.incr divergences
+              | Error msg ->
+                  Atomic.incr errors;
+                  Printf.eprintf "bench loadgen: request %d: %s\n" !k msg);
+              k := !k + cfg.lg_clients
+            done)
+  in
+  let threads =
+    List.init cfg.lg_clients (fun i -> Thread.create (client i) ())
+  in
+  List.iter Thread.join threads;
+  let elapsed = Mfsa_util.Clock.now () -. t0 in
+  let retries, restarts =
+    match Client.connect ~host:cfg.lg_host ~port () with
+    | Error _ -> (-1, -1)
+    | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            match Client.metrics c Protocol.Prometheus with
+            | Error _ -> (-1, -1)
+            | Ok body ->
+                ( int_of_float (prom_sum body "mfsa_serve_retries_total"),
+                  int_of_float (prom_sum body "mfsa_serve_replica_restarts_total")
+                ))
+  in
+  let h =
+    match Snapshot.find (Obs.snapshot reg) "loadgen_latency_seconds" with
+    | Some { Snapshot.value = Snapshot.Histogram h; _ } -> h
+    | _ -> { Snapshot.bounds = [||]; counts = [| 0 |]; sum = 0.; count = 0 }
+  in
+  let requests = Atomic.get completed in
+  let bytes = requests * cfg.lg_batch * cfg.lg_bytes in
+  Printf.printf
+    "loadgen: %d/%d requests in %.2f s (%.1f req/s achieved, target %.1f, \
+     %d clients, batch %d)\n"
+    requests n_requests elapsed
+    (if elapsed > 0. then float_of_int requests /. elapsed else 0.)
+    cfg.lg_rate cfg.lg_clients cfg.lg_batch;
+  Printf.printf
+    "latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, mean %.2f ms (log2 \
+     buckets, upper bounds)\n"
+    (pct_ms h 0.50) (pct_ms h 0.95) (pct_ms h 0.99)
+    (if h.Snapshot.count > 0 then
+       h.Snapshot.sum /. float_of_int h.Snapshot.count *. 1e3
+     else 0.);
+  Printf.printf "bytes: %.2f MB sent, %.2f MB/s\n"
+    (float_of_int bytes /. 1e6)
+    (if elapsed > 0. then float_of_int bytes /. 1e6 /. elapsed else 0.);
+  Printf.printf "divergences %d, errors %d\n" (Atomic.get divergences)
+    (Atomic.get errors);
+  Printf.printf "server: retries %d, restarts %d\n" retries restarts;
+  write_served_json cfg ~engine ~requests ~elapsed ~bytes ~h
+    ~divergences:(Atomic.get divergences) ~errors:(Atomic.get errors) ~retries
+    ~restarts;
+  if Atomic.get divergences > 0 then exit 1
+
 (* -------------------------------------------------- JSON export *)
 
 let write_engines_json rows =
@@ -503,6 +812,7 @@ let () =
       write_serve_json serve_rows;
       write_obs_json engine_rows serve_rows
   | [ "serve-check" ] -> serve_check ~engine ()
+  | "loadgen" :: rest -> loadgen ~engine rest
   | [] ->
       let cfg = E.default () in
       Printf.printf

@@ -35,3 +35,45 @@ let resolve ~prog name =
     | exception Invalid_argument msg ->
         Printf.eprintf "%s: %s\n" prog msg;
         Error 1
+
+(* ------------------------------------------- SIGPIPE and friends *)
+
+(* Every CLI is pipeline-friendly: `mfsa-report | head` must not die
+   of SIGPIPE, and the resulting EPIPE (or the Sys_error the stdlib
+   wraps it in on channel flush) is a clean early exit, not an
+   internal error. *)
+
+let init () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let epipe = function
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | Sys_error msg ->
+      (* "Broken pipe" is how out_channel flushes report EPIPE. *)
+      let needle = "roken pipe" in
+      let n = String.length msg and k = String.length needle in
+      let rec scan i = i + k <= n && (String.sub msg i k = needle || scan (i + 1)) in
+      scan 0
+  | _ -> false
+
+(* Shared entrypoint: ignore SIGPIPE, evaluate the command, map a
+   broken-pipe escape to success, and drain the std channels while
+   EPIPE can still be caught (a failed flush discards the buffer, so
+   exit's own at_exit flush cannot re-raise). *)
+let main cmd =
+  init ();
+  let code =
+    try Cmdliner.Cmd.eval' ~catch:false cmd with
+    | e when epipe e -> 0
+    | e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Printf.eprintf "%s: internal error, uncaught exception:\n%s\n"
+          (Filename.basename Sys.executable_name)
+          (Printexc.to_string e);
+        Printexc.print_raw_backtrace stderr bt;
+        Cmdliner.Cmd.Exit.internal_error
+  in
+  (try flush stdout with Sys_error _ -> ());
+  (try flush stderr with Sys_error _ -> ());
+  exit code

@@ -146,4 +146,4 @@ let cmd =
        ~doc:"Compile a regular-expression ruleset into merged MFSAs (extended ANML)")
     Term.(const run $ rules_file $ dataset $ m $ output $ verbose $ debug $ homogeneous $ strategy)
 
-let () = exit (Cmd.eval' cmd)
+let () = Engine_cli.main cmd

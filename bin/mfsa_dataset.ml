@@ -72,4 +72,4 @@ let cmd =
        ~doc:"Dump the synthetic benchmark rulesets and input streams")
     Term.(const run $ abbr $ scale $ rules_out $ stream_out $ stream_kb)
 
-let () = exit (Cmd.eval' cmd)
+let () = Engine_cli.main cmd

@@ -124,4 +124,4 @@ let cmd =
        ~doc:"Inspect a compiled MFSA ruleset")
     Term.(const run $ path $ dot $ project $ sharing $ coo)
 
-let () = exit (Cmd.eval' cmd)
+let () = Engine_cli.main cmd

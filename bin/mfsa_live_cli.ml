@@ -194,4 +194,4 @@ let cmd =
       const run $ script $ gc_threshold $ rules $ metrics_every
       $ Engine_cli.term ())
 
-let () = exit (Cmd.eval' cmd)
+let () = Engine_cli.main cmd

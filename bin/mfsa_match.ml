@@ -257,4 +257,4 @@ let cmd =
       const run $ anml_path $ input_path $ threads $ list_events $ stats
       $ rules $ metrics $ deadline $ retries $ admission $ Engine_cli.term ())
 
-let () = exit (Cmd.eval' cmd)
+let () = Engine_cli.main cmd

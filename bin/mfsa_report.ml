@@ -106,4 +106,4 @@ let cmd =
        ~doc:"Reproduce the paper's evaluation tables and figures")
     Term.(const run $ names $ scale $ stream_kb $ reps $ paper $ out_dir)
 
-let () = exit (Cmd.eval' cmd)
+let () = Engine_cli.main cmd

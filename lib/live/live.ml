@@ -250,6 +250,9 @@ let snapshot_generation s = s.sgen
 
 let snapshot_mfsa s = Option.map (fun p -> p.z) s.payload
 
+let snapshot_rule_ids s =
+  match s.payload with None -> [||] | Some p -> Array.copy p.rule_of_fsa
+
 let snapshot_run s input =
   match s.payload with
   | None -> []

@@ -144,6 +144,16 @@ val snapshot_mfsa : snapshot -> Mfsa_model.Mfsa.t option
 (** The underlying automaton; [None] when the generation has no live
     rules. *)
 
+val snapshot_rule_ids : snapshot -> int array
+(** The generation's merged-FSA index → stable rule id map: element
+    [fsa] of the array is the stable id that an
+    {!Mfsa_engine.Engine_sig.match_event} with that [fsa] field
+    reports as — what {!snapshot_run} applies internally, exposed so
+    an external executor of {!snapshot_mfsa} (a
+    {!Mfsa_serve.Serve} pool compiled from it, say) can translate its
+    events to the same stable ids. Empty when the generation has no
+    live rules. *)
+
 val snapshot_run : snapshot -> string -> match_event list
 
 val run : t -> string -> match_event list

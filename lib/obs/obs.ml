@@ -102,6 +102,8 @@ let rec atomic_add_float a x =
   let v = Atomic.get a in
   if not (Atomic.compare_and_set a v (v +. x)) then atomic_add_float a x
 
+let gauge_add g delta = if Atomic.get enabled_flag then atomic_add_float g delta
+
 (* Binary search for the first bound >= v; the overflow bucket when
    none is. *)
 let bucket_of bounds v =
@@ -126,6 +128,27 @@ let time h f =
     let t0 = Clock.now () in
     Fun.protect ~finally:(fun () -> observe h (Clock.now () -. t0)) f
   end
+
+(* ---------------------------------------------- Process gauges *)
+
+(* Captured when the library is loaded — for the processes that serve
+   metrics (the daemon, the CLIs) that is the process start for every
+   practical purpose, and it needs no /proc parsing. *)
+let process_t0 = Unix.gettimeofday ()
+
+let process_start_time ?registry () =
+  let g =
+    gauge ?registry ~help:"Unix time the process started, in seconds"
+      "mfsa_process_start_time_seconds"
+  in
+  (* Bypass [set]: the start time must survive set_enabled false and
+     re-appear after an Obs.reset-then-register. *)
+  Atomic.set g process_t0;
+  g
+
+let process_connections_active ?registry () =
+  gauge ?registry ~help:"Currently open client connections"
+    "mfsa_process_connections_active"
 
 (* --------------------------------------------------------- Reading *)
 

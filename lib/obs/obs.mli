@@ -65,12 +65,35 @@ val inc : counter -> unit
 val add : counter -> int -> unit
 val set : gauge -> float -> unit
 
+val gauge_add : gauge -> float -> unit
+(** Atomically add [delta] (possibly negative) to the gauge — the
+    increment/decrement idiom for level gauges such as
+    {!process_connections_active}, safe from any domain. *)
+
 val observe : histogram -> float -> unit
 (** Record one value (seconds, for latency histograms). *)
 
 val time : histogram -> (unit -> 'a) -> 'a
 (** A span: run the thunk and {!observe} its wall-clock duration
     (observed even when the thunk raises). *)
+
+(** {2 Process-level gauges}
+
+    The two series stock Prometheus tooling expects from any
+    long-running scrape target, named in the shared [mfsa_process_*]
+    namespace so every exporter in the process agrees on them. Both
+    are get-or-create like the plain constructors. *)
+
+val process_start_time : ?registry:t -> unit -> gauge
+(** [mfsa_process_start_time_seconds]: the Unix time this process
+    started (captured when the library is loaded), already {!set} on
+    the returned gauge — registering it is enough to make a scrape
+    carry it. *)
+
+val process_connections_active : ?registry:t -> unit -> gauge
+(** [mfsa_process_connections_active]: currently open client
+    connections, starting at 0. The serving daemon raises and lowers
+    it around each accepted connection with {!gauge_add}. *)
 
 (** {2 Reading} *)
 

@@ -78,6 +78,24 @@ let equal a b =
   let strip t = List.map (fun s -> { s with help = "" }) (normalize t) in
   strip a = strip b
 
+let quantile h q =
+  if h.count = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = int_of_float (Float.ceil (q *. float_of_int h.count)) in
+    let rank = max 1 (min h.count rank) in
+    let n = Array.length h.counts in
+    let rec go i acc =
+      if i >= n then infinity
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= rank then
+          if i < Array.length h.bounds then h.bounds.(i) else infinity
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
 (* ------------------------------------------------------- Rendering *)
 
 (* Numbers in a form both Prometheus parsers and the cram tests'

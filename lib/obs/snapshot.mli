@@ -87,6 +87,14 @@ val number : ?labels:labels -> t -> string -> float option
 val equal : t -> t -> bool
 (** Structural equality up to sample order. *)
 
+val quantile : histogram -> float -> float
+(** Upper-bound estimate of the [q]-th quantile ([0 <= q <= 1]) from
+    the bucket counts: the upper bound of the bucket holding the
+    [ceil (q * count)]-th observation — with the default log2 latency
+    buckets, within a factor of 2 of the true value. [0.] for an
+    empty histogram; [infinity] when the quantile lands in the
+    overflow bucket. [q] is clamped to [\[0, 1\]]. *)
+
 val pp : Format.formatter -> t -> unit
 
 (** {2 Exporters} *)

@@ -1,0 +1,104 @@
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  mutable closed : bool;
+}
+
+let connect ?(read_deadline = 30.) ?(max_frame = P.default_max_payload) ~host
+    ~port () =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      if read_deadline > 0. then
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_deadline
+         with Unix.Unix_error _ -> ());
+      Ok fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Result.Error e
+  with
+  | Ok fd -> Ok { fd; max_frame; closed = false }
+  | Result.Error (Unix.Unix_error (e, _, _)) ->
+      Result.Error
+        (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+  | Result.Error e ->
+      Result.Error
+        (Printf.sprintf "connect %s:%d: %s" host port (Printexc.to_string e))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let rpc t req =
+  if t.closed then Result.Error "connection closed"
+  else
+    match P.write_frame t.fd (P.request_to_frame req) with
+    | exception Unix.Unix_error (e, _, _) ->
+        Result.Error ("write: " ^ Unix.error_message e)
+    | () -> (
+        match P.read_frame ~max_payload:t.max_frame t.fd with
+        | P.Eof -> Result.Error "server closed the connection"
+        | P.Fail err -> Result.Error (P.err_to_string err)
+        | P.Frame frame -> (
+            match P.response_of_frame frame with
+            | Result.Error err -> Result.Error (P.err_to_string err)
+            | Ok resp -> Ok resp))
+
+let unexpected what resp =
+  Result.Error
+    (Printf.sprintf "unexpected response to %s: %s" what
+       (match resp with
+       | P.Pong -> "pong"
+       | P.Results _ -> "results"
+       | P.Metrics_data _ -> "metrics_data"
+       | P.Added _ -> "added"
+       | P.Removed _ -> "removed"
+       | P.Rule_list _ -> "rule_list"
+       | P.Bye -> "bye"
+       | P.Error e -> P.err_to_string e))
+
+let lift what ok t req =
+  match rpc t req with
+  | Result.Error _ as e -> e
+  | Ok (P.Error err) -> Result.Error (P.err_to_string err)
+  | Ok resp -> ( match ok resp with Some v -> Ok v | None -> unexpected what resp)
+
+let ping t = lift "ping" (function P.Pong -> Some () | _ -> None) t P.Ping
+
+let submit t inputs =
+  lift "submit"
+    (function P.Results r -> Some r | _ -> None)
+    t (P.Submit inputs)
+
+let metrics t fmt =
+  lift "metrics"
+    (function P.Metrics_data s -> Some s | _ -> None)
+    t (P.Metrics fmt)
+
+let add_rule t pattern =
+  lift "admin add"
+    (function P.Added { rule; generation } -> Some (rule, generation) | _ -> None)
+    t
+    (P.Admin (P.Add pattern))
+
+let remove_rule t id =
+  lift "admin remove"
+    (function P.Removed { generation } -> Some generation | _ -> None)
+    t
+    (P.Admin (P.Remove id))
+
+let list_rules t =
+  lift "admin rules"
+    (function
+      | P.Rule_list { generation; rules } -> Some (generation, rules)
+      | _ -> None)
+    t (P.Admin P.List_rules)
+
+let shutdown t = lift "shutdown" (function P.Bye -> Some () | _ -> None) t P.Shutdown

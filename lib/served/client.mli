@@ -1,0 +1,56 @@
+(** Blocking TCP client for the {!Protocol}, shared by [mfsa-served
+    ctl], the load generator and the test suite.
+
+    One {!t} is one connection; calls are synchronous request/response
+    and therefore {e not} safe from several threads at once — open one
+    client per thread (the daemon is happy to accept them all).
+
+    Every helper returns [(_, string) result]: protocol-level errors
+    ({!Protocol.err}), unexpected responses and transport failures all
+    collapse to a printable message, which is what a CLI or a load
+    generator wants. *)
+
+type t
+
+val connect :
+  ?read_deadline:float ->
+  ?max_frame:int ->
+  host:string ->
+  port:int ->
+  unit ->
+  (t, string) result
+(** TCP connect (with [TCP_NODELAY]). [read_deadline] (default 30 s,
+    [0.] disables) bounds each response wait; [max_frame] (default
+    {!Protocol.default_max_payload}) bounds accepted response
+    payloads — METRICS bodies are the big ones. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val rpc : t -> Protocol.request -> (Protocol.response, string) result
+(** One request/response round-trip; the typed helpers below are
+    sugar over it. A server-sent [Error] frame is returned as [Ok
+    (Error _)] here — the helpers turn it into [Result.Error]. *)
+
+val ping : t -> (unit, string) result
+
+val submit : t -> string array -> (Protocol.event list array, string) result
+(** Match a batch; [result.(i)] are input [i]'s events as
+    [(stable rule id, end position)], sorted by (end_pos, rule) —
+    byte-identical to {!Mfsa_live.Live.run} on the server's current
+    generation. *)
+
+val metrics : t -> Protocol.metrics_format -> (string, string) result
+
+val add_rule : t -> string -> (int * int, string) result
+(** [(rule id, new generation)]. *)
+
+val remove_rule : t -> int -> (int, string) result
+(** The new generation. *)
+
+val list_rules : t -> (int * (int * string) list, string) result
+(** [(generation, rules)] with rules sorted by stable id. *)
+
+val shutdown : t -> (unit, string) result
+(** Ask the server to drain. The connection is useless afterwards
+    (the server closes it once [Bye] is sent). *)

@@ -1,0 +1,409 @@
+let magic = "MFSA"
+
+let version = 1
+
+let header_len = 10
+
+let default_max_payload = 16 * 1024 * 1024
+
+type error_code =
+  | Bad_magic
+  | Bad_version
+  | Bad_opcode
+  | Frame_too_large
+  | Malformed
+  | Deadline
+  | Closed
+  | Rejected
+  | Timeout
+  | Compile_failed
+  | Unknown_rule
+  | Job_failed
+
+type err = { code : error_code; message : string }
+
+(* Wire values are stable protocol surface: framing errors in 1–15,
+   admission outcomes in 16–31, request-level failures from 32. *)
+let error_code_to_int = function
+  | Bad_magic -> 1
+  | Bad_version -> 2
+  | Bad_opcode -> 3
+  | Frame_too_large -> 4
+  | Malformed -> 5
+  | Deadline -> 6
+  | Closed -> 16
+  | Rejected -> 17
+  | Timeout -> 18
+  | Compile_failed -> 32
+  | Unknown_rule -> 33
+  | Job_failed -> 34
+
+let error_code_of_int = function
+  | 1 -> Some Bad_magic
+  | 2 -> Some Bad_version
+  | 3 -> Some Bad_opcode
+  | 4 -> Some Frame_too_large
+  | 5 -> Some Malformed
+  | 6 -> Some Deadline
+  | 16 -> Some Closed
+  | 17 -> Some Rejected
+  | 18 -> Some Timeout
+  | 32 -> Some Compile_failed
+  | 33 -> Some Unknown_rule
+  | 34 -> Some Job_failed
+  | _ -> None
+
+let error_code_to_string = function
+  | Bad_magic -> "bad-magic"
+  | Bad_version -> "bad-version"
+  | Bad_opcode -> "bad-opcode"
+  | Frame_too_large -> "frame-too-large"
+  | Malformed -> "malformed"
+  | Deadline -> "deadline"
+  | Closed -> "closed"
+  | Rejected -> "rejected"
+  | Timeout -> "timeout"
+  | Compile_failed -> "compile-failed"
+  | Unknown_rule -> "unknown-rule"
+  | Job_failed -> "job-failed"
+
+let err_to_string { code; message } =
+  if message = "" then error_code_to_string code
+  else error_code_to_string code ^ ": " ^ message
+
+type metrics_format = Prometheus | Json
+
+type admin = Add of string | Remove of int | List_rules
+
+type request =
+  | Ping
+  | Submit of string array
+  | Metrics of metrics_format
+  | Admin of admin
+  | Shutdown
+
+type event = { rule : int; end_pos : int }
+
+type response =
+  | Pong
+  | Results of event list array
+  | Metrics_data of string
+  | Added of { rule : int; generation : int }
+  | Removed of { generation : int }
+  | Rule_list of { generation : int; rules : (int * string) list }
+  | Bye
+  | Error of err
+
+type frame = { opcode : int; payload : string }
+
+(* -------------------------------------------------------- Opcodes *)
+
+let op_ping = 0x01
+let op_submit = 0x02
+let op_metrics = 0x03
+let op_admin = 0x04
+let op_shutdown = 0x05
+let op_pong = 0x81
+let op_results = 0x82
+let op_metrics_data = 0x83
+let op_admin_data = 0x84
+let op_bye = 0x85
+let op_error = 0xFF
+
+(* ------------------------------------------------------- Encoding *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let frame opcode make =
+  let b = Buffer.create 64 in
+  make b;
+  { opcode; payload = Buffer.contents b }
+
+let request_to_frame = function
+  | Ping -> { opcode = op_ping; payload = "" }
+  | Submit inputs ->
+      frame op_submit (fun b ->
+          put_u32 b (Array.length inputs);
+          Array.iter (put_str b) inputs)
+  | Metrics fmt ->
+      frame op_metrics (fun b ->
+          put_u8 b (match fmt with Prometheus -> 0 | Json -> 1))
+  | Admin a ->
+      frame op_admin (fun b ->
+          match a with
+          | Add pattern ->
+              put_u8 b 0;
+              put_str b pattern
+          | Remove id ->
+              put_u8 b 1;
+              put_u32 b id
+          | List_rules -> put_u8 b 2)
+  | Shutdown -> { opcode = op_shutdown; payload = "" }
+
+let response_to_frame = function
+  | Pong -> { opcode = op_pong; payload = "" }
+  | Results per_input ->
+      frame op_results (fun b ->
+          put_u32 b (Array.length per_input);
+          Array.iter
+            (fun events ->
+              put_u32 b (List.length events);
+              List.iter
+                (fun { rule; end_pos } ->
+                  put_u32 b rule;
+                  put_u32 b end_pos)
+                events)
+            per_input)
+  | Metrics_data body -> { opcode = op_metrics_data; payload = body }
+  | Added { rule; generation } ->
+      frame op_admin_data (fun b ->
+          put_u8 b 0;
+          put_u32 b rule;
+          put_u32 b generation)
+  | Removed { generation } ->
+      frame op_admin_data (fun b ->
+          put_u8 b 1;
+          put_u32 b generation)
+  | Rule_list { generation; rules } ->
+      frame op_admin_data (fun b ->
+          put_u8 b 2;
+          put_u32 b generation;
+          put_u32 b (List.length rules);
+          List.iter
+            (fun (id, pattern) ->
+              put_u32 b id;
+              put_str b pattern)
+            rules)
+  | Bye -> { opcode = op_bye; payload = "" }
+  | Error { code; message } ->
+      frame op_error (fun b ->
+          put_u8 b (error_code_to_int code);
+          put_str b message)
+
+let encode_frame { opcode; payload } =
+  let b = Buffer.create (header_len + String.length payload) in
+  Buffer.add_string b magic;
+  put_u8 b version;
+  put_u8 b opcode;
+  put_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* ------------------------------------------------------- Decoding *)
+
+exception Bad of err
+
+let bad code fmt = Printf.ksprintf (fun message -> raise (Bad { code; message })) fmt
+
+type cursor = { buf : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.buf then
+    bad Malformed "payload truncated at offset %d (need %d more bytes)" c.pos n
+
+let u8 c =
+  need c 1;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.buf c.pos) land 0xFFFFFFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let str c =
+  let n = u32 c in
+  need c n;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let decode_header h =
+  if String.length h <> header_len then
+    Result.Error
+      { code = Malformed;
+        message = Printf.sprintf "header is %d bytes, want %d" (String.length h)
+            header_len }
+  else if String.sub h 0 4 <> magic then
+    Result.Error { code = Bad_magic; message = "frame does not start with MFSA" }
+  else if Char.code h.[4] <> version then
+    Result.Error
+      { code = Bad_version;
+        message =
+          Printf.sprintf "protocol version %d, this peer speaks %d"
+            (Char.code h.[4]) version }
+  else
+    let opcode = Char.code h.[5] in
+    let len = Int32.to_int (String.get_int32_be h 6) land 0xFFFFFFFF in
+    Ok (opcode, len)
+
+(* Decode the whole payload with [f]; trailing bytes are as malformed
+   as missing ones — a frame either means exactly one message or
+   nothing. *)
+let decoding payload f =
+  let c = { buf = payload; pos = 0 } in
+  match f c with
+  | v ->
+      if c.pos <> String.length payload then
+        Result.Error
+          { code = Malformed;
+            message =
+              Printf.sprintf "%d trailing payload bytes"
+                (String.length payload - c.pos) }
+      else Ok v
+  | exception Bad e -> Result.Error e
+
+let request_of_frame { opcode; payload } =
+  decoding payload (fun c ->
+      if opcode = op_ping then Ping
+      else if opcode = op_submit then begin
+        let n = u32 c in
+        (* Each input needs at least its 4-byte length prefix: a count
+           that cannot fit in the payload is rejected before any
+           allocation proportional to it. *)
+        if n * 4 > String.length payload then
+          bad Malformed "submit announces %d inputs in a %d-byte payload" n
+            (String.length payload);
+        Submit (Array.init n (fun _ -> str c))
+      end
+      else if opcode = op_metrics then
+        match u8 c with
+        | 0 -> Metrics Prometheus
+        | 1 -> Metrics Json
+        | f -> bad Malformed "unknown metrics format %d" f
+      else if opcode = op_admin then
+        match u8 c with
+        | 0 -> Admin (Add (str c))
+        | 1 -> Admin (Remove (u32 c))
+        | 2 -> Admin List_rules
+        | s -> bad Malformed "unknown admin sub-op %d" s
+      else if opcode = op_shutdown then Shutdown
+      else bad Bad_opcode "unknown request opcode 0x%02x" opcode)
+
+let response_of_frame { opcode; payload } =
+  decoding payload (fun c ->
+      if opcode = op_pong then Pong
+      else if opcode = op_results then begin
+        let n = u32 c in
+        if n * 4 > String.length payload then
+          bad Malformed "results announce %d inputs in a %d-byte payload" n
+            (String.length payload);
+        Results
+          (Array.init n (fun _ ->
+               let k = u32 c in
+               if k * 8 > String.length payload then
+                 bad Malformed "input announces %d events in a %d-byte payload"
+                   k (String.length payload);
+               List.init k (fun _ ->
+                   let rule = u32 c in
+                   let end_pos = u32 c in
+                   { rule; end_pos })))
+      end
+      else if opcode = op_metrics_data then begin
+        let body = String.sub c.buf c.pos (String.length c.buf - c.pos) in
+        c.pos <- String.length c.buf;
+        Metrics_data body
+      end
+      else if opcode = op_admin_data then
+        match u8 c with
+        | 0 ->
+            let rule = u32 c in
+            let generation = u32 c in
+            Added { rule; generation }
+        | 1 -> Removed { generation = u32 c }
+        | 2 ->
+            let generation = u32 c in
+            let n = u32 c in
+            if n * 8 > String.length payload then
+              bad Malformed "rule list announces %d rules in a %d-byte payload"
+                n (String.length payload);
+            Rule_list
+              { generation;
+                rules =
+                  List.init n (fun _ ->
+                      let id = u32 c in
+                      let pattern = str c in
+                      (id, pattern)) }
+        | s -> bad Malformed "unknown admin-data sub-op %d" s
+      else if opcode = op_bye then Bye
+      else if opcode = op_error then begin
+        let code_i = u8 c in
+        let message = str c in
+        match error_code_of_int code_i with
+        | Some code -> Error { code; message }
+        | None -> bad Malformed "unknown error code %d" code_i
+      end
+      else bad Bad_opcode "unknown response opcode 0x%02x" opcode)
+
+(* ------------------------------------------------------------ I/O *)
+
+type read_result = Frame of frame | Eof | Fail of err
+
+(* [really_read fd buf] fills [buf] completely. Returns how many bytes
+   arrived before a clean EOF; raises on everything else (EINTR is
+   retried). *)
+let really_read fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off >= len then off
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> off
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_frame ?(max_payload = default_max_payload) fd =
+  try
+    let header = Bytes.create header_len in
+    match really_read fd header with
+    | 0 -> Eof
+    | n when n < header_len ->
+        Fail
+          { code = Malformed;
+            message = Printf.sprintf "EOF after %d header bytes" n }
+    | _ -> (
+        match decode_header (Bytes.to_string header) with
+        | Result.Error e -> Fail e
+        | Ok (opcode, len) ->
+            if len > max_payload then
+              Fail
+                { code = Frame_too_large;
+                  message =
+                    Printf.sprintf "announced payload of %d bytes exceeds %d"
+                      len max_payload }
+            else begin
+              let payload = Bytes.create len in
+              let n = really_read fd payload in
+              if n < len then
+                Fail
+                  { code = Malformed;
+                    message =
+                      Printf.sprintf "EOF %d bytes into a %d-byte payload" n len
+                  }
+              else Frame { opcode; payload = Bytes.to_string payload }
+            end)
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Fail { code = Deadline; message = "read deadline expired" }
+  | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Eof
+
+let write_frame fd frame =
+  let s = encode_frame frame in
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0

@@ -1,0 +1,141 @@
+(** The wire protocol of [mfsa-served].
+
+    A simple length-prefixed binary framing over TCP, symmetric in
+    both directions. Every frame is
+
+    {v
+      offset  size  field
+      0       4     magic   "MFSA"
+      4       1     version 0x01
+      5       1     opcode
+      6       4     payload length N (big-endian u32)
+      10      N     payload
+    v}
+
+    and every multi-byte integer inside a payload is big-endian.
+    Strings (inputs, patterns, metrics bodies) are a u32 length
+    followed by raw bytes — they are binary-safe, there is no quoting
+    layer anywhere.
+
+    The payload grammar per opcode lives in the {!request}/{!response}
+    encoders below; both directions round-trip exactly
+    ([request_of_frame (request_to_frame r) = Ok r], the property the
+    test suite checks), and a decoder rejects trailing bytes, so a
+    frame means one thing or is {!Malformed} — never "mostly parsed".
+
+    Errors are typed ({!error_code}): the framing errors a server
+    answers just before closing the connection ({!Bad_magic},
+    {!Bad_version}, {!Bad_opcode}, {!Frame_too_large}, {!Malformed},
+    {!Deadline}), the {!Mfsa_serve.Serve.error} admission outcomes
+    mapped onto the wire ({!Closed}, {!Rejected}, {!Timeout}), and
+    the request-level failures ({!Compile_failed}, {!Unknown_rule},
+    {!Job_failed}). *)
+
+val magic : string
+(** ["MFSA"]. *)
+
+val version : int
+(** Protocol version, [1]. *)
+
+val header_len : int
+(** Bytes of the fixed frame header, [10]. *)
+
+val default_max_payload : int
+(** Default per-frame payload bound, 16 MiB. A peer announcing a
+    larger frame gets {!Frame_too_large} and the connection is
+    closed — the length prefix is attacker-controlled and must never
+    drive an allocation unchecked. *)
+
+(** {2 Typed messages} *)
+
+type error_code =
+  | Bad_magic  (** Frame header did not start with {!magic}. *)
+  | Bad_version  (** Unsupported protocol version. *)
+  | Bad_opcode  (** Unknown opcode byte. *)
+  | Frame_too_large  (** Announced payload exceeds the receiver's bound. *)
+  | Malformed  (** Payload did not parse (truncated, trailing bytes…). *)
+  | Deadline  (** The per-connection read deadline expired. *)
+  | Closed  (** The service is draining; no new work admitted. *)
+  | Rejected  (** Admission control refused the batch. *)
+  | Timeout  (** The per-batch serving deadline expired. *)
+  | Compile_failed  (** [ADMIN ADD]: the pattern did not compile. *)
+  | Unknown_rule  (** [ADMIN REMOVE]: no live rule with that id. *)
+  | Job_failed  (** A job raised after exhausting the retry budget. *)
+
+type err = { code : error_code; message : string }
+
+val error_code_to_int : error_code -> int
+val error_code_of_int : int -> error_code option
+val error_code_to_string : error_code -> string
+
+val err_to_string : err -> string
+(** ["<code>: <message>"]. *)
+
+type metrics_format = Prometheus | Json
+
+type admin =
+  | Add of string  (** Compile and merge one POSIX-ERE rule. *)
+  | Remove of int  (** Retire a rule by stable id. *)
+  | List_rules
+
+type request =
+  | Ping
+  | Submit of string array
+      (** A batch of independent inputs; answered by {!Results} with
+          one event list per input, in submission order. *)
+  | Metrics of metrics_format
+  | Admin of admin
+  | Shutdown  (** Answered with {!Bye}; the server then drains. *)
+
+type event = { rule : int;  (** Stable rule id. *) end_pos : int }
+
+type response =
+  | Pong
+  | Results of event list array
+  | Metrics_data of string
+  | Added of { rule : int; generation : int }
+  | Removed of { generation : int }
+  | Rule_list of { generation : int; rules : (int * string) list }
+  | Bye
+  | Error of err
+
+(** {2 Frames} *)
+
+type frame = { opcode : int; payload : string }
+
+val encode_frame : frame -> string
+(** Header + payload, ready to write. *)
+
+val decode_header : string -> (int * int, err) result
+(** Parse a {!header_len}-byte header into [(opcode, payload_len)];
+    checks magic and version (but not the payload bound — that is the
+    receiver's policy, see {!read_frame}). *)
+
+val request_to_frame : request -> frame
+val response_to_frame : response -> frame
+
+val request_of_frame : frame -> (request, err) result
+val response_of_frame : frame -> (response, err) result
+
+(** {2 Blocking frame I/O}
+
+    Helpers over [Unix] file descriptors, shared by the server's
+    connection handlers and the client. Reads honour a socket
+    [SO_RCVTIMEO] if one is set: an expired timeout surfaces as
+    [Fail { code = Deadline; _ }]. *)
+
+type read_result =
+  | Frame of frame
+  | Eof  (** Clean EOF at a frame boundary. *)
+  | Fail of err
+      (** Framing failure: bad header, payload over [max_payload],
+          EOF mid-frame, or an expired read deadline. *)
+
+val read_frame : ?max_payload:int -> Unix.file_descr -> read_result
+(** Blocking read of one whole frame. [max_payload] defaults to
+    {!default_max_payload}. *)
+
+val write_frame : Unix.file_descr -> frame -> unit
+(** Blocking write of one whole frame. Raises [Unix.Unix_error] as
+    usual — [EPIPE] when the peer is gone (the caller handles it; the
+    process ignores [SIGPIPE]). *)

@@ -135,3 +135,66 @@ if [ "$prom_n" -ne "$expected" ]; then
   exit 1
 fi
 echo "metrics exposition OK ($prom_n sample lines, $json_n series)"
+
+echo "== served soak (daemon + loadgen, fault-injected) =="
+# The networked daemon under sustained open-loop load with a seeded
+# fault schedule: for MFSA_SOAK_S seconds, four clients drive SUBMIT
+# batches at a fixed arrival rate against a faulty{..}:imfant daemon
+# whose retry + supervision budget must absorb every injected fault —
+# zero result divergence from the clean sequential baseline, at least
+# one retry and one replica restart actually observed (otherwise the
+# schedule never bit), and a clean exit 0 on SIGTERM afterwards.
+# Binaries are invoked from _build directly: dune already built them
+# above, and a backgrounded `dune exec` would contend for the build
+# lock with the loadgen invocation.
+served=_build/default/bin/mfsa_served_cli.exe
+bench=_build/default/bench/main.exe
+faulty='faulty{seed=7,fail_every=97,poison_every=211}:imfant'
+_build/default/bin/mfsa_dataset.exe BRO --scale 0.2 -r "$tmp/soak_rules.txt"
+"$served" run --rules "$tmp/soak_rules.txt" -e "$faulty" \
+  --retries 6 --backoff 0.0002 --domains 2 \
+  --port 0 --port-file "$tmp/soak_port" -q 2> "$tmp/soak_daemon.err" &
+soak_pid=$!
+for _ in $(seq 1 100); do [ -s "$tmp/soak_port" ] && break; sleep 0.1; done
+if ! [ -s "$tmp/soak_port" ]; then
+  echo "ci: soak daemon never wrote its port file" >&2
+  cat "$tmp/soak_daemon.err" >&2
+  kill "$soak_pid" 2>/dev/null || true
+  exit 1
+fi
+out=$("$bench" loadgen --rules "$tmp/soak_rules.txt" \
+  --port-file "$tmp/soak_port" --rate "${MFSA_SOAK_RATE:-150}" \
+  --duration "${MFSA_SOAK_S:-30}" --clients 4 --expect -e "$faulty") || {
+  printf '%s\n' "$out"
+  echo "ci: soak loadgen failed (divergence or transport errors)" >&2
+  kill "$soak_pid" 2>/dev/null || true
+  exit 1
+}
+printf '%s\n' "$out"
+printf '%s' "$out" | grep -q '^divergences 0,' || {
+  echo "ci: soak run diverged from the sequential baseline" >&2
+  kill "$soak_pid" 2>/dev/null || true
+  exit 1
+}
+soak_retries=$(printf '%s' "$out" | sed -n 's/^server: retries \([0-9]*\),.*/\1/p')
+soak_restarts=$(printf '%s' "$out" | sed -n 's/^server: retries [0-9]*, restarts \([0-9]*\)$/\1/p')
+if [ -z "$soak_retries" ] || [ "$soak_retries" -lt 1 ]; then
+  echo "ci: soak fault injection never exercised a retry (retries=$soak_retries)" >&2
+  kill "$soak_pid" 2>/dev/null || true
+  exit 1
+fi
+if [ -z "$soak_restarts" ] || [ "$soak_restarts" -lt 1 ]; then
+  echo "ci: soak fault injection never respawned a replica (restarts=$soak_restarts)" >&2
+  kill "$soak_pid" 2>/dev/null || true
+  exit 1
+fi
+test -s BENCH_served.json
+kill -TERM "$soak_pid"
+soak_status=0
+wait "$soak_pid" || soak_status=$?
+if [ "$soak_status" -ne 0 ]; then
+  echo "ci: soak daemon did not drain cleanly on SIGTERM (exit $soak_status)" >&2
+  cat "$tmp/soak_daemon.err" >&2
+  exit 1
+fi
+echo "served soak OK (retries $soak_retries, restarts $soak_restarts, clean SIGTERM drain)"

@@ -1,0 +1,69 @@
+The serving daemon end to end over loopback: start on an ephemeral
+port, submit batches, scrape metrics, drive a live admin update, and
+drain gracefully on SHUTDOWN.
+
+  $ cat > rules.txt <<'EOF'
+  > abc
+  > a.c
+  > # a comment, skipped
+  > q+
+  > EOF
+
+  $ mfsa-served run --rules rules.txt --port 0 --port-file port -q 2>daemon.err &
+  > echo $! > daemon.pid
+
+  $ for i in $(seq 1 100); do [ -s port ] && break; sleep 0.1; done
+
+Liveness:
+
+  $ mfsa-served ctl --port-file port ping
+  pong
+
+A batch; events carry stable rule ids (line order) and byte offsets:
+
+  $ mfsa-served ctl --port-file port submit xxabcxx aXcq nomatch
+  input 0: 2 matches
+    rule 0 end 5
+    rule 1 end 5
+  input 1: 2 matches
+    rule 1 end 3
+    rule 2 end 4
+  input 2: 1 matches
+    rule 1 end 6
+
+Prometheus exposition over the wire — the process gauges, the
+daemon's own series and the pool's counters all in one scrape:
+
+  $ mfsa-served ctl --port-file port metrics | grep -c '^mfsa_process_start_time_seconds'
+  1
+  $ mfsa-served ctl --port-file port metrics | grep '^mfsa_served_requests_total{op="submit"}'
+  mfsa_served_requests_total{op="submit"} 1
+  $ mfsa-served ctl --port-file port metrics | grep '^mfsa_serve_inputs_total'
+  mfsa_serve_inputs_total{generation="0"} 3
+
+Remote admin: add a rule, see it serve, list and remove it:
+
+  $ mfsa-served ctl --port-file port add 'nomat.h'
+  added rule 3 (gen 1)
+  $ mfsa-served ctl --port-file port submit nomatch
+  input 0: 2 matches
+    rule 1 end 6
+    rule 3 end 7
+  $ mfsa-served ctl --port-file port rules
+  gen 1: 4 rules
+  rule 0  abc
+  rule 1  a.c
+  rule 2  q+
+  rule 3  nomat.h
+  $ mfsa-served ctl --port-file port remove 3
+  removed (gen 2)
+  $ mfsa-served ctl --port-file port remove 99
+  mfsa-served ctl: unknown-rule: no live rule 99
+  [1]
+
+Graceful remote drain; the daemon exits 0:
+
+  $ mfsa-served ctl --port-file port shutdown
+  server draining
+  $ wait $(cat daemon.pid)
+  $ cat daemon.err

@@ -17,6 +17,66 @@ let qtest = QCheck_alcotest.to_alcotest
 
 (* ------------------------------------------------------- Snapshots *)
 
+let test_quantile () =
+  (* Two buckets (≤1, ≤2) plus overflow: 3 observations ≤ 1, 1 in
+     (1, 2], 1 above 2. *)
+  let h =
+    { S.bounds = [| 1.; 2. |]; counts = [| 3; 1; 1 |]; sum = 6.; count = 5 }
+  in
+  check (Alcotest.float 0.) "q=0 -> first bucket" 1. (S.quantile h 0.);
+  check (Alcotest.float 0.) "median" 1. (S.quantile h 0.5);
+  check (Alcotest.float 0.) "p80 hits second bucket" 2. (S.quantile h 0.8);
+  check Alcotest.bool "p99 lands in overflow" true
+    (S.quantile h 0.99 = infinity);
+  check (Alcotest.float 0.) "clamped above" (S.quantile h 1.) (S.quantile h 7.);
+  let empty = { S.bounds = [| 1. |]; counts = [| 0; 0 |]; sum = 0.; count = 0 } in
+  check (Alcotest.float 0.) "empty histogram" 0. (S.quantile empty 0.9)
+
+let test_quantile_from_registry () =
+  let reg = Obs.create () in
+  let h = Obs.histogram ~registry:reg "mfsa_q_seconds" in
+  (* 100 observations at ~1 ms, one straggler at ~1 s: the p50 bound
+     stays in the millisecond buckets, the max escapes upward. *)
+  for _ = 1 to 100 do Obs.observe h 0.001 done;
+  Obs.observe h 1.0;
+  match S.find (Obs.snapshot reg) "mfsa_q_seconds" with
+  | Some { S.value = S.Histogram hist; _ } ->
+      let p50 = S.quantile hist 0.5 and p99 = S.quantile hist 0.99 in
+      check Alcotest.bool "p50 within 2x of 1ms" true
+        (p50 >= 0.001 && p50 <= 0.002);
+      check Alcotest.bool "p99 still small" true (p99 <= 0.002);
+      check Alcotest.bool "p100 sees the straggler" true
+        (S.quantile hist 1. >= 1.0)
+  | _ -> Alcotest.fail "histogram sample missing"
+
+(* --------------------------------------------------- Process gauges *)
+
+let test_process_gauges () =
+  let reg = Obs.create () in
+  let start = Obs.process_start_time ~registry:reg () in
+  let t0 = Obs.gauge_value start in
+  check Alcotest.bool "start time is a plausible unix time" true
+    (t0 > 1.6e9 && t0 <= Unix.gettimeofday ());
+  (* Get-or-create: a second registration reads the same value. *)
+  check (Alcotest.float 0.) "idempotent"
+    t0 (Obs.gauge_value (Obs.process_start_time ~registry:reg ()));
+  let active = Obs.process_connections_active ~registry:reg () in
+  check (Alcotest.float 0.) "starts at 0" 0. (Obs.gauge_value active);
+  Obs.gauge_add active 1.;
+  Obs.gauge_add active 1.;
+  Obs.gauge_add active (-1.);
+  check (Alcotest.float 0.) "gauge_add nets out" 1. (Obs.gauge_value active);
+  let text = S.to_prometheus (Obs.snapshot reg) in
+  let has needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "start-time series exported" true
+    (has "mfsa_process_start_time_seconds");
+  check Alcotest.bool "connections series exported" true
+    (has "mfsa_process_connections_active 1")
+
 let test_prometheus_text () =
   let snap =
     [
@@ -264,6 +324,10 @@ let () =
           Alcotest.test_case "json shape" `Quick test_json_shape;
           Alcotest.test_case "to_kv" `Quick test_to_kv;
           Alcotest.test_case "combinators" `Quick test_combinators;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "quantile via registry" `Quick
+            test_quantile_from_registry;
+          Alcotest.test_case "process gauges" `Quick test_process_gauges;
         ] );
       ( "registry",
         [
