@@ -19,6 +19,41 @@ let term ?(default = "imfant") () =
               deterministic fault injection."
              default))
 
+(* Shared hot-loop tuning flags: engines snapshot Tuning at compile
+   time, so the term *applies* the knobs as a side effect — cmdliner
+   evaluates every term before the command body runs, i.e. before any
+   compile. Yields unit. *)
+module Tuning = Mfsa_engine.Tuning
+
+let tuning_term () =
+  let no_prefilter =
+    Arg.(
+      value & flag
+      & info [ "no-prefilter" ]
+          ~doc:
+            "Disable the Aho–Corasick literal prefilter: engines scan every \
+             byte instead of skipping regions that cannot start a match. \
+             The prefilter only engages when every unanchored rule has a \
+             required literal prefix of 2+ bytes, so this flag is a no-op \
+             on rulesets where it never built.")
+  in
+  let stride =
+    Arg.(
+      value
+      & opt (enum [ ("1", 1); ("2", 2) ]) Tuning.default.Tuning.stride
+      & info [ "stride" ] ~docv:"N"
+          ~doc:
+            "Bytes consumed per hybrid-engine step: $(b,2) (the default) \
+             steps through lazily built pair-class tables, $(b,1) falls \
+             back to plain byte-at-a-time stepping. Engines other than \
+             hybrid always step one byte.")
+  in
+  let apply no_prefilter stride =
+    let cur = Tuning.get () in
+    Tuning.set { cur with Tuning.prefilter = not no_prefilter; stride }
+  in
+  Term.(const apply $ no_prefilter $ stride)
+
 (* [resolve ~prog name] validates [name] against the registry.
    [Ok name] is resolvable (registered, or a well-formed faulty{..}:
    wrapper spec); [Error code] means this function already printed

@@ -96,7 +96,7 @@ let run_metrics mfsas input threads engine fmt ~deadline ~retries ~admission =
       1
 
 let run anml_path input_path threads list_events stats rules metrics deadline
-    retries admission engine =
+    retries admission () engine =
   match Engine_cli.resolve ~prog:"mfsa-match" engine with
   | Error code -> code
   | Ok engine -> (
@@ -108,11 +108,18 @@ let run anml_path input_path threads list_events stats rules metrics deadline
           let input = read_file input_path in
           run_metrics mfsas input threads engine (Option.get metrics) ~deadline
             ~retries ~admission
-      | Ok mfsas ->
+      | Ok mfsas -> (
           let input = read_file input_path in
-          let engines =
+          (* A restricted engine (ac) refuses rulesets outside its
+             domain at compile time — a user error, not an internal
+             one. *)
+          match
             Array.of_list (List.map (Registry.compile_exn engine) mfsas)
-          in
+          with
+          | exception Invalid_argument msg ->
+              Printf.eprintf "mfsa-match: %s\n" msg;
+              1
+          | engines ->
           let t0 = now () in
           let result =
             Pool.run ~threads
@@ -153,7 +160,7 @@ let run anml_path input_path threads list_events stats rules metrics deadline
             (Report.fmt_time elapsed)
             engine threads
             (if threads = 1 then "" else "s");
-          0)
+          0))
 
 open Cmdliner
 
@@ -255,6 +262,7 @@ let cmd =
        ~doc:"Execute compiled MFSAs against an input stream")
     Term.(
       const run $ anml_path $ input_path $ threads $ list_events $ stats
-      $ rules $ metrics $ deadline $ retries $ admission $ Engine_cli.term ())
+      $ rules $ metrics $ deadline $ retries $ admission
+      $ Engine_cli.tuning_term () $ Engine_cli.term ())
 
 let () = Engine_cli.main cmd

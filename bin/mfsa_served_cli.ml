@@ -45,7 +45,7 @@ let write_file path contents =
 
 (* ------------------------------------------------------------ run *)
 
-let run_daemon rules_file rules engine domains host port port_file pid_file
+let run_daemon rules_file rules () engine domains host port port_file pid_file
     queue admission retries backoff read_deadline max_frame deadline quiet =
   setup_logs quiet;
   match Engine_cli.resolve ~prog:"mfsa-served" engine with
@@ -300,7 +300,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run the serving daemon until SIGINT/SIGTERM or a \
                           remote SHUTDOWN drains it")
     Term.(
-      const run_daemon $ rules_file $ rules $ Engine_cli.term () $ domains
+      const run_daemon $ rules_file $ rules $ Engine_cli.tuning_term ()
+      $ Engine_cli.term () $ domains
       $ host $ port $ port_file "written to" $ pid_file $ queue $ admission
       $ retries $ backoff $ read_deadline $ max_frame $ deadline $ quiet)
 

@@ -142,6 +142,46 @@ let posix name =
 
 let dot = remove full '\n'
 
+let partition classes =
+  (* Two bytes are equivalent iff they agree on membership in every
+     listed class; the signature of a byte is its membership bit
+     vector over the distinct classes. Duplicate classes are deduped
+     first so the signature width tracks the number of distinct
+     labels, not the transition count. *)
+  let uniq = Hashtbl.create 16 in
+  List.iter
+    (fun c -> if not (Hashtbl.mem uniq c) then Hashtbl.add uniq c (Hashtbl.length uniq))
+    classes;
+  let n = Hashtbl.length uniq in
+  let sig_width = (n + 7) lsr 3 in
+  let sigs = Array.init 256 (fun _ -> Bytes.make sig_width '\000') in
+  Hashtbl.iter
+    (fun cls id ->
+      iter
+        (fun c ->
+          let s = sigs.(Char.code c) in
+          Bytes.set s (id lsr 3)
+            (Char.chr (Char.code (Bytes.get s (id lsr 3)) lor (1 lsl (id land 7)))))
+        cls)
+    uniq;
+  (* Class ids are assigned in byte order, so byte 0 always lands in
+     class 0 and the mapping is deterministic for a given input. *)
+  let ids = Hashtbl.create 64 in
+  let class_of = Bytes.make 256 '\000' in
+  for c = 0 to 255 do
+    let s = Bytes.unsafe_to_string sigs.(c) in
+    let id =
+      match Hashtbl.find_opt ids s with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length ids in
+          Hashtbl.add ids s id;
+          id
+    in
+    Bytes.set class_of c (Char.chr id)
+  done;
+  (class_of, Hashtbl.length ids)
+
 let pp_char fmt c =
   match c with
   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ' ' -> Format.pp_print_char fmt c

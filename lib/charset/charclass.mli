@@ -65,6 +65,16 @@ val posix : string -> t option
 val dot : t
 (** The class matched by ['.'] in a RE: every byte except newline. *)
 
+val partition : t list -> bytes * int
+(** [partition cls] is the coarsest partition of the 256-byte alphabet
+    such that every class in [cls] is a union of partition blocks:
+    two bytes land in the same block iff they agree on membership in
+    every listed class. Returns [(class_of_byte, n_classes)] where
+    [class_of_byte] is a 256-entry map from byte value to block id in
+    [0, n_classes); ids are assigned in increasing byte order (byte 0
+    is always block 0). This is the RE2/Hyperscan byte-class reduction
+    the engines use to shrink their transition tables. *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders as a bracket expression, e.g. [\[a-ck\]]; single characters
     render bare; [full] renders as [.]-style [\[\\x00-\\xff\]]. *)

@@ -778,7 +778,7 @@ type engine_row = {
   er_engine : string;
   er_time : float;
   er_mbps : float;
-  er_hit_rate : float;
+  er_hit_rate : float option;
   er_matches : int;
   er_agree : bool;
   er_stats : Mfsa_obs.Snapshot.t;
@@ -790,7 +790,7 @@ let engine_list = function
   | Some names -> names
   | None ->
       "imfant"
-      :: List.filter (fun n -> n <> "imfant") (Registry.names ())
+      :: List.filter (fun n -> n <> "imfant") (Registry.general_names ())
 
 (* One M=all automaton per dataset, every requested registry engine
    compiled on it and timed on the same stream. iMFAnt is the
@@ -833,10 +833,11 @@ let engine_measurements ?engines cfg =
       (ds, String.length stream, t_ref, rows))
     (contexts cfg)
 
+(* [None] when the engine exports no cache-hit gauge at all — a
+   cache-less engine has no hit rate, which is not the same thing as
+   a 0% one. *)
 let stat_hit_rate stats =
-  match Mfsa_obs.Snapshot.number stats "mfsa_engine_cache_hit_ratio" with
-  | Some v -> v
-  | None -> 0.
+  Mfsa_obs.Snapshot.number stats "mfsa_engine_cache_hit_ratio"
 
 let engine_rows ?engines cfg =
   List.concat_map
@@ -879,11 +880,12 @@ let engine_compare ?engines cfg =
               Hashtbl.replace speedups name
                 ((t_ref /. t)
                 :: Option.value ~default:[] (Hashtbl.find_opt speedups name));
-            let hr = stat_hit_rate stats in
             [
               ds.Datasets.abbr; name; Report.fmt_time t;
               Printf.sprintf "%.1f" (mbps t);
-              (if hr = 0. then "-" else Printf.sprintf "%.4f" hr);
+              (match stat_hit_rate stats with
+              | None -> "-"
+              | Some hr -> Printf.sprintf "%.4f" hr);
               string_of_int (Array.fold_left ( + ) 0 per);
               Printf.sprintf "%.2fx" (t_ref /. t);
               (if agree then "ok" else "DIVERGED");
@@ -904,6 +906,155 @@ let engine_compare ?engines cfg =
            (Printf.sprintf "Geomean %s speedup over imfant: %.2fx\n" name
               (Report.geomean sp)));
   Buffer.contents buf
+
+(* ------------------------------------------- Hot-loop ablation *)
+
+(* The on/off matrix of the three hot-loop optimisations (byte-class
+   compression, literal prefilter, 2-byte stride) over the merged
+   (M = all) automaton of every dataset, engines imfant and hybrid.
+   Every cell's per-FSA match counts must equal the all-off baseline's
+   — the matrix is first a correctness gate, then a perf artefact. *)
+
+type hotloop_row = {
+  hr_dataset : string;
+  hr_engine : string;  (* "imfant" | "hybrid" *)
+  hr_config : string;  (* "base" | "classes" | "prefilter" | "stride2" | "all" *)
+  hr_time : float;  (* seconds per pass *)
+  hr_mbps : float;
+  hr_matches : int;
+  hr_agree : bool;  (* per-FSA counts = all-off imfant baseline *)
+  hr_class_count : int;
+  hr_skip_rate : float;
+      (* prefilter-skipped bytes / bytes scanned during the timed
+         passes (0 when the prefilter is off or never fires) *)
+}
+
+let hotloop_configs =
+  let base = { Mfsa_engine.Tuning.classes = false; prefilter = false; stride = 1 } in
+  [
+    ("base", base);
+    ("classes", { base with Mfsa_engine.Tuning.classes = true });
+    ("prefilter", { base with Mfsa_engine.Tuning.prefilter = true });
+    ("stride2", { base with Mfsa_engine.Tuning.stride = 2 });
+    ("all", { Mfsa_engine.Tuning.classes = true; prefilter = true; stride = 2 });
+  ]
+
+let hotloop_rows cfg =
+  let module Tuning = Mfsa_engine.Tuning in
+  let module Hybrid = Mfsa_engine.Hybrid in
+  List.concat_map
+    (fun { ds; fsas; stream } ->
+      let z =
+        match Merge.merge_groups ~m:0 fsas with
+        | [ z ] -> z
+        | _ -> assert false
+      in
+      let size = String.length stream in
+      let mbps t = float_of_int size /. 1e6 /. t in
+      let per_ref =
+        Tuning.with_tuning (List.assoc "base" hotloop_configs) (fun () ->
+            Imfant.count_per_fsa (Imfant.compile z) stream)
+      in
+      List.concat_map
+        (fun (cname, tuning) ->
+          Tuning.with_tuning tuning (fun () ->
+              let im = Imfant.compile z in
+              let per_im = Imfant.count_per_fsa im stream in
+              Imfant.reset_skipped im;
+              let t_im =
+                time_runs cfg.reps (fun () -> ignore (Imfant.count im stream))
+              in
+              let im_skip =
+                float_of_int (Imfant.skipped_bytes im)
+                /. float_of_int (max 1 (size * cfg.reps))
+              in
+              let hy = Hybrid.compile z in
+              (* Warm pass: populate the configuration cache (and the
+                 agreement data) before timing, like engine-compare. *)
+              let per_hy = Hybrid.count_per_fsa hy stream in
+              Hybrid.reset_stats hy;
+              let t_hy =
+                time_runs cfg.reps (fun () -> ignore (Hybrid.count hy stream))
+              in
+              let hy_skip =
+                float_of_int (Hybrid.stats hy).Hybrid.skipped_bytes
+                /. float_of_int (max 1 (size * cfg.reps))
+              in
+              [
+                {
+                  hr_dataset = ds.Datasets.abbr;
+                  hr_engine = "imfant";
+                  hr_config = cname;
+                  hr_time = t_im;
+                  hr_mbps = mbps t_im;
+                  hr_matches = Array.fold_left ( + ) 0 per_im;
+                  hr_agree = per_im = per_ref;
+                  hr_class_count = Imfant.n_classes im;
+                  hr_skip_rate = im_skip;
+                };
+                {
+                  hr_dataset = ds.Datasets.abbr;
+                  hr_engine = "hybrid";
+                  hr_config = cname;
+                  hr_time = t_hy;
+                  hr_mbps = mbps t_hy;
+                  hr_matches = Array.fold_left ( + ) 0 per_hy;
+                  hr_agree = per_hy = per_ref;
+                  hr_class_count = Hybrid.n_classes hy;
+                  hr_skip_rate = hy_skip;
+                };
+              ]))
+        hotloop_configs)
+    (contexts cfg)
+
+let hotloop_report cfg rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (header
+       (Printf.sprintf
+          "Hot-loop ablation: classes / prefilter / stride2 on-off matrix \
+           (%d KiB stream, %d reps)"
+          cfg.stream_kb cfg.reps));
+  Buffer.add_string buf
+    (Report.table
+       ~header:
+         [ "Dataset"; "Engine"; "Config"; "MB/s"; "Classes"; "Skip rate";
+           "Matches"; "Agreement" ]
+       (List.map
+          (fun r ->
+            [
+              r.hr_dataset; r.hr_engine; r.hr_config;
+              Printf.sprintf "%.1f" r.hr_mbps;
+              string_of_int r.hr_class_count;
+              Printf.sprintf "%.3f" r.hr_skip_rate;
+              string_of_int r.hr_matches;
+              (if r.hr_agree then "ok" else "DIVERGED");
+            ])
+          rows));
+  (* Geomean speedup of all-on over all-off, per engine. *)
+  List.iter
+    (fun eng ->
+      let ratios =
+        List.filter_map
+          (fun r ->
+            if r.hr_engine = eng && r.hr_config = "all" then
+              List.find_opt
+                (fun b ->
+                  b.hr_engine = eng && b.hr_config = "base"
+                  && b.hr_dataset = r.hr_dataset)
+                rows
+              |> Option.map (fun b -> r.hr_mbps /. b.hr_mbps)
+            else None)
+          rows
+      in
+      if ratios <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "Geomean %s all-on speedup over all-off: %.2fx\n" eng
+             (Report.geomean ratios)))
+    [ "imfant"; "hybrid" ];
+  Buffer.contents buf
+
+let hotloop cfg = hotloop_report cfg (hotloop_rows cfg)
 
 (* ------------------------------------------------------ Complexity *)
 

@@ -1,9 +1,18 @@
 module Nfa = Mfsa_automata.Nfa
 module Dfa = Mfsa_automata.Dfa
+module Stride = Mfsa_automata.Stride
 module Charclass = Mfsa_charset.Charclass
 
 type t = {
-  dfa : Dfa.t;
+  n_states : int;
+  k : int;  (* byte-class count (256 when compression is tuned off) *)
+  class_of : bytes;
+  (* Row-major class-indexed table: [next.(q * k + cls)] = δ(q, c)
+     for any byte c of class cls — the dense 256-way table folded
+     over {!Stride.byte_classes}' equivalence. *)
+  next : int array;
+  start : int;
+  finals : bool array;
   anchored_end : bool;
 }
 
@@ -34,29 +43,61 @@ let compile ?(minimize = true) a =
     invalid_arg "Dfa_engine.compile: automaton must be ε-free";
   let dfa = Dfa.determinize (augment a) in
   let dfa = if minimize then Dfa.minimize dfa else dfa in
-  { dfa; anchored_end = a.Nfa.anchored_end }
+  let n = dfa.Dfa.n_states in
+  let class_of, k =
+    if (Tuning.get ()).Tuning.classes then begin
+      let cls, k = Stride.byte_classes dfa in
+      (Bytes.init 256 (fun c -> Char.chr cls.(c)), k)
+    end
+    else (Bytes.init 256 Char.chr, 256)
+  in
+  (* One representative byte per class fills the folded table. *)
+  let repr = Array.make k 0 in
+  for c = 255 downto 0 do
+    repr.(Char.code (Bytes.get class_of c)) <- c
+  done;
+  let next = Array.make (n * k) 0 in
+  for q = 0 to n - 1 do
+    for cls = 0 to k - 1 do
+      next.((q * k) + cls) <- dfa.Dfa.next.((q * 256) + repr.(cls))
+    done
+  done;
+  {
+    n_states = n;
+    k;
+    class_of;
+    next;
+    start = dfa.Dfa.start;
+    finals = Array.copy dfa.Dfa.finals;
+    anchored_end = a.Nfa.anchored_end;
+  }
+
+let execute t input ~on_match =
+  let len = String.length input in
+  let k = t.k in
+  let class_of = t.class_of in
+  let next = t.next in
+  let q = ref t.start in
+  for i = 0 to len - 1 do
+    let cls =
+      Char.code (Bytes.unsafe_get class_of (Char.code (String.unsafe_get input i)))
+    in
+    q := next.((!q * k) + cls);
+    if t.finals.(!q) && ((not t.anchored_end) || i = len - 1) then on_match (i + 1)
+  done
 
 let run t input =
-  let dfa = t.dfa in
-  let len = String.length input in
   let acc = ref [] in
-  let q = ref dfa.Dfa.start in
-  for i = 0 to len - 1 do
-    q := Dfa.step dfa !q input.[i];
-    if dfa.Dfa.finals.(!q) && ((not t.anchored_end) || i = len - 1) then
-      acc := (i + 1) :: !acc
-  done;
+  execute t input ~on_match:(fun e -> acc := e :: !acc);
   List.rev !acc
 
 let count t input =
-  let dfa = t.dfa in
-  let len = String.length input in
-  let count = ref 0 in
-  let q = ref dfa.Dfa.start in
-  for i = 0 to len - 1 do
-    q := Dfa.step dfa !q input.[i];
-    if dfa.Dfa.finals.(!q) && ((not t.anchored_end) || i = len - 1) then incr count
-  done;
-  !count
+  let c = ref 0 in
+  execute t input ~on_match:(fun _ -> incr c);
+  !c
 
-let n_states t = t.dfa.Dfa.n_states
+let n_states t = t.n_states
+
+let n_classes t = t.k
+
+let table_cells t = Array.length t.next

@@ -10,7 +10,14 @@
     are specified to agree exactly with {!Infant} /
     {!Mfsa_automata.Simulate.match_ends} (non-empty matches, per-end
     deduplication, anchors honoured) — the property suite checks
-    this. *)
+    this.
+
+    The transition table is stored class-indexed: the DFA's byte
+    equivalence classes ({!Mfsa_automata.Stride.byte_classes}) fold
+    the 256-way rows down to one cell per class, shrinking the table
+    by the alphabet-reduction factor while keeping the one-lookup
+    step (a 256-entry byte → class map is consulted first). Tuned by
+    {!Tuning.t.classes} at compile time. *)
 
 type t
 
@@ -26,3 +33,10 @@ val count : t -> string -> int
 
 val n_states : t -> int
 (** Scanning-DFA size — the state-explosion metric of §II. *)
+
+val n_classes : t -> int
+(** Byte-equivalence classes indexing the table (256 when class
+    compression was tuned off at compile time). *)
+
+val table_cells : t -> int
+(** Resident transition-table cells: [n_states * n_classes]. *)

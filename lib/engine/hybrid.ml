@@ -7,10 +7,12 @@ type stats = {
   steps : int;
   hits : int;
   misses : int;
+  pair_hits : int;
   configs_interned : int;
   resident_configs : int;
   flushes : int;
   cache_bytes : int;
+  skipped_bytes : int;
 }
 
 (* A configuration is iMFAnt's entire runtime state at one input
@@ -48,12 +50,30 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
-(* One memo row per interned configuration: the successor id and the
-   FSAs matching on the edge, per byte. -1 = not computed yet. *)
-type row = { cfg : config; next : int array; edge_matches : int array array }
+(* One memo row per interned configuration, indexed by byte class: the
+   successor id and the FSAs matching on the edge, per class. -1 = not
+   computed yet. The pair tables ([next2]/[mid2]/[end2], k*k cells)
+   memoise two classes at once for the 2-stride loop; they are
+   allocated lazily on a row's first pair step, within a global cell
+   budget — rows past the budget simply take two single steps. *)
+type row = {
+  cfg : config;
+  next : int array;
+  edge_matches : int array array;
+  mutable next2 : int array;
+  mutable mid2 : int array array;
+  mutable end2 : int array array;
+}
 
-let mk_row cfg =
-  { cfg; next = Array.make 256 (-1); edge_matches = Array.make 256 [||] }
+let mk_row k cfg =
+  {
+    cfg;
+    next = Array.make k (-1);
+    edge_matches = Array.make k [||];
+    next2 = [||];
+    mid2 = [||];
+    end2 = [||];
+  }
 
 (* Row 0 is the position-0 start configuration (inits include the
    start-anchored FSAs); row 1 is the dead configuration (empty,
@@ -65,9 +85,19 @@ let start_id = 0
 
 let dead_id = 1
 
+(* Pair tables only make sense on small class alphabets (k*k cells per
+   row), and their total footprint is capped engine-wide. *)
+let stride2_max_classes = 64
+
+let pair_cell_budget = 1 lsl 19
+
 type t = {
   im : Imfant.t;
   z : Mfsa.t;
+  k : int;  (* byte-class count; rows and CSR are class-indexed *)
+  class_of : bytes;
+  stride2 : bool;
+  prefilter : Prefilter.t option;
   cache_size : int;
   any_end_anchor : bool;
   init_all : Bitset.t array;
@@ -84,6 +114,10 @@ type t = {
   mutable n_rows : int;
   mutable last_edge : int array;
       (* Matches of the edge the latest [step] traversed. *)
+  mutable last_mid : int array;
+      (* Matches of the first edge of the latest [step2]. *)
+  mutable pair_cells : int;
+      (* Pair-table cells currently allocated, against the budget. *)
   (* Fallback scratch, allocated once per engine. *)
   acc_sets : Bitset.t array;
   acc_stamp : int array;
@@ -101,8 +135,10 @@ type t = {
   mutable steps : int;
   mutable hits : int;
   mutable misses : int;
+  mutable p_hits : int;
   mutable interned : int;
   mutable flushes : int;
+  mutable skipped : int;
 }
 
 let add_row t cfg ~register =
@@ -112,7 +148,7 @@ let add_row t cfg ~register =
     t.rows <- bigger
   end;
   let id = t.n_rows in
-  t.rows.(id) <- mk_row cfg;
+  t.rows.(id) <- mk_row t.k cfg;
   t.n_rows <- id + 1;
   if register then Tbl.replace t.tbl cfg id;
   id
@@ -129,6 +165,7 @@ let of_imfant ?(cache_size = 4096) im =
   let z = Imfant.mfsa im in
   let init_all, init_unanch = Imfant.init_tables im in
   let csr_off, csr_tr = Imfant.csr im in
+  let k = Imfant.n_classes im in
   let nonempty inits =
     let acc = ref [] in
     for q = Array.length inits - 1 downto 0 do
@@ -141,6 +178,10 @@ let of_imfant ?(cache_size = 4096) im =
     {
       im;
       z;
+      k;
+      class_of = Imfant.class_of im;
+      stride2 = (Tuning.get ()).Tuning.stride >= 2 && k <= stride2_max_classes;
+      prefilter = Imfant.prefilter im;
       cache_size;
       any_end_anchor = Array.exists Fun.id z.Mfsa.anchored_end;
       init_all;
@@ -150,9 +191,11 @@ let of_imfant ?(cache_size = 4096) im =
       csr_off;
       csr_tr;
       tbl = Tbl.create 256;
-      rows = Array.make 16 (mk_row empty_cfg);
+      rows = Array.make 16 (mk_row k empty_cfg);
       n_rows = 0;
       last_edge = [||];
+      last_mid = [||];
+      pair_cells = 0;
       acc_sets = Array.init n (fun _ -> Bitset.create nf);
       acc_stamp = Array.make n (-1);
       active_stamp = Array.make n (-1);
@@ -165,8 +208,10 @@ let of_imfant ?(cache_size = 4096) im =
       steps = 0;
       hits = 0;
       misses = 0;
+      p_hits = 0;
       interned = 0;
       flushes = 0;
+      skipped = 0;
     }
   in
   seed t;
@@ -180,7 +225,8 @@ let imfant t = t.im
 
 let flush t =
   Tbl.reset t.tbl;
-  t.rows <- Array.make 16 (mk_row empty_cfg);
+  t.rows <- Array.make 16 (mk_row t.k empty_cfg);
+  t.pair_cells <- 0;
   seed t;
   t.epoch <- t.epoch + 1;
   t.flushes <- t.flushes + 1
@@ -196,10 +242,11 @@ let intern t cfg =
       (id, full)
 
 (* The NFA step from one explicit configuration: Equations 4–6 over
-   the active states' (and initial states') outgoing arcs for byte
-   [c], via the CSR — never the full byte-enabled transition list. *)
+   the active states' (and initial states') outgoing arcs for class
+   [c], via the CSR — never the full class-enabled transition list. *)
 let fallback t cfg c ~at_start =
   let z = t.z in
+  let k = t.k in
   let inits = if at_start then t.init_all else t.init_unanch in
   let init_states =
     if at_start then t.init_states_all else t.init_states_unanch
@@ -209,9 +256,9 @@ let fallback t cfg c ~at_start =
   let g = t.gen in
   let ntouch = ref 0 in
   let fire q src =
-    let base = (q * 256) + c in
-    for k = csr_off.(base) to csr_off.(base + 1) - 1 do
-      let tr = csr_tr.(k) in
+    let base = (q * k) + c in
+    for i = csr_off.(base) to csr_off.(base + 1) - 1 do
+      let tr = csr_tr.(i) in
       (* J' = src ∩ bel(t); the move is valid iff J' ≠ ∅. *)
       Bitset.clear t.tr_scratch;
       ignore (Bitset.union_into ~dst:t.tr_scratch src);
@@ -260,7 +307,7 @@ let fallback t cfg c ~at_start =
   in
   ({ c_states = states; c_sets = sets }, matches)
 
-(* Consume one byte from configuration [cur]: memo lookup, or NFA
+(* Consume one class from configuration [cur]: memo lookup, or NFA
    fallback + intern + memoize. Returns the successor id and leaves
    the edge's match set in [t.last_edge]. *)
 let step t cur c =
@@ -285,25 +332,100 @@ let step t cur c =
     id
   end
 
+(* Consume two classes at once. On a pair-table hit this is one array
+   read instead of two row traversals; on a miss it decomposes into
+   two single steps and memoises the pair — unless a flush happened
+   under our feet (the row then belongs to a dropped table, like in
+   [step]) or the row is past the pair-cell budget. Leaves the first
+   edge's matches in [t.last_mid] and the second's in [t.last_edge]. *)
+let step2 t cur c1 c2 =
+  let r = t.rows.(cur) in
+  let k = t.k in
+  if Array.length r.next2 = 0 && t.pair_cells + (k * k) <= pair_cell_budget
+  then begin
+    r.next2 <- Array.make (k * k) (-1);
+    r.mid2 <- Array.make (k * k) [||];
+    r.end2 <- Array.make (k * k) [||];
+    t.pair_cells <- t.pair_cells + (k * k)
+  end;
+  let idx = (c1 * k) + c2 in
+  if Array.length r.next2 > 0 && r.next2.(idx) >= 0 then begin
+    t.steps <- t.steps + 2;
+    t.hits <- t.hits + 2;
+    t.p_hits <- t.p_hits + 1;
+    t.last_mid <- r.mid2.(idx);
+    t.last_edge <- r.end2.(idx);
+    r.next2.(idx)
+  end
+  else begin
+    let epoch0 = t.epoch in
+    let mid = step t cur c1 in
+    let mids = t.last_edge in
+    let fin = step t mid c2 in
+    let ends = t.last_edge in
+    if t.epoch = epoch0 && Array.length r.next2 > 0 then begin
+      r.next2.(idx) <- fin;
+      r.mid2.(idx) <- mids;
+      r.end2.(idx) <- ends
+    end;
+    t.last_mid <- mids;
+    t.last_edge <- ends;
+    fin
+  end
+
 let execute t input ~on_match =
   let z = t.z in
   let len = String.length input in
-  let cur = ref start_id in
-  for i = 0 to len - 1 do
-    let c = Char.code (String.unsafe_get input i) in
-    cur := step t !cur c;
-    let ms = t.last_edge in
+  let class_of = t.class_of in
+  let cls i =
+    Char.code (Bytes.unsafe_get class_of (Char.code (String.unsafe_get input i)))
+  in
+  let emit ms pos =
     let n = Array.length ms in
     if n > 0 then
       if not t.any_end_anchor then
-        for k = 0 to n - 1 do
-          on_match ms.(k) (i + 1)
+        for j = 0 to n - 1 do
+          on_match ms.(j) pos
         done
       else
-        for k = 0 to n - 1 do
-          let j = ms.(k) in
-          if (not z.Mfsa.anchored_end.(j)) || i + 1 = len then on_match j (i + 1)
+        for j = 0 to n - 1 do
+          let f = ms.(j) in
+          if (not z.Mfsa.anchored_end.(f)) || pos = len then on_match f pos
         done
+  in
+  let cands =
+    match t.prefilter with Some p -> Prefilter.candidates p input | None -> [||]
+  in
+  let use_pf = t.prefilter <> None in
+  let nc = Array.length cands in
+  let ci = ref 0 in
+  let cur = ref start_id in
+  let i = ref 0 in
+  while !i < len do
+    (* The dead configuration only leaves through injection, and with
+       a prefilter injection can only succeed at literal-candidate
+       offsets: everything up to the next candidate is a no-op. *)
+    if use_pf && !cur = dead_id then begin
+      while !ci < nc && cands.(!ci) < !i do incr ci done;
+      let target = if !ci < nc then cands.(!ci) else len in
+      if target > !i then begin
+        t.skipped <- t.skipped + (target - !i);
+        i := target
+      end
+    end;
+    if !i < len then
+      if t.stride2 && !i + 1 < len then begin
+        let c1 = cls !i and c2 = cls (!i + 1) in
+        cur := step2 t !cur c1 c2;
+        emit t.last_mid (!i + 1);
+        emit t.last_edge (!i + 2);
+        i := !i + 2
+      end
+      else begin
+        cur := step t !cur (cls !i);
+        emit t.last_edge (!i + 1);
+        incr i
+      end
   done
 
 let run t input =
@@ -323,6 +445,8 @@ let count_per_fsa t input =
 
 (* ---------------------------------------------------------- Stats *)
 
+let n_classes t = t.k
+
 let stats t =
   let word_bytes = 8 in
   let bitset_bytes =
@@ -332,10 +456,12 @@ let stats t =
   for i = 0 to t.n_rows - 1 do
     let r = t.rows.(i) in
     (* next + edge_matches pointer arrays, row and config headers. *)
-    bytes := !bytes + (word_bytes * ((2 * 256) + 8));
+    bytes := !bytes + (word_bytes * ((2 * t.k) + 8));
     Array.iter
       (fun ms -> bytes := !bytes + (word_bytes * Array.length ms))
       r.edge_matches;
+    if Array.length r.next2 > 0 then
+      bytes := !bytes + (word_bytes * 3 * t.k * t.k);
     bytes := !bytes + (word_bytes * Array.length r.cfg.c_states);
     bytes := !bytes + (bitset_bytes * Array.length r.cfg.c_sets)
   done;
@@ -343,18 +469,22 @@ let stats t =
     steps = t.steps;
     hits = t.hits;
     misses = t.misses;
+    pair_hits = t.p_hits;
     configs_interned = t.interned;
     resident_configs = t.n_rows;
     flushes = t.flushes;
     cache_bytes = !bytes;
+    skipped_bytes = t.skipped;
   }
 
 let reset_stats t =
   t.steps <- 0;
   t.hits <- 0;
   t.misses <- 0;
+  t.p_hits <- 0;
   t.interned <- 0;
-  t.flushes <- 0
+  t.flushes <- 0;
+  t.skipped <- 0
 
 (* ------------------------------------------------------- Streaming *)
 
@@ -368,6 +498,9 @@ type session = {
          engine's flush epoch has moved. *)
   mutable epoch : int;
       (* Engine epoch [cur] was minted in. *)
+  mutable ac_state : int;
+      (* Literal-scanner state carried across chunks, so candidate
+         detection survives literals straddling chunk boundaries. *)
   mutable pos : int;
   mutable pending_end : int list;
       (* end-anchored FSAs matched exactly at [pos]; flushed by
@@ -380,6 +513,10 @@ let session eng =
     cur = start_id;
     cur_cfg = empty_cfg;
     epoch = eng.epoch;
+    ac_state =
+      (match eng.prefilter with
+      | Some p -> Prefilter.start_state p
+      | None -> 0);
     pos = 0;
     pending_end = [];
   }
@@ -388,6 +525,8 @@ let reset s =
   s.cur <- start_id;
   s.cur_cfg <- empty_cfg;
   s.epoch <- s.eng.epoch;
+  s.ac_state <-
+    (match s.eng.prefilter with Some p -> Prefilter.start_state p | None -> 0);
   s.pos <- 0;
   s.pending_end <- []
 
@@ -410,24 +549,81 @@ let feed s chunk =
   let t = s.eng in
   let z = t.z in
   revalidate s;
+  let len = String.length chunk in
+  let class_of = t.class_of in
+  let cls i =
+    Char.code (Bytes.unsafe_get class_of (Char.code (String.unsafe_get chunk i)))
+  in
   let acc = ref [] in
-  String.iter
-    (fun ch ->
-      let c = Char.code ch in
+  (* Streaming prefilter: scan the chunk (updating the carried
+     scanner state), then skip dead stretches up to the next in-chunk
+     candidate — but never into the final [max_len - 1] bytes, where
+     a literal straddling into the next chunk could still start; the
+     engine keeps injection-at-every-byte semantics, so processing
+     those tail bytes natively is all the straddle case needs. *)
+  let use_pf = t.prefilter <> None in
+  let cands, limit =
+    match t.prefilter with
+    | None -> ([||], 0)
+    | Some p ->
+        let c, st = Prefilter.scan_chunk p ~state:s.ac_state chunk in
+        s.ac_state <- st;
+        (c, len - (Prefilter.max_len p - 1))
+  in
+  let nc = Array.length cands in
+  let ci = ref 0 in
+  let i = ref 0 in
+  while !i < len do
+    if use_pf && s.cur = dead_id then begin
+      while !ci < nc && cands.(!ci) < !i do incr ci done;
+      let stop = if !ci < nc then min cands.(!ci) limit else limit in
+      if stop > !i then begin
+        t.skipped <- t.skipped + (stop - !i);
+        s.pos <- s.pos + (stop - !i);
+        s.pending_end <- [];
+        i := stop
+      end
+    end;
+    if !i < len then begin
       (* Any continuation invalidates matches that were waiting for
          end-of-stream. *)
       s.pending_end <- [];
-      let nxt = step t s.cur c in
-      let ms = t.last_edge in
-      for k = 0 to Array.length ms - 1 do
-        let j = ms.(k) in
-        if z.Mfsa.anchored_end.(j) then s.pending_end <- j :: s.pending_end
-        else acc := { fsa = j; end_pos = s.pos + 1 } :: !acc
-      done;
-      s.cur <- nxt;
-      s.cur_cfg <- t.rows.(nxt).cfg;
-      s.pos <- s.pos + 1)
-    chunk;
+      if t.stride2 && !i + 1 < len then begin
+        let nxt = step2 t s.cur (cls !i) (cls (!i + 1)) in
+        let mids = t.last_mid in
+        for j = 0 to Array.length mids - 1 do
+          let f = mids.(j) in
+          (* An end-anchored match at the pair's first byte is
+             immediately invalidated by its second. *)
+          if not z.Mfsa.anchored_end.(f) then
+            acc := { fsa = f; end_pos = s.pos + 1 } :: !acc
+        done;
+        let ends = t.last_edge in
+        for j = 0 to Array.length ends - 1 do
+          let f = ends.(j) in
+          if z.Mfsa.anchored_end.(f) then s.pending_end <- f :: s.pending_end
+          else acc := { fsa = f; end_pos = s.pos + 2 } :: !acc
+        done;
+        s.cur <- nxt;
+        s.cur_cfg <- t.rows.(nxt).cfg;
+        s.pos <- s.pos + 2;
+        i := !i + 2
+      end
+      else begin
+        let nxt = step t s.cur (cls !i) in
+        let ms = t.last_edge in
+        for j = 0 to Array.length ms - 1 do
+          let f = ms.(j) in
+          if z.Mfsa.anchored_end.(f) then s.pending_end <- f :: s.pending_end
+          else acc := { fsa = f; end_pos = s.pos + 1 } :: !acc
+        done;
+        s.cur <- nxt;
+        s.cur_cfg <- t.rows.(nxt).cfg;
+        s.pos <- s.pos + 1;
+        incr i
+      end
+    end
+  done;
   (* A miss inside this chunk may have flushed; the ids we minted
      afterwards are current, so resync rather than re-intern. *)
   s.epoch <- t.epoch;

@@ -44,6 +44,9 @@ type stats = {
   steps : int;  (** Input bytes processed since compile. *)
   hits : int;  (** Steps answered by the memo table alone. *)
   misses : int;  (** Steps that ran the NFA fallback. *)
+  pair_hits : int;
+      (** 2-byte strides answered by a pair-table cell (each also
+          counts as two steps and two hits). *)
   configs_interned : int;
       (** Configurations interned since compile, cumulative across
           flushes. *)
@@ -53,8 +56,11 @@ type stats = {
           configuration). *)
   flushes : int;  (** Times the full cache was dropped. *)
   cache_bytes : int;
-      (** Approximate resident cache footprint: memo rows, interned
-          configurations and per-edge match lists. *)
+      (** Approximate resident cache footprint: memo rows, pair
+          tables, interned configurations and per-edge match lists. *)
+  skipped_bytes : int;
+      (** Input bytes the literal prefilter let the engine jump over
+          while in the dead configuration. *)
 }
 
 val compile : ?cache_size:int -> Mfsa_model.Mfsa.t -> t
@@ -71,6 +77,11 @@ val mfsa : t -> Mfsa_model.Mfsa.t
 
 val imfant : t -> Imfant.t
 (** The wrapped transition-centric engine (shares the automaton). *)
+
+val n_classes : t -> int
+(** Size of the byte-class alphabet the memo rows are indexed by
+    (inherited from the wrapped {!Imfant} engine; 256 when class
+    compression was tuned off at compile time). *)
 
 val stats : t -> stats
 (** Cumulative cache counters; {!reset_stats} zeroes them without

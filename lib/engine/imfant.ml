@@ -5,24 +5,40 @@ module Vec = Mfsa_util.Vec
 
 type t = {
   z : Mfsa.t;
-  trans_by_sym : int array array;
-      (* [trans_by_sym.(c)] = transition indices enabled by byte c. *)
+  k : int;  (* byte-class count; tables below are class-indexed *)
+  class_of : bytes;
+      (* 256-entry byte -> class map ({!Mfsa.classes}, or the identity
+         when byte-class compression is tuned off). *)
+  trans_by_cls : int array array;
+      (* [trans_by_cls.(cls)] = transition indices enabled by every
+         byte of class cls. *)
   csr : (int array * int array) Lazy.t;
-      (* Row-indexed CSR (off, tr) over (state, byte) cells: the
-         transitions leaving state q on byte c are
-         [tr.(off.(q*256+c) .. off.(q*256+c+1)-1)]; [off] has length
-         n_states*256+1. Only the hybrid engine's miss path reads it,
-         and the offset array alone costs ~2 KiB per state, so it is
+      (* Row-indexed CSR (off, tr) over (state, class) cells: the
+         transitions leaving state q on class cls are
+         [tr.(off.(q*k+cls) .. off.(q*k+cls+1)-1)]; [off] has length
+         n_states*k+1. Only the hybrid engine's miss path reads it,
+         and the offset array costs 8*k bytes per state, so it is
          built on first force — imfant-only users (notably Live,
          which recompiles an engine per generation) never pay it. *)
+  prefilter : Prefilter.t option;
+      (* Literal prefilter, when tuned on and every unanchored rule
+         has a usable mandatory prefix set. *)
   anchored_end_mask : Bitset.t;
       (* FSAs whose matches may only end at end-of-input. *)
   any_end_anchor : bool;
   init_all : Bitset.t array;
       (* Per-state initial sets at position 0 (aliases z.init_sets). *)
   init_unanch : Bitset.t array;
-      (* Same minus the start-anchored FSAs: positions > 0. Both are
+      (* Same minus the start-anchored FSAs: positions > 0. *)
+  init_anch : Bitset.t array;
+      (* Only the start-anchored FSAs: position 0 when the prefilter
+         says position 0 is not a literal candidate. All three are
          read-only once built. *)
+  init_none : Bitset.t array;
+      (* All-empty (one shared empty set): non-candidate positions. *)
+  mutable skipped_bytes : int;
+      (* Input bytes the prefilter let [execute] jump over, cumulative
+         across runs; surfaced as mfsa_engine_prefilter_skipped_bytes. *)
 }
 
 type match_event = Engine_sig.match_event = { fsa : int; end_pos : int }
@@ -30,41 +46,58 @@ type match_event = Engine_sig.match_event = { fsa : int; end_pos : int }
 type stats = { positions : int; avg_active : float; max_active : int }
 
 let compile (z : Mfsa.t) =
-  let by_sym = Array.init 256 (fun _ -> Vec.create ()) in
+  let tuning = Tuning.get () in
+  let cls =
+    if tuning.Tuning.classes then Mfsa.classes z else Mfsa.identity_classes
+  in
+  let k = cls.Mfsa.n_classes in
+  let class_of = cls.Mfsa.class_of_byte in
+  let nt = Mfsa.n_transitions z in
+  (* A transition's enabling class is a union of byte classes, so one
+     stamp per (transition, class) pair dedupes the per-byte walk. *)
+  let by_cls = Array.init k (fun _ -> Vec.create ()) in
+  let stamp = Array.make k (-1) in
   Array.iteri
-    (fun t cls ->
-      Charclass.iter (fun c -> Vec.push by_sym.(Char.code c) t) cls)
+    (fun t cc ->
+      Charclass.iter
+        (fun c ->
+          let cl = Char.code (Bytes.get class_of (Char.code c)) in
+          if stamp.(cl) <> t then begin
+            stamp.(cl) <- t;
+            Vec.push by_cls.(cl) t
+          end)
+        cc)
     z.Mfsa.idx;
-  (* CSR by (source state, byte): counting sort of the same entries
-     trans_by_sym holds, keyed by row(t)*256+c instead of c. *)
+  (* CSR by (source state, class): counting sort of the same entries
+     trans_by_cls holds, keyed by row(t)*k+cls instead of cls. *)
   let csr =
     lazy
-      (let n_cells = z.Mfsa.n_states * 256 in
+      (let n_cells = z.Mfsa.n_states * k in
        let csr_off = Array.make (n_cells + 1) 0 in
-       Array.iteri
-         (fun t cls ->
-           let base = z.Mfsa.row.(t) * 256 in
+       let stamp = Array.make k (-1) in
+       let each_cell f =
+         for t = 0 to nt - 1 do
+           let base = z.Mfsa.row.(t) * k in
            Charclass.iter
              (fun c ->
-               let cell = base + Char.code c in
-               csr_off.(cell + 1) <- csr_off.(cell + 1) + 1)
-             cls)
-         z.Mfsa.idx;
+               let cl = Char.code (Bytes.get class_of (Char.code c)) in
+               if stamp.(cl) <> t then begin
+                 stamp.(cl) <- t;
+                 f t (base + cl)
+               end)
+             z.Mfsa.idx.(t)
+         done;
+         Array.fill stamp 0 k (-1)
+       in
+       each_cell (fun _ cell -> csr_off.(cell + 1) <- csr_off.(cell + 1) + 1);
        for cell = 0 to n_cells - 1 do
          csr_off.(cell + 1) <- csr_off.(cell + 1) + csr_off.(cell)
        done;
        let csr_tr = Array.make csr_off.(n_cells) 0 in
        let cursor = Array.copy csr_off in
-       Array.iteri
-         (fun t cls ->
-           let base = z.Mfsa.row.(t) * 256 in
-           Charclass.iter
-             (fun c ->
-               let cell = base + Char.code c in
-               csr_tr.(cursor.(cell)) <- t;
-               cursor.(cell) <- cursor.(cell) + 1)
-             cls)
-         z.Mfsa.idx;
+       each_cell (fun t cell ->
+           csr_tr.(cursor.(cell)) <- t;
+           cursor.(cell) <- cursor.(cell) + 1);
        (csr_off, csr_tr))
   in
   let anchored_end_mask = Bitset.create z.Mfsa.n_fsas in
@@ -72,24 +105,36 @@ let compile (z : Mfsa.t) =
     (fun j anchored -> if anchored then Bitset.add anchored_end_mask j)
     z.Mfsa.anchored_end;
   (* Per-state initial sets, split by anchoring: at position 0 every
-     FSA may start; afterwards only the unanchored ones. Built once
-     here (they used to be rebuilt — n_states bitset copies — on every
-     execute call). *)
+     FSA may start; afterwards only the unanchored ones (and with a
+     prefilter, only at candidate positions). *)
   let init_unanch =
+    Array.init z.Mfsa.n_states (fun q -> Bitset.copy z.Mfsa.init_sets.(q))
+  in
+  let init_anch =
     Array.init z.Mfsa.n_states (fun q -> Bitset.copy z.Mfsa.init_sets.(q))
   in
   Array.iteri
     (fun j anchored ->
-      if anchored then Bitset.remove init_unanch.(z.Mfsa.init_of.(j)) j)
+      if anchored then Bitset.remove init_unanch.(z.Mfsa.init_of.(j)) j
+      else Bitset.remove init_anch.(z.Mfsa.init_of.(j)) j)
     z.Mfsa.anchored_start;
+  let init_none =
+    Array.make z.Mfsa.n_states (Bitset.create z.Mfsa.n_fsas)
+  in
   {
     z;
-    trans_by_sym = Array.map Vec.to_array by_sym;
+    k;
+    class_of;
+    trans_by_cls = Array.map Vec.to_array by_cls;
     csr;
+    prefilter = (if tuning.Tuning.prefilter then Prefilter.analyze z else None);
     anchored_end_mask;
     any_end_anchor = not (Bitset.is_empty anchored_end_mask);
     init_all = z.Mfsa.init_sets;
     init_unanch;
+    init_anch;
+    init_none;
+    skipped_bytes = 0;
   }
 
 let mfsa t = t.z
@@ -98,13 +143,32 @@ let csr t = Lazy.force t.csr
 
 let init_tables t = (t.init_all, t.init_unanch)
 
+let n_classes t = t.k
+
+let class_of t = t.class_of
+
+let prefilter t = t.prefilter
+
+let skipped_bytes t = t.skipped_bytes
+
+let reset_skipped t = t.skipped_bytes <- 0
+
 (* Engine core. [on_match] receives each (fsa, end position) pair
    exactly once, end positions in increasing order. [track] switches
-   the Table II active-set instrumentation on. *)
+   the Table II active-set instrumentation on.
+
+   With a prefilter, initial states are only injected at candidate
+   positions — offsets where some rule's required literal prefix
+   starts (position 0 stays an injection point for the start-anchored
+   rules). A thread injected elsewhere can never reach a final state
+   consistently (its match would have to begin with the literal), so
+   restricting injection is match-preserving; and once the active set
+   is empty with injection restricted, every byte before the next
+   candidate is a guaranteed no-op, so the loop jumps straight
+   there. *)
 let execute t input ~on_match ~track =
   let z = t.z in
   let n = z.Mfsa.n_states and nf = z.Mfsa.n_fsas in
-  let init_all, init_unanch = init_tables t in
   let cur_sets = Array.init n (fun _ -> Bitset.create nf) in
   let next_sets = Array.init n (fun _ -> Bitset.create nf) in
   (* Epoch-stamped activity: state q is active in generation g iff
@@ -119,16 +183,37 @@ let execute t input ~on_match ~track =
   let sum_active = ref 0 in
   let max_active = ref 0 in
   let len = String.length input in
+  let class_of = t.class_of in
   (* Mutable swap targets. *)
   let cur_sets = ref cur_sets and next_sets = ref next_sets in
   let cur_stamp = ref cur_stamp and next_stamp = ref next_stamp in
   let generation = ref 0 in
-  for i = 0 to len - 1 do
-    let c = Char.code input.[i] in
-    let enabled = t.trans_by_sym.(c) in
-    let inits = if i = 0 then init_all else init_unanch in
+  (* The active-set instrumentation (Table II) characterises the
+     automaton itself, so the tracked entry point runs unfiltered —
+     skipping dead stretches would zero the very quantity measured. *)
+  let use_pf = t.prefilter <> None && not track in
+  let cands =
+    if use_pf then
+      Prefilter.candidates (Option.get t.prefilter) input
+    else [||]
+  in
+  let nc = Array.length cands in
+  let ci = ref 0 in
+  let i = ref 0 in
+  while !i < len do
+    (* [ci] = first candidate at or after the current position. *)
+    if use_pf then while !ci < nc && cands.(!ci) < !i do incr ci done;
+    let at_cand = (not use_pf) || (!ci < nc && cands.(!ci) = !i) in
+    let c = Char.code (String.unsafe_get input !i) in
+    let enabled = t.trans_by_cls.(Char.code (Bytes.unsafe_get class_of c)) in
+    let inits =
+      if !i = 0 then (if at_cand then t.init_all else t.init_anch)
+      else if at_cand then t.init_unanch
+      else t.init_none
+    in
     Bitset.clear reported;
     if track then Bitset.clear activity;
+    let any_next = ref false in
     for k = 0 to Array.length enabled - 1 do
       let tr = enabled.(k) in
       let s = z.Mfsa.row.(tr) in
@@ -147,6 +232,7 @@ let execute t input ~on_match ~track =
             Bitset.clear !next_sets.(d)
           end;
           ignore (Bitset.union_into ~dst:!next_sets.(d) scratch);
+          any_next := true;
           if track then ignore (Bitset.union_into ~dst:activity scratch);
           (* Equation 5: matches for the FSAs final in q2 ∩ J'. *)
           Bitset.clear match_now;
@@ -157,10 +243,10 @@ let execute t input ~on_match ~track =
               (fun j ->
                 if
                   (not (Bitset.mem reported j))
-                  && ((not z.Mfsa.anchored_end.(j)) || i + 1 = len)
+                  && ((not z.Mfsa.anchored_end.(j)) || !i + 1 = len)
                 then begin
                   Bitset.add reported j;
-                  on_match j (i + 1)
+                  on_match j (!i + 1)
                 end)
               match_now
         end
@@ -178,7 +264,17 @@ let execute t input ~on_match ~track =
     cur_stamp := !next_stamp;
     next_sets := tmp_sets;
     next_stamp := tmp_stamp;
-    incr generation
+    incr generation;
+    if use_pf && not !any_next then begin
+      (* Empty active set: nothing can happen before the next literal
+         candidate — jump there. *)
+      let j = if at_cand then !ci + 1 else !ci in
+      let target = if j < nc then max cands.(j) (!i + 1) else len in
+      if target > !i + 1 then
+        t.skipped_bytes <- t.skipped_bytes + (target - !i - 1);
+      i := target
+    end
+    else incr i
   done;
   let positions = len in
   {
@@ -216,6 +312,11 @@ let count_per_fsa t input =
   counts
 
 (* ------------------------------------------------------- Streaming *)
+
+(* Sessions use the class-indexed tables but keep processing every
+   byte: a literal can straddle a chunk boundary, so skip decisions
+   would need lookahead the stream does not have yet. The batch
+   entry points above are where the prefilter pays. *)
 
 type session = {
   eng : t;
@@ -267,6 +368,7 @@ let position s = s.pos
 
 let feed s chunk =
   let z = s.eng.z in
+  let class_of = s.eng.class_of in
   let acc = ref [] in
   String.iter
     (fun ch ->
@@ -274,7 +376,9 @@ let feed s chunk =
       (* Any continuation invalidates matches that were waiting for
          end-of-stream. *)
       s.pending_end <- [];
-      let enabled = s.eng.trans_by_sym.(c) in
+      let enabled =
+        s.eng.trans_by_cls.(Char.code (Bytes.unsafe_get class_of c))
+      in
       let inits = if s.pos = 0 then s.init_all else s.init_unanch in
       Bitset.clear s.s_reported;
       for k = 0 to Array.length enabled - 1 do

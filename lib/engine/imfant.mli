@@ -23,7 +23,11 @@
 
 type t
 (** Compiled MFSA: pre-processing of the extended-ANML-level automaton
-    into the engine's table, done once per MFSA. *)
+    into the engine's table, done once per MFSA. The hot-loop tuning
+    in force at compile time ({!Tuning}) is baked in: transition
+    tables are indexed by byte-equivalence class ({!Mfsa_model.Mfsa.classes},
+    identity partition when tuned off) and a literal prefilter
+    ({!Prefilter}) is attached when usable. *)
 
 type match_event = Engine_sig.match_event = { fsa : int; end_pos : int }
 
@@ -89,15 +93,31 @@ val position : session -> int
     MFSA one configuration at a time. *)
 
 val csr : t -> int array * int array
-(** [(off, tr)]: row-indexed CSR over (state, byte) cells. The
-    transitions leaving state [q] on byte [c] are
-    [tr.(off.(q*256+c)) .. tr.(off.(q*256+c+1) - 1)], in transition
-    order. [off] has length [n_states*256 + 1]. Built lazily on the
-    first call ({!Hybrid.of_imfant} forces it) — the offset array
-    alone is ~2 KiB per state, which imfant-only users should not
-    pay. Must not be mutated. *)
+(** [(off, tr)]: row-indexed CSR over (state, class) cells, where the
+    class alphabet is the one reported by {!n_classes}/{!class_of}.
+    The transitions leaving state [q] on class [cls] are
+    [tr.(off.(q*k+cls)) .. tr.(off.(q*k+cls+1) - 1)], in transition
+    order. [off] has length [n_states*k + 1]. Built lazily on the
+    first call ({!Hybrid.of_imfant} forces it) — imfant-only users
+    should not pay for it. Must not be mutated. *)
 
 val init_tables : t -> Mfsa_util.Bitset.t array * Mfsa_util.Bitset.t array
 (** [(init_all, init_unanch)]: per-state initial FSA sets at position
     0 and at positions > 0 (start-anchored FSAs removed). Built once
     by {!compile}; must not be mutated. *)
+
+val n_classes : t -> int
+(** Size of the byte-class alphabet the tables are indexed by (256
+    when compression was tuned off at compile time). *)
+
+val class_of : t -> bytes
+(** The 256-entry byte -> class map. Must not be mutated. *)
+
+val prefilter : t -> Prefilter.t option
+(** The literal prefilter compiled into this engine, if any. *)
+
+val skipped_bytes : t -> int
+(** Input bytes the prefilter allowed the batch entry points to jump
+    over, cumulative since compile (or {!reset_skipped}). *)
+
+val reset_skipped : t -> unit

@@ -8,9 +8,14 @@ type t = {
   finals : bool array;
   anchored_start : bool;
   anchored_end : bool;
-  (* Symbol-first layout: [table.(c)] holds the (src, dst) pairs of
-     every transition byte [c] enables, packed as two parallel int
-     arrays for cache-friendly scanning. *)
+  k : int;  (* byte-class count (256 when compression is tuned off) *)
+  class_of : bytes;
+  (* Symbol-first layout over the class alphabet: [table.(cls)] holds
+     the (src, dst) pairs of every transition enabled by the bytes of
+     class [cls], packed as two parallel int arrays for cache-friendly
+     scanning. Bytes of one class enable exactly the same transitions
+     (that is what the partition means), so one row per class stores
+     each transition once instead of once per byte. *)
   src_table : int array array;
   dst_table : int array array;
 }
@@ -18,18 +23,35 @@ type t = {
 let compile (a : Nfa.t) =
   if not (Nfa.is_eps_free a) then
     invalid_arg "Infant.compile: automaton must be ε-free";
-  let srcs = Array.init 256 (fun _ -> Vec.create ()) in
-  let dsts = Array.init 256 (fun _ -> Vec.create ()) in
-  Array.iter
-    (fun tr ->
+  let classes =
+    Array.to_list a.Nfa.transitions
+    |> List.filter_map (fun tr ->
+           match tr.Nfa.label with
+           | Nfa.Eps -> assert false
+           | Nfa.Cls cls -> Some cls)
+  in
+  let class_of, k =
+    if (Tuning.get ()).Tuning.classes then Charclass.partition classes
+    else (Bytes.init 256 Char.chr, 256)
+  in
+  let srcs = Array.init k (fun _ -> Vec.create ()) in
+  let dsts = Array.init k (fun _ -> Vec.create ()) in
+  (* Dedupe per (transition, class): a transition's charclass may
+     contain many bytes of one class. *)
+  let stamp = Array.make k (-1) in
+  Array.iteri
+    (fun ti tr ->
       match tr.Nfa.label with
       | Nfa.Eps -> assert false
       | Nfa.Cls cls ->
           Charclass.iter
             (fun c ->
-              let i = Char.code c in
-              Vec.push srcs.(i) tr.Nfa.src;
-              Vec.push dsts.(i) tr.Nfa.dst)
+              let id = Char.code (Bytes.get class_of (Char.code c)) in
+              if stamp.(id) <> ti then begin
+                stamp.(id) <- ti;
+                Vec.push srcs.(id) tr.Nfa.src;
+                Vec.push dsts.(id) tr.Nfa.dst
+              end)
             cls)
     a.Nfa.transitions;
   {
@@ -38,11 +60,15 @@ let compile (a : Nfa.t) =
     finals = Array.copy a.Nfa.finals;
     anchored_start = a.Nfa.anchored_start;
     anchored_end = a.Nfa.anchored_end;
+    k;
+    class_of;
     src_table = Array.map Vec.to_array srcs;
     dst_table = Array.map Vec.to_array dsts;
   }
 
 let n_states t = t.n_states
+
+let n_classes t = t.k
 
 (* Core loop shared by [run] and [count]: [on_match] sees each match
    end position once, in increasing order. *)
@@ -54,8 +80,9 @@ let execute t input ~on_match =
   let i = ref 0 in
   let live = ref true in
   while !live && !i < len do
-    let c = Char.code input.[!i] in
-    let srcs = t.src_table.(c) and dsts = t.dst_table.(c) in
+    let c = Char.code (String.unsafe_get input !i) in
+    let cls = Char.code (Bytes.unsafe_get t.class_of c) in
+    let srcs = t.src_table.(cls) and dsts = t.dst_table.(cls) in
     let inject_start = (not t.anchored_start) || !i = 0 in
     let matched = ref false in
     let any = ref false in

@@ -1,0 +1,234 @@
+module Ast = Mfsa_frontend.Ast
+module Parser = Mfsa_frontend.Parser
+module Charclass = Mfsa_charset.Charclass
+module Mfsa = Mfsa_model.Mfsa
+module Vec = Mfsa_util.Vec
+module Obs = Mfsa_obs.Obs
+
+let min_prefix_len = 2
+let max_set = 32
+let max_prefix_len = 12
+let max_class = 16
+
+(* A prefix set for an AST node [a] is a string list [l] such that
+   every word of L(a) starts with some member of [l]. [Exact l]
+   additionally promises L(a) = l exactly (used to keep Concat
+   precise); [Pref] is the general sound form. Caps keep the sets
+   small: any overflow degrades to a still-sound shorter set, at
+   worst [Pref [""]] ("no usable prefix"). *)
+type pset = Exact of string list | Pref of string list
+
+let strings = function Exact l | Pref l -> l
+let dedup l = List.sort_uniq String.compare l
+
+let cross la lb = List.concat_map (fun a -> List.map (fun b -> a ^ b) lb) la
+
+let class_strings cls =
+  if Charclass.cardinal cls <= max_class then
+    Some (List.map (String.make 1) (Charclass.to_list cls))
+  else None
+
+let rec pset (ast : Ast.t) : pset =
+  match ast with
+  | Empty -> Exact [ "" ]
+  | Char c -> Exact [ String.make 1 c ]
+  | Class cls -> (
+      match class_strings cls with Some l -> Exact l | None -> Pref [ "" ])
+  | Concat (a, b) -> concat_ps (pset a) (fun () -> pset b)
+  | Alt (a, b) -> (
+      let sa = pset a and sb = pset b in
+      let la = strings sa and lb = strings sb in
+      if List.length la + List.length lb > max_set then Pref [ "" ]
+      else
+        match (sa, sb) with
+        | Exact _, Exact _ -> Exact (dedup (la @ lb))
+        | _ -> Pref (dedup (la @ lb)))
+  | Star _ | Opt _ -> Pref [ "" ]
+  | Plus a -> Pref (strings (pset a))
+  | Repeat (_, 0, _) -> Pref [ "" ]
+  | Repeat (a, m, _) ->
+      (* The first repetition is mandatory and complete, so chaining
+         the body's prefix set through Concat is sound; unrolling is
+         capped — deeper copies only lengthen prefixes past the
+         truncation limit anyway. *)
+      let base = pset a in
+      let rec go k =
+        if k = 0 then Pref [ "" ] else concat_ps base (fun () -> go (k - 1))
+      in
+      go (min m 3)
+
+and concat_ps sa sb =
+  match sa with
+  | Pref pa -> Pref pa
+  | Exact la ->
+      if List.for_all (fun s -> String.length s >= max_prefix_len) la then
+        Pref la
+      else
+        let s2 = sb () in
+        let lb = strings s2 in
+        if List.length la * List.length lb > max_set then Pref la
+        else
+          let prod = dedup (cross la lb) in
+          (match s2 with Exact _ -> Exact prod | Pref _ -> Pref prod)
+
+let truncate s =
+  if String.length s > max_prefix_len then String.sub s 0 max_prefix_len else s
+
+let prefix_set ast =
+  let l = dedup (List.map truncate (strings (pset ast))) in
+  if
+    l <> []
+    && List.length l <= max_set
+    && List.for_all (fun s -> String.length s >= min_prefix_len) l
+  then Some l
+  else None
+
+(* The exact finite language of an AST when it is small — what the
+   [ac] engine accepts as a rule. Unlike {!pset} this never truncates:
+   [Some l] means L(ast) = l. *)
+
+let exact_max_set = 16
+let exact_max_len = 64
+
+let ( let* ) = Option.bind
+
+let capped l =
+  if
+    List.length l <= exact_max_set
+    && List.for_all (fun s -> String.length s <= exact_max_len) l
+  then Some l
+  else None
+
+let rec exact_strings (ast : Ast.t) : string list option =
+  match ast with
+  | Empty -> Some [ "" ]
+  | Char c -> Some [ String.make 1 c ]
+  | Class cls ->
+      let* l = class_strings cls in
+      capped l
+  | Concat (a, b) ->
+      let* la = exact_strings a in
+      let* lb = exact_strings b in
+      capped (dedup (cross la lb))
+  | Alt (a, b) ->
+      let* la = exact_strings a in
+      let* lb = exact_strings b in
+      capped (dedup (la @ lb))
+  | Opt a ->
+      let* la = exact_strings a in
+      capped (dedup ("" :: la))
+  | Star _ | Plus _ -> None
+  | Repeat (_, _, None) -> None
+  | Repeat (a, m, Some n) ->
+      let* la = exact_strings a in
+      let rec power k =
+        if k = 0 then Some [ "" ]
+        else
+          let* rest = power (k - 1) in
+          capped (dedup (cross la rest))
+      in
+      let rec tails k acc =
+        if k > n then Some acc
+        else
+          let* p = power k in
+          let* acc = capped (dedup (p @ acc)) in
+          tails (k + 1) acc
+      in
+      tails m []
+
+type t = {
+  ac : Aho_corasick.t;
+  lens : int array;  (* length of literal [id], to turn ends into starts *)
+  maxlen : int;
+  n_literals : int;
+}
+
+(* Drop any literal that has another literal as a proper prefix: an
+   occurrence of the longer one implies an occurrence of the shorter
+   at the same start. After sorting, checking against the last kept
+   element suffices (strings between a prefix and its extension share
+   that prefix). *)
+let prefix_minimal l =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | s :: rest -> (
+        match kept with
+        | k :: _
+          when String.length k <= String.length s
+               && String.equal k (String.sub s 0 (String.length k)) ->
+            go kept rest
+        | _ -> go (s :: kept) rest)
+  in
+  go [] (List.sort String.compare l)
+
+(* Same series as the pipeline's per-stage spans: literal extraction
+   is a compile stage, it just runs at engine-compile time. *)
+let stage_seconds =
+  lazy
+    (Obs.histogram ~registry:Obs.default
+       ~help:"Compile-pipeline stage latency in seconds, per compile call"
+       ~labels:[ ("stage", "literal_prefilter") ]
+       "mfsa_compile_stage_seconds")
+
+let build literals =
+  let lits = prefix_minimal literals in
+  let arr = Array.of_list lits in
+  {
+    ac = Aho_corasick.build arr;
+    lens = Array.map String.length arr;
+    maxlen = Array.fold_left (fun m s -> max m (String.length s)) 1 arr;
+    n_literals = Array.length arr;
+  }
+
+let analyze (z : Mfsa.t) =
+  Obs.time (Lazy.force stage_seconds) @@ fun () ->
+  let n = Array.length z.Mfsa.patterns in
+  let rec collect j acc =
+    if j >= n then Some acc
+    else if z.Mfsa.anchored_start.(j) then
+      (* Anchored-start rules only ever match from position 0, which
+         engines always treat as a candidate — no literal needed. *)
+      collect (j + 1) acc
+    else
+      match Parser.parse z.Mfsa.patterns.(j) with
+      | Error _ -> None
+      | Ok rule -> (
+          match prefix_set rule.Ast.ast with
+          | Some ps -> collect (j + 1) (ps @ acc)
+          | None -> None)
+  in
+  match collect 0 [] with
+  | None -> None
+  | Some lits -> Some (build (dedup lits))
+
+let n_literals t = t.n_literals
+let max_len t = t.maxlen
+let ac_states t = Aho_corasick.n_states t.ac
+let start_state t = ignore t; Aho_corasick.start_state
+
+let sorted_dedup v =
+  let n = Vec.length v in
+  if n = 0 then [||]
+  else begin
+    let a = Array.init n (Vec.get v) in
+    Array.sort compare a;
+    let w = ref 1 in
+    for r = 1 to n - 1 do
+      if a.(r) <> a.(!w - 1) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    Array.sub a 0 !w
+  end
+
+let scan_chunk t ~state chunk =
+  let v = Vec.create () in
+  let state' =
+    Aho_corasick.scan_from t.ac ~state chunk ~on_match:(fun id e ->
+        let s = e - t.lens.(id) in
+        if s >= 0 then Vec.push v s)
+  in
+  (sorted_dedup v, state')
+
+let candidates t input = fst (scan_chunk t ~state:Aho_corasick.start_state input)

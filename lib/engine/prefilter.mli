@@ -1,0 +1,68 @@
+(** Required-literal prefix analysis and the merged Aho–Corasick
+    prefilter (the RE2/Hyperscan idiom).
+
+    For each rule the front-end AST is analysed for a {e mandatory
+    prefix set}: a small set of literals such that every match of the
+    rule starts with one of them. When every unanchored rule in an
+    MFSA has a usable set (all members at least {!min_prefix_len}
+    bytes), the union of the sets is compiled into one Aho–Corasick
+    automaton; scanning the input with it yields the {e candidate}
+    positions — the only offsets where any match can begin. Engines
+    exploit this soundly in two ways: never inject initial states at
+    non-candidate offsets, and when the active configuration is empty,
+    jump straight to the next candidate instead of stepping the full
+    automaton byte by byte. Position 0 is always treated as a
+    candidate by the engines (anchored-start rules need no literal).
+
+    The analysis runs at engine-compile time from the automaton's
+    stored source patterns, so Live generations and Serve replicas
+    carry their prefilter with them; its cost is traced as the
+    [literal_prefilter] stage of [mfsa_compile_stage_seconds]. *)
+
+type t
+
+val min_prefix_len : int
+(** Minimum usable literal length (2): 1-byte literals fire on too
+    many positions to pay for the scan, and a 0-byte "literal" would
+    make every position a candidate. *)
+
+val analyze : Mfsa_model.Mfsa.t -> t option
+(** [None] when some unanchored rule has no usable mandatory prefix
+    set (or fails to re-parse) — engines then run unfiltered. *)
+
+val candidates : t -> string -> int array
+(** Sorted, duplicate-free start offsets in the input at which some
+    required literal occurs — the only offsets where a match of an
+    unanchored rule can begin. *)
+
+val scan_chunk : t -> state:int -> string -> int array * int
+(** Streaming variant: resumes the literal scan from an explicit
+    Aho–Corasick state (see {!start_state}) and returns chunk-relative
+    candidate offsets (negative starts — occurrences begun in an
+    earlier chunk — are dropped: their bytes were already processed)
+    plus the state after the chunk. *)
+
+val start_state : t -> int
+(** Initial scanner state for {!scan_chunk}. *)
+
+val max_len : t -> int
+(** Longest literal in the filter (at least 1). Sessions must not
+    skip into the final [max_len - 1] bytes of a chunk: a literal
+    straddling the chunk boundary can still start there. *)
+
+val n_literals : t -> int
+val ac_states : t -> int
+
+(** {2 Per-rule analyses} (exposed for the [ac] engine and tests) *)
+
+val prefix_set : Mfsa_frontend.Ast.t -> string list option
+(** The usable mandatory prefix set of one rule: every match starts
+    with a member; members are truncated, deduplicated and at least
+    {!min_prefix_len} bytes. [None] when no usable set exists (e.g.
+    leading [.*], or a nullable pattern). *)
+
+val exact_strings : Mfsa_frontend.Ast.t -> string list option
+(** [Some l] iff the rule's language is exactly the finite set [l]
+    (small caps on set size and string length) — the shape the [ac]
+    engine accepts. Never truncates: this is an exact language, not a
+    prefix approximation. *)

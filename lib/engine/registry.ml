@@ -124,13 +124,20 @@ module Imfant_engine : Engine_sig.S = struct
       Snapshot.gauge_i ~labels
         ~help:"Peak active FSAs per position across runs (Table II)"
         "mfsa_engine_active_fsas_max" c.max_active;
+      Snapshot.gauge_i ~labels
+        ~help:"Byte-equivalence classes indexing the transition tables"
+        "mfsa_engine_class_count" (Imfant.n_classes c.im);
+      Snapshot.counter_i ~labels
+        ~help:"Input bytes skipped by the literal prefilter"
+        "mfsa_engine_prefilter_skipped_bytes_total" (Imfant.skipped_bytes c.im);
     ]
 
   let reset_stats c =
     c.bytes <- 0;
     c.runs <- 0;
     c.avg_active <- 0.;
-    c.max_active <- 0
+    c.max_active <- 0;
+    Imfant.reset_skipped c.im
 
   type session = Imfant.session
 
@@ -192,6 +199,15 @@ module Hybrid_engine : Engine_sig.S = struct
         "mfsa_engine_cache_flushes_total" s.Hybrid.flushes;
       Snapshot.gauge_i ~labels ~help:"Approximate cache footprint"
         "mfsa_engine_cache_bytes" s.Hybrid.cache_bytes;
+      Snapshot.counter_i ~labels
+        ~help:"2-byte strides answered by a pair-table cell"
+        "mfsa_engine_cache_pair_hits_total" s.Hybrid.pair_hits;
+      Snapshot.gauge_i ~labels
+        ~help:"Byte-equivalence classes indexing the transition tables"
+        "mfsa_engine_class_count" (Hybrid.n_classes c);
+      Snapshot.counter_i ~labels
+        ~help:"Input bytes skipped by the literal prefilter"
+        "mfsa_engine_prefilter_skipped_bytes_total" s.Hybrid.skipped_bytes;
     ]
 
   (* Metric reproducibility (Engine_sig contract): the counters AND
@@ -255,6 +271,11 @@ module Infant_base = struct
         "mfsa_engine_rules" (Array.length c.engines);
       Snapshot.gauge_i ~labels ~help:"States across the projected automata"
         "mfsa_engine_states" states;
+      Snapshot.gauge_i ~labels
+        ~help:"Byte-equivalence classes indexing the transition tables"
+        "mfsa_engine_class_count"
+        (Array.fold_left (fun acc eng -> max acc (Infant.n_classes eng)) 0
+           c.engines);
     ]
 
   let reset_stats _ = ()
@@ -304,8 +325,16 @@ module Dfa_base = struct
         "mfsa_engine_rules" (Array.length c.engines);
       Snapshot.gauge_i ~labels ~help:"DFA states across the projected rules"
         "mfsa_engine_states" states;
-      Snapshot.gauge_i ~labels ~help:"256-way transition table cells"
-        "mfsa_engine_table_cells" (states * 256);
+      Snapshot.gauge_i ~labels
+        ~help:"Class-indexed transition table cells resident"
+        "mfsa_engine_table_cells"
+        (Array.fold_left (fun acc eng -> acc + Dfa_engine.table_cells eng) 0
+           c.engines);
+      Snapshot.gauge_i ~labels
+        ~help:"Byte-equivalence classes indexing the transition tables"
+        "mfsa_engine_class_count"
+        (Array.fold_left (fun acc eng -> max acc (Dfa_engine.n_classes eng)) 0
+           c.engines);
     ]
 
   let reset_stats _ = ()
@@ -359,12 +388,205 @@ end
 module Decomposed_engine = Buffered_session (Decomposed_base)
 
 (* ------------------------------------------------------------------ *)
+(* ac — pure Aho–Corasick on literal-only rulesets                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A restricted engine: it compiles only rulesets in which every
+   rule's language is a finite set of literals ({!Prefilter.exact_strings}),
+   and rejects anything else at compile time. On those rulesets it is
+   the paper's string-matching special case made concrete — one
+   goto/fail automaton, one table lookup per byte — and serves as the
+   speed-of-light baseline the merged-automaton engines are measured
+   against. Being restricted, it is resolvable and registerable like
+   any engine but excluded from {!general_names}, which is what the
+   cross-engine experiments iterate. *)
+module Ac_engine : Engine_sig.S = struct
+  module Parser = Mfsa_frontend.Parser
+  module Ast = Mfsa_frontend.Ast
+
+  let name = "ac"
+
+  let doc =
+    "Aho\xe2\x80\x93Corasick on literal-only rulesets (restricted: every rule \
+     must denote a finite literal set)"
+
+  type compiled = {
+    z : Mfsa.t;
+    ac : Aho_corasick.t option;  (* None when no rule has a literal *)
+    owner : int array;  (* literal id -> FSA *)
+    lens : int array;  (* literal id -> byte length *)
+  }
+
+  let compile z =
+    let lits = ref [] in
+    let n = z.Mfsa.n_fsas in
+    for j = n - 1 downto 0 do
+      match Parser.parse z.Mfsa.patterns.(j) with
+      | Error _ ->
+          invalid_arg
+            (Printf.sprintf "ac: rule %d does not re-parse: %S" j
+               z.Mfsa.patterns.(j))
+      | Ok rule -> (
+          match Prefilter.exact_strings rule.Ast.ast with
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "ac: rule %d (%S) is not a finite literal set — use a \
+                    general engine"
+                   j z.Mfsa.patterns.(j))
+          | Some l ->
+              (* Engines report non-empty matches only: the empty
+                 literal can never produce one. *)
+              List.iter
+                (fun s -> if String.length s > 0 then lits := (s, j) :: !lits)
+                l)
+    done;
+    let lits = Array.of_list !lits in
+    {
+      z;
+      ac =
+        (if Array.length lits = 0 then None
+         else Some (Aho_corasick.build (Array.map fst lits)));
+      owner = Array.map snd lits;
+      lens = Array.map (fun (s, _) -> String.length s) lits;
+    }
+
+  let mfsa c = c.z
+
+  (* Occurrence -> match event, applying the per-FSA anchors and the
+     one-report-per-(FSA, end) convention shared by every engine. *)
+  let scan c input ~on_match =
+    match c.ac with
+    | None -> ()
+    | Some ac ->
+        let z = c.z in
+        let len = String.length input in
+        let last = Array.make z.Mfsa.n_fsas (-1) in
+        ignore
+          (Aho_corasick.scan_from ac ~state:Aho_corasick.start_state input
+             ~on_match:(fun id e ->
+               let j = c.owner.(id) in
+               if
+                 last.(j) <> e
+                 && ((not z.Mfsa.anchored_start.(j)) || e = c.lens.(id))
+                 && ((not z.Mfsa.anchored_end.(j)) || e = len)
+               then begin
+                 last.(j) <- e;
+                 on_match j e
+               end))
+
+  let run c input =
+    let acc = ref [] in
+    scan c input ~on_match:(fun fsa e -> acc := { fsa; end_pos = e } :: !acc);
+    sort_events !acc
+
+  let count c input =
+    let n = ref 0 in
+    scan c input ~on_match:(fun _ _ -> incr n);
+    !n
+
+  let count_per_fsa c input =
+    let counts = Array.make c.z.Mfsa.n_fsas 0 in
+    scan c input ~on_match:(fun j _ -> counts.(j) <- counts.(j) + 1);
+    counts
+
+  let stats c =
+    let labels = [ ("engine", name) ] in
+    [
+      Snapshot.gauge_i ~labels ~help:"Rules compiled to literal sets"
+        "mfsa_engine_rules" c.z.Mfsa.n_fsas;
+      Snapshot.gauge_i ~labels ~help:"Literals in the Aho\xe2\x80\x93Corasick automaton"
+        "mfsa_engine_literals" (Array.length c.owner);
+      Snapshot.gauge_i ~labels ~help:"Aho\xe2\x80\x93Corasick trie states"
+        "mfsa_engine_states"
+        (match c.ac with None -> 1 | Some ac -> Aho_corasick.n_states ac);
+    ]
+
+  let reset_stats _ = ()
+
+  (* Streaming is native: the scanner state carries across chunks, so
+     literals straddling chunk boundaries are found without buffering
+     the stream. *)
+  type session = {
+    c : compiled;
+    mutable state : int;
+    mutable pos : int;  (* stream offset of the next byte *)
+    mutable last : int array;  (* per-FSA last reported global end *)
+    mutable pending_end : int list;
+        (* end-anchored FSAs matched exactly at [pos] *)
+  }
+
+  let session c =
+    {
+      c;
+      state = Aho_corasick.start_state;
+      pos = 0;
+      last = Array.make c.z.Mfsa.n_fsas (-1);
+      pending_end = [];
+    }
+
+  let feed s chunk =
+    let c = s.c in
+    let z = c.z in
+    let len = String.length chunk in
+    if len > 0 then s.pending_end <- [];
+    let acc = ref [] in
+    (match c.ac with
+    | None -> ()
+    | Some ac ->
+        s.state <-
+          Aho_corasick.scan_from ac ~state:s.state chunk ~on_match:(fun id e ->
+              let j = c.owner.(id) in
+              let ge = s.pos + e in
+              if
+                s.last.(j) <> ge
+                && ((not z.Mfsa.anchored_start.(j)) || ge = c.lens.(id))
+              then
+                if z.Mfsa.anchored_end.(j) then begin
+                  (* Valid only if the stream ends exactly here — keep
+                     it pending while this chunk's remainder can still
+                     invalidate it. *)
+                  if e = len then begin
+                    s.last.(j) <- ge;
+                    s.pending_end <- j :: s.pending_end
+                  end
+                end
+                else begin
+                  s.last.(j) <- ge;
+                  acc := { fsa = j; end_pos = ge } :: !acc
+                end));
+    s.pos <- s.pos + len;
+    sort_events !acc
+
+  let finish s =
+    List.sort_uniq Int.compare s.pending_end
+    |> List.map (fun j -> { fsa = j; end_pos = s.pos })
+
+  let reset s =
+    s.state <- Aho_corasick.start_state;
+    s.pos <- 0;
+    Array.fill s.last 0 (Array.length s.last) (-1);
+    s.pending_end <- []
+
+  let position s = s.pos
+end
+
+(* ------------------------------------------------------------------ *)
 (* The table                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let table : (string, (module Engine_sig.S)) Hashtbl.t = Hashtbl.create 8
 
 let register (module E : Engine_sig.S) = Hashtbl.replace table E.name (module E : Engine_sig.S)
+
+(* Restricted engines compile only a subset of rulesets (they raise
+   on the rest), so the cross-engine experiments must not iterate
+   them blindly; they stay resolvable and help-listed. *)
+let restricted : (string, unit) Hashtbl.t = Hashtbl.create 2
+
+let register_restricted (module E : Engine_sig.S) =
+  register (module E);
+  Hashtbl.replace restricted E.name ()
 
 let () =
   List.iter register
@@ -374,11 +596,15 @@ let () =
       (module Infant_engine);
       (module Dfa_engine_engine);
       (module Decomposed_engine);
-    ]
+    ];
+  register_restricted (module Ac_engine)
 
 let names () =
   Hashtbl.fold (fun name _ acc -> name :: acc) table []
   |> List.sort String.compare
+
+let general_names () =
+  List.filter (fun n -> not (Hashtbl.mem restricted n)) (names ())
 
 let unknown_message name =
   Printf.sprintf

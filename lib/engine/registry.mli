@@ -22,6 +22,12 @@
       subset construction + Hopcroft.
     - ["decomposed"] — {!Decomposed} over the projected rules:
       literal pre-filter + confirmation.
+    - ["ac"] — pure {!Aho_corasick} over the rules' literals. A
+      {e restricted} engine: it compiles only rulesets in which every
+      rule denotes a finite literal set
+      ({!Prefilter.exact_strings}) and raises [Invalid_argument] on
+      anything else, so it appears in {!names}/{!help} but not in
+      {!general_names}.
 
     The per-rule baselines satisfy the streaming half of the signature
     by re-scanning a buffered copy of the stream (documented in
@@ -55,8 +61,18 @@ val underlying : string -> string
     fault-injected serving run compares against as its clean
     sequential baseline. The identity on non-wrapper names. *)
 
+val register_restricted : (module Engine_sig.S) -> unit
+(** {!register}, additionally marking the name as {e restricted}: the
+    engine accepts only a subset of rulesets (raising on the rest), so
+    it is excluded from {!general_names} and hence from the blind
+    cross-engine iteration of the experiments. *)
+
 val names : unit -> string list
 (** Registered names, sorted. *)
+
+val general_names : unit -> string list
+(** {!names} minus the restricted engines — the set safe to compile
+    against an arbitrary ruleset. *)
 
 val doc : string -> string option
 (** The engine's one-line description. *)

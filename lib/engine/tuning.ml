@@ -1,0 +1,21 @@
+type t = { classes : bool; prefilter : bool; stride : int }
+
+let default = { classes = true; prefilter = true; stride = 2 }
+
+let current = Atomic.make default
+
+let get () = Atomic.get current
+
+let check t =
+  if t.stride < 1 || t.stride > 2 then
+    invalid_arg "Tuning.set: stride must be 1 or 2"
+
+let set t =
+  check t;
+  Atomic.set current t
+
+let with_tuning t f =
+  check t;
+  let saved = Atomic.get current in
+  Atomic.set current t;
+  Fun.protect ~finally:(fun () -> Atomic.set current saved) f

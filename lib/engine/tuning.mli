@@ -1,0 +1,32 @@
+(** Global hot-loop tuning knobs.
+
+    {!Engine_sig.S.compile} takes no options, so the optimisation
+    toggles live here: engines snapshot the current tuning once at
+    compile time and bake it into the compiled instance (a compiled
+    engine never changes behaviour when the knobs move afterwards —
+    Live generations and Serve replicas each capture the tuning in
+    force when they compiled). All three default to on/maximal.
+
+    - [classes]: index transition tables by byte-equivalence-class id
+      ({!Mfsa_model.Mfsa.classes}) instead of raw byte. Off means the
+      identity partition (256 classes) — same layout, no compression.
+    - [prefilter]: build an Aho–Corasick prefilter over required
+      literal prefixes ({!Prefilter}) and skip cold regions. Only
+      engages when every unanchored rule has a usable prefix set.
+    - [stride]: 1 or 2. At 2 the hybrid engine steps two bytes at a
+      time through lazily built pair-class tables, falling back to
+      single-byte at chunk tails and under cache pressure. *)
+
+type t = { classes : bool; prefilter : bool; stride : int }
+
+val default : t
+(** [{ classes = true; prefilter = true; stride = 2 }]. *)
+
+val get : unit -> t
+
+val set : t -> unit
+(** @raise Invalid_argument if [stride] is not 1 or 2. *)
+
+val with_tuning : t -> (unit -> 'a) -> 'a
+(** Run [f] with the knobs temporarily replaced; restores the previous
+    tuning on exit (benches and equivalence tests use this). *)

@@ -2,6 +2,12 @@ module Nfa = Mfsa_automata.Nfa
 module Charclass = Mfsa_charset.Charclass
 module Bitset = Mfsa_util.Bitset
 
+type classes = {
+  class_of_byte : bytes;
+  n_classes : int;
+  class_repr : int array;
+}
+
 type t = {
   n_states : int;
   n_fsas : int;
@@ -15,6 +21,7 @@ type t = {
   anchored_start : bool array;
   anchored_end : bool array;
   patterns : string array;
+  classes_memo : classes option Atomic.t;
 }
 
 let n_transitions z = Array.length z.row
@@ -107,7 +114,33 @@ let create ~n_states ~n_fsas ~transitions ~inits ~finals ?anchored_start
     anchored_start;
     anchored_end;
     patterns;
+    classes_memo = Atomic.make None;
   }
+
+let repr_of class_of n_classes =
+  let repr = Array.make n_classes (-1) in
+  for c = 255 downto 0 do
+    repr.(Char.code (Bytes.get class_of c)) <- c
+  done;
+  repr
+
+let identity_classes =
+  let class_of = Bytes.init 256 Char.chr in
+  { class_of_byte = class_of; n_classes = 256; class_repr = repr_of class_of 256 }
+
+let compute_classes z =
+  let class_of, n = Charclass.partition (Array.to_list z.idx) in
+  { class_of_byte = class_of; n_classes = n; class_repr = repr_of class_of n }
+
+let classes z =
+  match Atomic.get z.classes_memo with
+  | Some c -> c
+  | None ->
+      let c = compute_classes z in
+      (* Racing computations are idempotent: whichever CAS wins, every
+         caller sees an equivalent partition. *)
+      if Atomic.compare_and_set z.classes_memo None (Some c) then c
+      else (match Atomic.get z.classes_memo with Some c -> c | None -> c)
 
 let of_fsa (a : Nfa.t) =
   if not (Nfa.is_eps_free a) then
@@ -238,6 +271,7 @@ let of_arrays ~n_states ~n_fsas ~row ~col ~idx ~bel ~init_of ~final_sets
       anchored_start;
       anchored_end;
       patterns;
+      classes_memo = Atomic.make None;
     }
   in
   match validate z with

@@ -14,6 +14,19 @@
     Merged-FSA identifiers are the positions of the source FSAs in the
     array handed to {!Merge.merge}. *)
 
+type classes = {
+  class_of_byte : bytes;
+      (** 256-entry map from byte value to equivalence-class id. *)
+  n_classes : int;  (** Number of classes, in [\[1, 256\]]. *)
+  class_repr : int array;
+      (** [class_repr.(k)] = smallest byte value in class [k]. *)
+}
+(** The byte-class partition of an automaton's alphabet: two bytes are
+    equivalent iff every transition's enabling class either contains
+    both or neither, so the engines can index their transition tables
+    by class id instead of raw byte — the RE2/Hyperscan table
+    compression, computed once per compiled MFSA. *)
+
 type t = private {
   n_states : int;
   n_fsas : int;
@@ -31,9 +44,24 @@ type t = private {
   anchored_start : bool array;  (** Per-FSA [^] flag. *)
   anchored_end : bool array;  (** Per-FSA [$] flag. *)
   patterns : string array;  (** Source REs, for provenance/reporting. *)
+  classes_memo : classes option Atomic.t;
+      (** Byte-class partition, memoised by {!classes}; use the
+          accessor, never this field. *)
 }
 
 val n_transitions : t -> int
+
+val classes : t -> classes
+(** The byte-class partition of [z]'s alphabet, computed from the
+    [idx] vector on first use and memoised on the automaton (safe to
+    race from multiple domains — the computation is idempotent).
+    Class ids are assigned in increasing byte order, so byte 0 is
+    always class 0. *)
+
+val identity_classes : classes
+(** The trivial partition: 256 singleton classes, [class_of_byte]
+    the identity. What engines fall back to when byte-class
+    compression is disabled. *)
 
 val of_fsa : Mfsa_automata.Nfa.t -> t
 (** The trivial MFSA of a single FSA (merging factor M = 1): every

@@ -28,6 +28,20 @@ if printf '%s' "$out" | grep -q DIVERGED; then
   exit 1
 fi
 
+echo "== hotloop ablation (smoke) =="
+# The hot-loop optimisation on/off matrix: every (config, engine,
+# dataset) cell must report exactly the all-off baseline's per-FSA
+# match counts — the experiment marks disagreeing cells DIVERGED —
+# and the run must produce the JSON artefact.
+out=$(MFSA_SCALE="${MFSA_SCALE:-0.1}" MFSA_STREAM_KB="${MFSA_STREAM_KB:-32}" \
+  MFSA_REPS="${MFSA_REPS:-2}" dune exec bench/main.exe -- hotloop)
+printf '%s\n' "$out"
+if printf '%s' "$out" | grep -q DIVERGED; then
+  echo "ci: a hot-loop optimisation changed match counts" >&2
+  exit 1
+fi
+test -s BENCH_hotloop.json
+
 echo "== serve (smoke) =="
 # A 2-domain Serve pool over the BRO ruleset must reproduce direct
 # sequential execution byte-for-byte; the bench exits non-zero and
@@ -115,7 +129,8 @@ awk '
 for series in mfsa_compile_stage_seconds_count mfsa_serve_batches_total \
               mfsa_serve_timeouts_total mfsa_serve_retries_total \
               mfsa_serve_rejected_total mfsa_serve_replica_restarts_total \
-              mfsa_engine_runs_total; do
+              mfsa_engine_runs_total mfsa_engine_class_count \
+              mfsa_engine_prefilter_skipped_bytes_total; do
   grep -q "^$series" "$tmp/metrics.prom" || {
     echo "ci: metrics exposition is missing $series" >&2; exit 1; }
 done

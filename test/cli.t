@@ -107,6 +107,7 @@ agree with iMFAnt on counts:
 the bench driver):
 
   $ mfsa-match ruleset.anml stream.bin -e help
+  ac           Aho–Corasick on literal-only rulesets (restricted: every rule must denote a finite literal set)
   decomposed   literal pre-filter + FSA confirmation (Hyperscan-style)
   dfa          per-rule scanning DFAs (subset construction + Hopcroft)
   hybrid       lazy-DFA configuration cache over iMFAnt (RE2-style)
@@ -117,16 +118,50 @@ the bench driver):
 Every engine reports statistics through the common interface (-s):
 
   $ mfsa-match ruleset.anml stream.bin -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
-  mfsa 0 stats: mfsa_engine_active_fsas_avg=N, mfsa_engine_active_fsas_max=N, mfsa_engine_bytes_total=N, mfsa_engine_runs_total=N, mfsa_engine_states=N, mfsa_engine_transitions=N
+  mfsa 0 stats: mfsa_engine_active_fsas_avg=N, mfsa_engine_active_fsas_max=N, mfsa_engine_bytes_total=N, mfsa_engine_class_count=N, mfsa_engine_prefilter_skipped_bytes_total=N, mfsa_engine_runs_total=N, mfsa_engine_states=N, mfsa_engine_transitions=N
 
   $ mfsa-match ruleset.anml stream.bin --engine hybrid -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
-  mfsa 0 stats: mfsa_engine_cache_bytes=N, mfsa_engine_cache_flushes_total=N, mfsa_engine_cache_hit_ratio=N, mfsa_engine_cache_hits_total=N, mfsa_engine_cache_interned_total=N, mfsa_engine_cache_misses_total=N, mfsa_engine_cache_resident_configs=N, mfsa_engine_states=N, mfsa_engine_steps_total=N
+  mfsa 0 stats: mfsa_engine_cache_bytes=N, mfsa_engine_cache_flushes_total=N, mfsa_engine_cache_hit_ratio=N, mfsa_engine_cache_hits_total=N, mfsa_engine_cache_interned_total=N, mfsa_engine_cache_misses_total=N, mfsa_engine_cache_pair_hits_total=N, mfsa_engine_cache_resident_configs=N, mfsa_engine_class_count=N, mfsa_engine_prefilter_skipped_bytes_total=N, mfsa_engine_states=N, mfsa_engine_steps_total=N
 
   $ mfsa-match ruleset.anml stream.bin --engine dfa -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
-  mfsa 0 stats: mfsa_engine_rules=N, mfsa_engine_states=N, mfsa_engine_table_cells=N
+  mfsa 0 stats: mfsa_engine_class_count=N, mfsa_engine_rules=N, mfsa_engine_states=N, mfsa_engine_table_cells=N
 
   $ mfsa-match ruleset.anml stream.bin --engine decomposed -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
   mfsa 0 stats: mfsa_engine_rules_fallback=N, mfsa_engine_rules_prefiltered=N
+
+The hot-loop tuning knobs: --no-prefilter disables the Aho–Corasick
+literal prefilter, --stride 1 drops the hybrid engine to plain
+byte-at-a-time stepping. Both are pure optimisations — match results
+are identical with them off:
+
+  $ mfsa-match ruleset.anml stream.bin --no-prefilter --stride 1 | grep -v "^total:"
+  rule 0.0  hello world                              1 matches
+  rule 0.1  hello there                              1 matches
+  rule 0.2  he(l|n)p                                 2 matches
+
+  $ mfsa-match ruleset.anml stream.bin --engine hybrid --no-prefilter --stride 1 --list | grep "^match" | sort
+  match mfsa=0 rule=0 pattern=hello world end=30
+  match mfsa=0 rule=1 pattern=hello there end=15
+  match mfsa=0 rule=2 pattern=he(l|n)p end=47
+  match mfsa=0 rule=2 pattern=he(l|n)p end=55
+
+Only strides 1 and 2 exist:
+
+  $ mfsa-match ruleset.anml stream.bin --stride 3 2>&1 | head -1
+  mfsa-match: option '--stride': invalid value '3', expected either '1' or '2'
+
+The restricted ac engine serves literal-only rulesets with a single
+Aho–Corasick pass, and refuses anything non-literal cleanly:
+
+  $ printf 'hello world\nhello there\n' > lit.txt
+  $ mfsa-compile lit.txt -m 0 -o lit.anml && mfsa-match lit.anml stream.bin -e ac | grep -v "^total:"
+  rule 0.0  hello world                              1 matches
+  rule 0.1  hello there                              1 matches
+
+  $ printf 'hel+o\n' > nonlit.txt
+  $ mfsa-compile nonlit.txt -m 0 -o nonlit.anml && mfsa-match nonlit.anml stream.bin -e ac
+  mfsa-match: ac: rule 0 ("hel+o") is not a finite literal set — use a general engine
+  [1]
 
 The full observability export (--metrics) replaces the report with a
 Prometheus scrape body; compiling from --rules makes the pipeline
@@ -135,7 +170,7 @@ vary run to run, so assert the deterministic series and the shape:
 
   $ mfsa-match --rules rules.txt stream.bin --metrics > metrics.prom
   $ grep -c '^# TYPE' metrics.prom
-  27
+  29
   $ grep '^# TYPE mfsa_compile' metrics.prom
   # TYPE mfsa_compile_errors_total counter
   # TYPE mfsa_compile_rules_total counter
@@ -163,7 +198,7 @@ The same snapshot as a JSON document:
   $ head -1 metrics.json
   [
   $ grep -c '"name"' metrics.json
-  33
+  36
   $ grep '"mfsa_serve_inputs_total"' metrics.json
     {"name": "mfsa_serve_inputs_total", "type": "counter", "labels": {"mfsa": "0"}, "value": 1},
 
@@ -195,11 +230,11 @@ Malformed wrapper specs are rejected with the parse error:
 Unknown names get the registry's shared message, everywhere:
 
   $ mfsa-match ruleset.anml stream.bin --engine warp
-  mfsa-match: unknown engine "warp" (registered: decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
+  mfsa-match: unknown engine "warp" (registered: ac, decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
   [1]
 
   $ mfsa-live -e warp < /dev/null
-  mfsa-live: unknown engine "warp" (registered: decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
+  mfsa-live: unknown engine "warp" (registered: ac, decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
   [1]
 
 The COO vectors in the paper's Fig. 2 layout:

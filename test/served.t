@@ -67,3 +67,22 @@ Graceful remote drain; the daemon exits 0:
   server draining
   $ wait $(cat daemon.pid)
   $ cat daemon.err
+
+The hot-loop tuning flags: a daemon compiled with the prefilter off
+and single-byte stepping serves the same matches:
+
+  $ mfsa-served run --rules rules.txt --no-prefilter --stride 1 \
+  >   --port 0 --port-file port2 -q 2>daemon2.err &
+  > echo $! > daemon2.pid
+  $ for i in $(seq 1 100); do [ -s port2 ] && break; sleep 0.1; done
+  $ mfsa-served ctl --port-file port2 submit xxabcxx aXcq
+  input 0: 2 matches
+    rule 0 end 5
+    rule 1 end 5
+  input 1: 2 matches
+    rule 1 end 3
+    rule 2 end 4
+  $ mfsa-served ctl --port-file port2 shutdown
+  server draining
+  $ wait $(cat daemon2.pid)
+  $ cat daemon2.err

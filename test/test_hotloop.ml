@@ -1,0 +1,413 @@
+(* Hot-loop optimisation tests: byte-class compression, the literal
+   prefilter, 2-byte striding — each optimised engine must be
+   match-identical to its unoptimised self, batch and streaming. *)
+
+module P = Mfsa_frontend.Parser
+module Mfsa = Mfsa_model.Mfsa
+module Merge = Mfsa_model.Merge
+module Im = Mfsa_engine.Imfant
+module Hy = Mfsa_engine.Hybrid
+module Tuning = Mfsa_engine.Tuning
+module Prefilter = Mfsa_engine.Prefilter
+module Registry = Mfsa_engine.Registry
+module Engine_sig = Mfsa_engine.Engine_sig
+module Gen = QCheck2.Gen
+
+let check = Alcotest.check
+
+let fsa_of_rule rule =
+  let module A = Mfsa_automata in
+  A.Multiplicity.fuse
+    (A.Epsilon.remove
+       (A.Thompson.build
+          (A.Simplify.char_classes_rule (A.Loops.expand_rule rule))))
+
+let fsa_of src = fsa_of_rule (P.parse_exn src)
+
+let mfsa_of srcs = Merge.merge (Array.of_list (List.map fsa_of srcs))
+
+let baseline = { Tuning.classes = false; prefilter = false; stride = 1 }
+
+let event =
+  Alcotest.testable
+    (fun fmt e ->
+      Format.fprintf fmt "{fsa=%d; end_pos=%d}" e.Engine_sig.fsa
+        e.Engine_sig.end_pos)
+    ( = )
+
+(* Canonical event order for cross-engine comparison: engines agree
+   on the event *set* but not on intra-position tie order (iMFAnt
+   reports ties in transition-traversal order). *)
+let sort_ev =
+  List.sort (fun a b ->
+      if a.Engine_sig.end_pos <> b.Engine_sig.end_pos then
+        compare a.Engine_sig.end_pos b.Engine_sig.end_pos
+      else compare a.Engine_sig.fsa b.Engine_sig.fsa)
+
+(* ------------------------------------------------- Byte classes *)
+
+(* Rules "ab" and "a[0-9]": the distinct byte behaviours are 'a',
+   'b', the digits, and everything else. Ids are assigned in byte
+   order, so the never-mentioned bytes (starting at byte 0) get class
+   0, digits class 1, 'a' class 2, 'b' class 3. *)
+let test_class_of_byte_pinned () =
+  let z = mfsa_of [ "ab"; "a[0-9]" ] in
+  let cls = Mfsa.classes z in
+  check Alcotest.int "class count" 4 cls.Mfsa.n_classes;
+  let id c = Char.code (Bytes.get cls.Mfsa.class_of_byte (Char.code c)) in
+  check Alcotest.int "other bytes" 0 (id '\000');
+  check Alcotest.int "other bytes (x)" 0 (id 'x');
+  check Alcotest.int "digit 0" 1 (id '0');
+  check Alcotest.int "digit 9" 1 (id '9');
+  check Alcotest.int "a" 2 (id 'a');
+  check Alcotest.int "b" 3 (id 'b');
+  (* The memo returns the same value and the engine inherits it. *)
+  check Alcotest.int "memoised" 4 (Mfsa.classes z).Mfsa.n_classes;
+  check Alcotest.int "engine class count" 4 (Im.n_classes (Im.compile z))
+
+let test_classes_tuned_off () =
+  let z = mfsa_of [ "ab"; "a[0-9]" ] in
+  Tuning.with_tuning baseline (fun () ->
+      check Alcotest.int "identity partition" 256 (Im.n_classes (Im.compile z)))
+
+let test_identity_classes () =
+  let c = Mfsa.identity_classes in
+  check Alcotest.int "256 classes" 256 c.Mfsa.n_classes;
+  check Alcotest.int "byte = class" 65
+    (Char.code (Bytes.get c.Mfsa.class_of_byte 65))
+
+(* ------------------------------------------------- Prefix sets *)
+
+let prefix_set src = Prefilter.prefix_set (P.parse_exn src).Mfsa_frontend.Ast.ast
+
+let test_prefix_sets () =
+  let sl = Alcotest.(option (list string)) in
+  check sl "literal" (Some [ "abc" ]) (prefix_set "abc");
+  check sl "leading star" None (prefix_set "a*bc");
+  check sl "alternation" (Some [ "abx"; "cdx" ]) (prefix_set "(ab|cd)x");
+  check sl "plus keeps prefix" (Some [ "hel" ]) (prefix_set "hel+o");
+  check sl "1-byte prefix unusable" None (prefix_set "a(b|c*)");
+  check sl "class expands" (Some [ "0a"; "1a" ]) (prefix_set "[01]a");
+  check sl "nullable" None (prefix_set "(ab)?")
+
+let test_exact_strings () =
+  let sl = Alcotest.(option (list string)) in
+  let exact src =
+    Option.map (List.sort String.compare)
+      (Prefilter.exact_strings (P.parse_exn src).Mfsa_frontend.Ast.ast)
+  in
+  check sl "literal" (Some [ "foo" ]) (exact "foo");
+  check sl "alt" (Some [ "bar"; "baz" ]) (exact "ba(r|z)");
+  check sl "opt" (Some [ "ab"; "abc" ]) (exact "ab(c)?");
+  check sl "star is infinite" None (exact "ab*");
+  check sl "unbounded repeat" None (exact "a{2,}")
+
+let test_prefilter_analyze () =
+  (* Every rule carries a usable literal — the filter builds. *)
+  let z = mfsa_of [ "hello"; "worl+d" ] in
+  (match Prefilter.analyze z with
+  | None -> Alcotest.fail "expected a prefilter"
+  | Some p ->
+      check Alcotest.(list int) "candidates"
+        [ 2; 13 ]
+        (Array.to_list (Prefilter.candidates p "xyhelloxxxxxxworld")));
+  (* One rule without a mandatory literal disables the filter. *)
+  check Alcotest.bool "no filter" true
+    (Prefilter.analyze (mfsa_of [ "hello"; "a*b" ]) = None);
+  (* Start-anchored rules need no literal: they run from position 0
+     regardless, so they do not block the filter. *)
+  check Alcotest.bool "anchored rule no veto" true
+    (Prefilter.analyze (mfsa_of [ "hello"; "^a*b" ]) <> None)
+
+(* ------------------------------------------- Optimised = baseline *)
+
+let engines_equal ?(msg = "") z input =
+  let base =
+    sort_ev
+      (Tuning.with_tuning baseline (fun () -> Im.run (Im.compile z) input))
+  in
+  List.iter
+    (fun name ->
+      let opt = sort_ev (Engine_sig.run (Registry.compile_exn name z) input) in
+      check (Alcotest.list event)
+        (Printf.sprintf "%s optimised = baseline %s" name msg)
+        base opt)
+    (Registry.general_names ())
+
+let test_known_divergence_candidates () =
+  (* Hand-picked shapes that stress each optimisation's edge cases:
+     odd input lengths (stride tail), literals at position 0 and at
+     the very end (prefilter boundaries), anchors, and overlapping
+     literal owners. *)
+  List.iter
+    (fun (rules, inputs) ->
+      let z = mfsa_of rules in
+      List.iter (fun i -> engines_equal ~msg:(String.concat "," rules) z i) inputs)
+    [
+      ( [ "hello"; "help" ],
+        [ "hellohelp"; "xhello"; "hellx"; "hel"; ""; "h"; "xxhelloxxhelpx" ] );
+      ([ "ab"; "a[0-9]" ], [ "ab"; "a5"; "a"; "ba9ab"; "zzzzz" ]);
+      ([ "^ab"; "cd$" ], [ "abcd"; "cdab"; "ab"; "cd"; "abxcd" ]);
+      ([ "ab+c"; "abd" ], [ "abbbc"; "abdabc"; "abcabd" ]);
+      ([ "aa" ], [ "aaaa"; "aaa" ]);
+    ]
+
+let prop_optimised_equals_baseline =
+  QCheck2.Test.make ~count:120
+    ~name:"every engine, full tuning = untuned imfant"
+    ~print:Gen_re.print_ruleset_input
+    (Gen.pair (Gen_re.ruleset ()) Gen_re.input)
+    (fun (rules, input) ->
+      let z = Merge.merge (Array.of_list (List.map fsa_of_rule rules)) in
+      let base =
+        sort_ev
+          (Tuning.with_tuning baseline (fun () -> Im.run (Im.compile z) input))
+      in
+      List.for_all
+        (fun name ->
+          let opt =
+            sort_ev (Engine_sig.run (Registry.compile_exn name z) input)
+          in
+          if base = opt then true
+          else
+            QCheck2.Test.fail_reportf "%s diverges on %S: %d vs %d events" name
+              input (List.length base) (List.length opt))
+        (Registry.general_names ()))
+
+(* Wide-alphabet rules: large class counts (possibly past the
+   stride-2 gate) and binary bytes through the partition map. *)
+let prop_wide_alphabet =
+  QCheck2.Test.make ~count:60 ~name:"wide alphabet, full tuning = baseline"
+    ~print:Gen_re.print_ruleset_input
+    (Gen.pair
+       (Gen.list_size (Gen.int_range 2 4) Gen_re.wide_rule)
+       Gen_re.wide_input)
+    (fun (rules, input) ->
+      let z = Merge.merge (Array.of_list (List.map fsa_of_rule rules)) in
+      let base =
+        sort_ev
+          (Tuning.with_tuning baseline (fun () -> Im.run (Im.compile z) input))
+      in
+      sort_ev (Im.run (Im.compile z) input) = base
+      && sort_ev (Hy.run (Hy.compile z) input) = base)
+
+(* Per-optimisation ablation: each knob alone must also agree. *)
+let prop_each_knob_alone =
+  QCheck2.Test.make ~count:60 ~name:"each optimisation alone = baseline"
+    ~print:Gen_re.print_ruleset_input
+    (Gen.pair (Gen_re.ruleset ()) Gen_re.input)
+    (fun (rules, input) ->
+      let z = Merge.merge (Array.of_list (List.map fsa_of_rule rules)) in
+      let base =
+        sort_ev
+          (Tuning.with_tuning baseline (fun () -> Im.run (Im.compile z) input))
+      in
+      List.for_all
+        (fun t ->
+          let im =
+            sort_ev
+              (Tuning.with_tuning t (fun () -> Im.run (Im.compile z) input))
+          in
+          let hy =
+            sort_ev
+              (Tuning.with_tuning t (fun () -> Hy.run (Hy.compile z) input))
+          in
+          im = base && hy = base)
+        [
+          { baseline with Tuning.classes = true };
+          { baseline with Tuning.prefilter = true };
+          { baseline with Tuning.stride = 2 };
+        ])
+
+(* ------------------------------------------------------ Streaming *)
+
+(* NB: explicit sequencing — OCaml does not define operand order for
+   [@], so chaining feeds with it would run them backwards. *)
+let chunked_feed session_feed chunks =
+  List.fold_left (fun acc c -> acc @ session_feed c) [] chunks
+
+let split_at input cuts =
+  let len = String.length input in
+  let cuts = List.sort_uniq compare (List.map (fun c -> c mod (len + 1)) cuts) in
+  let rec go start = function
+    | [] -> if start >= len then [] else [ String.sub input start (len - start) ]
+    | c :: rest ->
+        if c <= start then go start rest
+        else String.sub input start (c - start) :: go c rest
+  in
+  go 0 cuts
+
+let prop_sessions_chunked =
+  QCheck2.Test.make ~count:120
+    ~name:"imfant/hybrid sessions: any chunking = batch (full tuning)"
+    ~print:(fun ((rules, input), cuts) ->
+      Printf.sprintf "%s cuts=[%s]"
+        (Gen_re.print_ruleset_input (rules, input))
+        (String.concat ";" (List.map string_of_int cuts)))
+    (Gen.pair
+       (Gen.pair (Gen_re.ruleset ()) Gen_re.input)
+       (Gen.list_size (Gen.int_range 0 4) (Gen.int_bound 40)))
+    (fun ((rules, input), cuts) ->
+      let z = Merge.merge (Array.of_list (List.map fsa_of_rule rules)) in
+      let chunks = split_at input cuts in
+      let batch =
+        sort_ev
+          (Tuning.with_tuning baseline (fun () -> Im.run (Im.compile z) input))
+      in
+      let im = Im.compile z in
+      let s = Im.session im in
+      let fed_im = chunked_feed (Im.feed s) chunks in
+      let got_im = sort_ev (fed_im @ Im.finish s) in
+      let hy = Hy.compile z in
+      let sh = Hy.session hy in
+      let fed_hy = chunked_feed (Hy.feed sh) chunks in
+      let got_hy = sort_ev (fed_hy @ Hy.finish sh) in
+      if got_im <> batch then
+        QCheck2.Test.fail_reportf "imfant session diverges (%d vs %d events)"
+          (List.length got_im) (List.length batch)
+      else if got_hy <> batch then
+        QCheck2.Test.fail_reportf "hybrid session diverges (%d vs %d events)"
+          (List.length got_hy) (List.length batch)
+      else true)
+
+(* A literal split across the chunk boundary, with the prefilter
+   active: the skip logic must not jump over the straddle region. *)
+let test_session_straddles_literal () =
+  let z = mfsa_of [ "hello" ] in
+  let hy = Hy.compile z in
+  check Alcotest.bool "prefilter is on" true (Im.prefilter (Hy.imfant hy) <> None);
+  List.iter
+    (fun (c1, c2) ->
+      let s = Hy.session hy in
+      let e1 = Hy.feed s c1 in
+      let e2 = Hy.feed s c2 in
+      let got = e1 @ e2 @ Hy.finish s in
+      check (Alcotest.list event)
+        (Printf.sprintf "%S + %S" c1 c2)
+        [ { Engine_sig.fsa = 0; end_pos = 7 } ]
+        got)
+    [
+      ("xxhel", "loxx");
+      ("xxh", "elloxx");
+      ("xxhell", "oxx");
+      ("x", "xhello");
+    ]
+
+let test_skip_counter_moves () =
+  let z = mfsa_of [ "needle" ] in
+  let im = Im.compile z in
+  let input = String.make 4096 'x' ^ "needle" in
+  ignore (Im.run im input);
+  check Alcotest.bool "imfant skipped bytes" true (Im.skipped_bytes im > 0);
+  Im.reset_skipped im;
+  check Alcotest.int "reset" 0 (Im.skipped_bytes im);
+  let hy = Hy.compile z in
+  ignore (Hy.run hy input);
+  check Alcotest.bool "hybrid skipped bytes" true
+    ((Hy.stats hy).Hy.skipped_bytes > 0)
+
+(* ------------------------------------------------------ ac engine *)
+
+let test_ac_literal_ruleset () =
+  let z = mfsa_of [ "foo"; "ba(r|z)" ] in
+  let eng = Registry.compile_exn "ac" z in
+  let got = Engine_sig.run eng "xfoobarbaz" in
+  check (Alcotest.list event) "events"
+    [
+      { Engine_sig.fsa = 0; end_pos = 4 };
+      { Engine_sig.fsa = 1; end_pos = 7 };
+      { Engine_sig.fsa = 1; end_pos = 10 };
+    ]
+    got;
+  (* Agreement with the general engines on its restricted domain. *)
+  engines_equal ~msg:"vs ac ruleset" z "xfoobarbazfoofoo";
+  check Alcotest.(list int) "count_per_fsa" [ 1; 2 ]
+    (Array.to_list (Engine_sig.count_per_fsa eng "xfoobarbaz"))
+
+let test_ac_rejects_nonliteral () =
+  match Registry.compile "ac" (mfsa_of [ "foo"; "a+b" ]) with
+  | Ok _ -> Alcotest.fail "ac accepted an infinite rule"
+  | Error _ -> ()
+  | exception Invalid_argument _ -> ()
+
+let test_ac_anchors_and_sessions () =
+  let z = mfsa_of [ "^ab"; "cd$"; "ab" ] in
+  let eng = Registry.compile_exn "ac" z in
+  check (Alcotest.list event) "anchors honoured"
+    [
+      { Engine_sig.fsa = 0; end_pos = 2 };
+      { Engine_sig.fsa = 2; end_pos = 2 };
+      { Engine_sig.fsa = 2; end_pos = 6 };
+      { Engine_sig.fsa = 1; end_pos = 8 };
+    ]
+    (Engine_sig.run eng "abxxabcd");
+  (* Streaming: literal straddles the boundary; end anchor resolves
+     only at finish. *)
+  let s = Engine_sig.session eng in
+  let e1 = Engine_sig.feed s "abxxa" in
+  let e2 = Engine_sig.feed s "bcd" in
+  let got = e1 @ e2 @ Engine_sig.finish s in
+  check (Alcotest.list event) "chunked = batch"
+    (Engine_sig.run eng "abxxabcd")
+    got
+
+let test_ac_in_registry () =
+  check Alcotest.bool "listed" true (List.mem "ac" (Registry.names ()));
+  check Alcotest.bool "not general" true
+    (not (List.mem "ac" (Registry.general_names ())));
+  check Alcotest.bool "documented" true (Registry.doc "ac" <> None)
+
+(* ------------------------------------------------------- Tuning *)
+
+let test_tuning_validation () =
+  (match Tuning.set { Tuning.default with Tuning.stride = 3 } with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "stride 3 accepted");
+  let before = Tuning.get () in
+  (try
+     Tuning.with_tuning baseline (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.bool "restored on raise" true (Tuning.get () = before)
+
+let () =
+  Alcotest.run "hotloop"
+    [
+      ( "classes",
+        [
+          Alcotest.test_case "pinned class map" `Quick test_class_of_byte_pinned;
+          Alcotest.test_case "tuned off" `Quick test_classes_tuned_off;
+          Alcotest.test_case "identity" `Quick test_identity_classes;
+        ] );
+      ( "prefilter",
+        [
+          Alcotest.test_case "prefix sets" `Quick test_prefix_sets;
+          Alcotest.test_case "exact strings" `Quick test_exact_strings;
+          Alcotest.test_case "analyze" `Quick test_prefilter_analyze;
+          Alcotest.test_case "skip counters" `Quick test_skip_counter_moves;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "known edge shapes" `Quick
+            test_known_divergence_candidates;
+          QCheck_alcotest.to_alcotest prop_optimised_equals_baseline;
+          QCheck_alcotest.to_alcotest prop_wide_alphabet;
+          QCheck_alcotest.to_alcotest prop_each_knob_alone;
+        ] );
+      ( "streaming",
+        [
+          QCheck_alcotest.to_alcotest prop_sessions_chunked;
+          Alcotest.test_case "straddling literal" `Quick
+            test_session_straddles_literal;
+        ] );
+      ( "ac",
+        [
+          Alcotest.test_case "literal ruleset" `Quick test_ac_literal_ruleset;
+          Alcotest.test_case "rejects non-literal" `Quick
+            test_ac_rejects_nonliteral;
+          Alcotest.test_case "anchors + sessions" `Quick
+            test_ac_anchors_and_sessions;
+          Alcotest.test_case "registry placement" `Quick test_ac_in_registry;
+        ] );
+      ( "tuning",
+        [ Alcotest.test_case "validation" `Quick test_tuning_validation ] );
+    ]
