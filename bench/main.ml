@@ -49,6 +49,8 @@ module Pool = Mfsa_engine.Pool
 module Serve = Mfsa_serve.Serve
 module Obs = Mfsa_obs.Obs
 module Snapshot = Mfsa_obs.Snapshot
+module Artifact = Mfsa_artifact.Artifact
+module Tables = Mfsa_engine.Tables
 
 (* ------------------------------------------------------- Bechamel *)
 
@@ -285,7 +287,7 @@ let serve_measurements ~engine cfg =
             Stream_gen.generate ~seed:(41 + i) ~size:seg ds.Datasets.rules)
       in
       let reference =
-        let eng = Registry.compile_exn engine z in
+        let eng = Registry.compile_automaton_exn engine z in
         Array.map (Engine_sig.run eng) inputs
       in
       let run_service domains =
@@ -376,7 +378,7 @@ let serve_check ~engine () =
         Stream_gen.generate ~seed:(11 + i) ~size:8192 ds.Datasets.rules)
   in
   let baseline = Registry.underlying engine in
-  let eng = Registry.compile_exn baseline z in
+  let eng = Registry.compile_automaton_exn baseline z in
   let reference = Array.map (Engine_sig.run eng) inputs in
   let srv = Serve.create ~engine ~domains:2 ~retries:4 ~backoff:0.0002 z in
   let got = Serve.match_batch srv inputs in
@@ -792,6 +794,122 @@ let write_obs_json engine_rows serve_rows =
   close_out oc;
   Printf.printf "wrote %s (%d samples)\n" path (List.length merged)
 
+(* ------------------------------------------- artifact persistence *)
+
+type persist_row = {
+  pr_dataset : string;
+  pr_rules : int;
+  pr_bytes : int;
+  pr_compile_s : float;
+  pr_save_s : float;
+  pr_load_s : float;
+  pr_agree : (string * bool) list;
+}
+
+let persist_speedup r = if r.pr_load_s > 0. then r.pr_compile_s /. r.pr_load_s else 0.
+
+let write_persist_json rows =
+  let path = "BENCH_persist.json" in
+  let oc = open_out path in
+  output_string oc "[\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  {\"dataset\": %S, \"rules\": %d, \"artifact_bytes\": %d, \
+         \"compile_ms\": %.3f, \"save_ms\": %.3f, \"load_ms\": %.3f, \
+         \"load_speedup\": %.3f, \"agreement\": {%s}, \"diverged\": %b}%s\n"
+        r.pr_dataset r.pr_rules r.pr_bytes (r.pr_compile_s *. 1e3)
+        (r.pr_save_s *. 1e3) (r.pr_load_s *. 1e3) (persist_speedup r)
+        (String.concat ", "
+           (List.map (fun (e, a) -> Printf.sprintf "%S: %b" e a) r.pr_agree))
+        (List.exists (fun (_, a) -> not a) r.pr_agree)
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+
+(* `bench persist`: the compiled-artifact persistence gate. Per
+   dataset: compile the ruleset to engine-ready tables (pipeline run
+   plus the derived execution tables Artifact.export persists), save
+   the artifact, reload it, and time both roads to engine-ready — the
+   load side is O(artifact size) and must beat recompilation. Every
+   table-capable engine then replays the same stream from the compiled
+   and the reloaded tables; a count mismatch marks the row DIVERGED
+   and fails the run. Writes BENCH_persist.json. *)
+let persist_bench cfg =
+  let stream_size = cfg.E.stream_kb * 1024 in
+  let rows =
+    List.map
+      (fun ds ->
+        (* Best of three on both roads to engine-ready tables — same
+           sampling for compile and load, so the reported ratio is not
+           an artefact of asymmetric noise. *)
+        let best_of_3 f =
+          let samples = [ time f; time f; time f ] in
+          List.fold_left
+            (fun (bt, bv) (t, v) -> if t < bt then (t, v) else (bt, bv))
+            (List.hd samples) (List.tl samples)
+        in
+        let t_compile, (c, tables) =
+          best_of_3 (fun () ->
+              let c = Pipeline.compile_exn ds.Datasets.rules in
+              (c, Artifact.export c.Pipeline.mfsas))
+        in
+        let path =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "mfsa_persist_%s_%d.mfsa" ds.Datasets.abbr
+               (Unix.getpid ()))
+        in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            let t_save, () = time (fun () -> Artifact.save path tables) in
+            let bytes = (Unix.stat path).Unix.st_size in
+            let t_load, loaded = best_of_3 (fun () -> Artifact.load path) in
+            let stream =
+              Stream_gen.generate ~seed:97 ~payload:ds.Datasets.payload
+                ~size:stream_size ds.Datasets.rules
+            in
+            let counts compile parts =
+              List.map (fun p -> Engine_sig.count (compile p) stream) parts
+            in
+            let agree =
+              List.map
+                (fun name ->
+                  ( name,
+                    counts (Registry.compile_automaton_exn name) c.Pipeline.mfsas
+                    = counts (Registry.compile_tables_exn name) loaded ))
+                (Registry.table_capable_names ())
+            in
+            let r =
+              {
+                pr_dataset = ds.Datasets.abbr;
+                pr_rules = Array.length ds.Datasets.rules;
+                pr_bytes = bytes;
+                pr_compile_s = t_compile;
+                pr_save_s = t_save;
+                pr_load_s = t_load;
+                pr_agree = agree;
+              }
+            in
+            Printf.printf
+              "persist %s: %d rules, %d B artifact; compile %.2f ms, save \
+               %.2f ms, load %.2f ms (%.1fx); %s\n%!"
+              r.pr_dataset r.pr_rules r.pr_bytes (t_compile *. 1e3)
+              (t_save *. 1e3) (t_load *. 1e3) (persist_speedup r)
+              (String.concat ", "
+                 (List.map
+                    (fun (e, a) -> e ^ if a then " AGREE" else " DIVERGED")
+                    agree));
+            r))
+      (Datasets.all ~scale:cfg.E.scale ())
+  in
+  write_persist_json rows;
+  if List.exists (fun r -> List.exists (fun (_, a) -> not a) r.pr_agree) rows
+  then exit 1
+
 (* ---------------------------------------------------- Entry point *)
 
 let experiments ~engines ~engine =
@@ -847,6 +965,7 @@ let () =
       print_newline ();
       write_hotloop_json rows
   | [ "serve-check" ] -> serve_check ~engine ()
+  | [ "persist" ] -> persist_bench (E.default ())
   | "loadgen" :: rest -> loadgen ~engine rest
   | [] ->
       let cfg = E.default () in

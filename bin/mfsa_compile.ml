@@ -7,32 +7,22 @@
 module Pipeline = Mfsa_core.Pipeline
 module Report = Mfsa_core.Report
 module Datasets = Mfsa_datasets.Datasets
-
-let read_rules path =
-  let ic = if path = "-" then stdin else open_in path in
-  Fun.protect
-    ~finally:(fun () -> if path <> "-" then close_in ic)
-    (fun () ->
-      let rules = ref [] in
-      (try
-         while true do
-           let line = String.trim (input_line ic) in
-           if line <> "" && not (String.length line > 0 && line.[0] = '#') then
-             rules := line :: !rules
-         done
-       with End_of_file -> ());
-      Array.of_list (List.rev !rules))
+module Artifact = Mfsa_artifact.Artifact
 
 let setup_logs debug =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if debug then Logs.Debug else Logs.Warning))
 
-let run rules_file dataset m output verbose debug homogeneous strategy =
+let run rules_file dataset m output emit verbose debug homogeneous strategy ()
+    =
   setup_logs debug;
   let rules =
     match (rules_file, dataset) with
-    | Some path, None -> Ok (read_rules path)
+    | Some path, None -> (
+        match Engine_cli.Source.read_rules_file path with
+        | rules -> Ok rules
+        | exception Engine_cli.Source.Error msg -> Error msg)
     | None, Some abbr -> (
         match Datasets.find abbr with
         | Some d -> Ok d.Datasets.rules
@@ -58,18 +48,38 @@ let run rules_file dataset m output verbose debug homogeneous strategy =
           prerr_endline ("mfsa-compile: " ^ Pipeline.error_to_string e);
           1
       | Ok c ->
-          let oc = if output = "-" then stdout else open_out output in
-          Fun.protect
-            ~finally:(fun () -> if output <> "-" then close_out oc)
-            (fun () ->
-              if homogeneous then
-                List.iter
-                  (fun z ->
-                    output_string oc
-                      (Mfsa_anml.Homogeneous.to_anml
-                         (Mfsa_anml.Homogeneous.of_mfsa z)))
-                  c.Pipeline.mfsas
-              else output_string oc c.Pipeline.anml);
+          (* --emit without -o suppresses the ANML dump: the artifact
+             is the product. Both together write both. *)
+          if emit = None || output <> "-" then begin
+            let oc = if output = "-" then stdout else open_out output in
+            Fun.protect
+              ~finally:(fun () -> if output <> "-" then close_out oc)
+              (fun () ->
+                if homogeneous then
+                  List.iter
+                    (fun z ->
+                      output_string oc
+                        (Mfsa_anml.Homogeneous.to_anml
+                           (Mfsa_anml.Homogeneous.of_mfsa z)))
+                    c.Pipeline.mfsas
+                else output_string oc c.Pipeline.anml)
+          end;
+          let emit_failed =
+            match emit with
+            | None -> false
+            | Some path -> (
+                match Artifact.save path (Artifact.export c.Pipeline.mfsas) with
+                | () ->
+                    if verbose then
+                      Printf.eprintf "artifact:     %s (%d bytes)\n" path
+                        (Unix.stat path).Unix.st_size;
+                    false
+                | exception Artifact.Error e ->
+                    prerr_endline
+                      ("mfsa-compile: cannot write " ^ path ^ ": "
+                      ^ Artifact.error_to_string e);
+                    true)
+          in
           if verbose then begin
             let before = Report.fsa_totals c.Pipeline.fsas in
             let after = Report.mfsa_totals c.Pipeline.mfsas in
@@ -92,7 +102,7 @@ let run rules_file dataset m output verbose debug homogeneous strategy =
               (Report.fmt_time t.Pipeline.merging)
               (Report.fmt_time t.Pipeline.backend)
           end;
-          0)
+          if emit_failed then 1 else 0)
 
 open Cmdliner
 
@@ -120,6 +130,19 @@ let output =
     value & opt string "-"
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Extended-ANML output file ('-' for stdout).")
 
+let emit =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit" ] ~docv:"FILE"
+        ~doc:
+          "Also write a compiled binary artifact: the merged automata plus \
+           every engine-ready table (byte classes, class-indexed \
+           transitions, CSR index, activation table, prefilter) under the \
+           current tuning flags, loadable in O(size) by $(b,mfsa-match \
+           --load), $(b,mfsa-served run --load) and $(b,mfsa-live --load). \
+           Without $(b,-o), the ANML dump to stdout is suppressed.")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print compression and stage-time statistics to stderr.")
 
@@ -144,6 +167,8 @@ let cmd =
   Cmd.v
     (Cmd.info "mfsa-compile" ~version:"1.0.0"
        ~doc:"Compile a regular-expression ruleset into merged MFSAs (extended ANML)")
-    Term.(const run $ rules_file $ dataset $ m $ output $ verbose $ debug $ homogeneous $ strategy)
+    Term.(
+      const run $ rules_file $ dataset $ m $ output $ emit $ verbose $ debug
+      $ homogeneous $ strategy $ Engine_cli.tuning_term ())
 
 let () = Engine_cli.main cmd

@@ -45,7 +45,37 @@ let print_sharing z =
   |> List.sort compare
   |> List.iter (fun (k, v) -> Printf.printf "  %3d -> %d\n" k v)
 
+(* A binary artifact is header metadata, not rules: report the
+   directory (version, section sizes, per-automaton counts, the tuning
+   snapshot) instead of attempting to parse it as extended ANML. *)
+let print_artifact path =
+  let module A = Engine_cli.Artifact in
+  match A.describe path with
+  | exception A.Error e ->
+      Printf.eprintf "mfsa-inspect: %s: %s\n" path (A.error_to_string e);
+      1
+  | info ->
+      let t = info.A.in_tuning in
+      Printf.printf "artifact: version %d, %d bytes, %d MFSA(s)\n"
+        info.A.in_version info.A.in_bytes info.A.in_mfsas;
+      Printf.printf "tuning: classes=%b prefilter=%b stride=%d\n"
+        t.Mfsa_engine.Tuning.classes t.Mfsa_engine.Tuning.prefilter
+        t.Mfsa_engine.Tuning.stride;
+      Array.iteri
+        (fun i rules ->
+          Printf.printf
+            "mfsa %d: %d rules, %d states, %d byte classes%s\n" i rules
+            info.A.in_states.(i) info.A.in_classes.(i)
+            (if info.A.in_prefiltered.(i) then ", prefilter" else ""))
+        info.A.in_rules;
+      List.iter
+        (fun s -> Printf.printf "section %-8s %d bytes\n" s.A.si_name s.A.si_bytes)
+        info.A.in_sections;
+      0
+
 let run path dot project sharing coo =
+  if Engine_cli.Source.is_artifact_file path then print_artifact path
+  else
   match Anml.read_file path with
   | Error msg ->
       Printf.eprintf "mfsa-inspect: %s\n" msg;

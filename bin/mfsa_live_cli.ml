@@ -112,7 +112,7 @@ let exec st line =
          reset/compact/rules/stats/metrics)\n"
         line
 
-let run script gc_threshold rules metrics_every engine =
+let run script gc_threshold rules load metrics_every () engine =
   match Engine_cli.resolve ~prog:"mfsa-live" engine with
   | Error code -> code
   | Ok engine -> (
@@ -120,9 +120,28 @@ let run script gc_threshold rules metrics_every engine =
     Printf.eprintf "mfsa-live: --gc-threshold must be within [0, 1], got %g\n"
       gc_threshold;
     exit 124);
-  match Live.of_rules ~engine ~gc_threshold (Array.of_list rules) with
-  | Error e ->
-      Printf.eprintf "mfsa-live: %s\n" (Mfsa_core.Pipeline.error_to_string e);
+  (* --load adopts a compiled artifact as generation 0 (rule id j =
+     merged FSA j); -r rules compile through the pipeline. *)
+  let source =
+    match (load, rules) with
+    | Some path, [] -> Ok (Engine_cli.Source.Artifact_file path)
+    | Some _, _ :: _ -> Error "pass --load or -r rules, not both"
+    | None, rules -> Ok (Engine_cli.Source.Rules (Array.of_list rules))
+  in
+  match
+    match source with
+    | Error msg -> Error msg
+    | Ok source -> (
+        match
+          Engine_cli.catch_source (fun () ->
+              Live.of_source ~engine ~gc_threshold source)
+        with
+        | Error msg -> Error msg
+        | Ok (Error e) -> Error (Mfsa_core.Pipeline.error_to_string e)
+        | Ok (Ok lv) -> Ok lv)
+  with
+  | Error msg ->
+      Printf.eprintf "mfsa-live: %s\n" msg;
       1
   | Ok lv ->
       let st =
@@ -176,6 +195,18 @@ let rules =
     value & opt_all string []
     & info [ "r"; "rule" ] ~docv:"RE" ~doc:"Initial rule (repeatable).")
 
+let load =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "load" ] ~docv:"FILE"
+        ~doc:
+          "Adopt a compiled binary artifact (from $(b,mfsa-compile --emit)) \
+           as the initial generation: rule ids are the artifact's merged-FSA \
+           order, and the first generation's engine comes up from the \
+           persisted tables without recompiling. Mutually exclusive with \
+           $(b,-r).")
+
 let metrics_every =
   Arg.(
     value & opt int 0
@@ -191,7 +222,7 @@ let cmd =
        ~doc:"Drive a live MFSA ruleset: incremental adds, retirement, \
              compaction and generation-pinned streaming")
     Term.(
-      const run $ script $ gc_threshold $ rules $ metrics_every
-      $ Engine_cli.term ())
+      const run $ script $ gc_threshold $ rules $ load $ metrics_every
+      $ Engine_cli.tuning_term () $ Engine_cli.term ())
 
 let () = Engine_cli.main cmd

@@ -29,43 +29,33 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* One pattern per line, '#' comments allowed — the mfsa-compile
-   ruleset format. *)
-let read_rules path =
-  read_file path
-  |> String.split_on_char '\n'
-  |> List.filter_map (fun l ->
-         let l = String.trim l in
-         if l = "" || l.[0] = '#' then None else Some l)
-  |> Array.of_list
-
-let load_mfsas ~rules path =
-  if rules then
-    match Pipeline.compile (read_rules path) with
-    | Ok c -> Ok c.Pipeline.mfsas
-    | Error e ->
-        Error
-          (Printf.sprintf "cannot compile %s: %s" path
-             (Pipeline.error_to_string e))
-  else
-    match Anml.read_file path with
-    | Ok mfsas -> Ok mfsas
-    | Error msg -> Error (Printf.sprintf "cannot load %s: %s" path msg)
-
-(* --metrics: serve the input through one Serve instance per MFSA
+(* --metrics: serve the input through one Serve instance per automaton
    (threads worker domains each) and print nothing but the merged
    metric snapshot — process-wide registry (compile spans when --rules
    compiled here) plus every service's full view, tagged mfsa=<i>.
    The serving path carries the fault-tolerance knobs: --deadline,
    --retries and --admission; a batch that times out or is rejected
    still dumps the metrics (the timeout/rejection counters included)
-   but exits non-zero with the typed error on stderr. *)
-let run_metrics mfsas input threads engine fmt ~deadline ~retries ~admission =
+   but exits non-zero with the typed error on stderr. An artifact
+   source builds the services from the persisted tables directly. *)
+let run_metrics resolved input threads engine fmt ~deadline ~retries ~admission
+    =
   let failed = ref None in
+  let services =
+    match resolved with
+    | Engine_cli.Source.Compiled_automata zs ->
+        List.map
+          (fun z -> Serve.create ~engine ~domains:threads ~admission ~retries z)
+          zs
+    | Engine_cli.Source.Compiled_tables tbs ->
+        List.map
+          (fun tb ->
+            Serve.create_tables ~engine ~domains:threads ~admission ~retries tb)
+          tbs
+  in
   let snaps =
     List.mapi
-      (fun gi z ->
-        let srv = Serve.create ~engine ~domains:threads ~admission ~retries z in
+      (fun gi srv ->
         Fun.protect
           ~finally:(fun () -> Serve.shutdown srv)
           (fun () ->
@@ -82,7 +72,7 @@ let run_metrics mfsas input threads engine fmt ~deadline ~retries ~admission =
             Snapshot.with_labels
               [ ("mfsa", string_of_int gi) ]
               (Serve.snapshot srv)))
-      mfsas
+      services
   in
   let merged = Snapshot.merge (Obs.snapshot Obs.default :: snaps) in
   print_string
@@ -95,31 +85,61 @@ let run_metrics mfsas input threads engine fmt ~deadline ~retries ~admission =
       Printf.eprintf "mfsa-match: %s\n" msg;
       1
 
-let run anml_path input_path threads list_events stats rules metrics deadline
-    retries admission () engine =
+(* The positionals: [RULESET STREAM] normally, just [STREAM] under
+   --load (the artifact replaces the ruleset argument). *)
+let classify_paths ~load ~rules paths =
+  match (load, paths) with
+  | Some artifact, [ input ] ->
+      Ok (Engine_cli.Source.Artifact_file artifact, input)
+  | Some _, _ -> Error "with --load, pass exactly one positional: the STREAM"
+  | None, [ ruleset; input ] ->
+      Result.map
+        (fun source -> (source, input))
+        (Engine_cli.source_of_ruleset ~rules ruleset)
+  | None, _ -> Error "pass a RULESET (ANML, rules or artifact) and a STREAM"
+
+let run paths load threads list_events stats rules metrics deadline retries
+    admission () engine =
   match Engine_cli.resolve ~prog:"mfsa-match" engine with
   | Error code -> code
   | Ok engine -> (
-      match load_mfsas ~rules anml_path with
+      match classify_paths ~load ~rules paths with
       | Error msg ->
           Printf.eprintf "mfsa-match: %s\n" msg;
           1
-      | Ok mfsas when metrics <> None ->
-          let input = read_file input_path in
-          run_metrics mfsas input threads engine (Option.get metrics) ~deadline
-            ~retries ~admission
-      | Ok mfsas -> (
-          let input = read_file input_path in
-          (* A restricted engine (ac) refuses rulesets outside its
-             domain at compile time — a user error, not an internal
-             one. *)
+      | Ok (source, input_path) when metrics <> None -> (
+          (* Pre-check the engine's artifact capability exactly like
+             the direct path would, then resolve the source once and
+             build one service per automaton. *)
           match
-            Array.of_list (List.map (Registry.compile_exn engine) mfsas)
+            Result.join
+              (Engine_cli.catch_source (fun () ->
+                   match (source, Registry.can_load_tables engine) with
+                   | ( ( Engine_cli.Source.Artifact_file _
+                       | Engine_cli.Source.Artifact_bytes _ ),
+                       false ) ->
+                       Error (Registry.no_table_loader engine)
+                   | _ -> Ok (Engine_cli.Source.resolve source)))
           with
-          | exception Invalid_argument msg ->
+          | Error msg ->
               Printf.eprintf "mfsa-match: %s\n" msg;
               1
-          | engines ->
+          | Ok resolved ->
+              let input = read_file input_path in
+              run_metrics resolved input threads engine (Option.get metrics)
+                ~deadline ~retries ~admission)
+      | Ok (source, input_path) -> (
+          let input = read_file input_path in
+          (* A restricted engine (ac) refuses rulesets outside its
+             domain at compile time, and an engine without a table
+             loader refuses artifacts — user errors, not internal
+             ones. *)
+          match Engine_cli.compile_source engine source with
+          | Error msg ->
+              Printf.eprintf "mfsa-match: %s\n" msg;
+              1
+          | Ok engines ->
+          let engines = Array.of_list engines in
           let t0 = now () in
           let result =
             Pool.run ~threads
@@ -164,11 +184,15 @@ let run anml_path input_path threads list_events stats rules metrics deadline
 
 open Cmdliner
 
-let anml_path =
+let paths =
   Arg.(
-    required
-    & pos 0 (some file) None
-    & info [] ~docv:"ANML" ~doc:"Extended-ANML file produced by mfsa-compile.")
+    value & pos_all file []
+    & info [] ~docv:"RULESET STREAM"
+        ~doc:
+          "Normally two files: the compiled ruleset (extended ANML from \
+           mfsa-compile, a binary artifact from mfsa-compile --emit — \
+           recognised by magic — or, with $(b,--rules), plain rules) and the \
+           input stream. With $(b,--load) just the stream.")
 
 let rules =
   Arg.(
@@ -193,12 +217,6 @@ let metrics =
            per $(b,--threads)) and print only a metrics dump in $(docv) \
            format ($(b,prom), the default, or $(b,json)): compile-stage \
            spans, engine counters and per-domain service histograms.")
-
-let input_path =
-  Arg.(
-    required
-    & pos 1 (some file) None
-    & info [] ~docv:"STREAM" ~doc:"Input stream file to match against.")
 
 let threads =
   Arg.(
@@ -261,8 +279,8 @@ let cmd =
     (Cmd.info "mfsa-match" ~version:"1.0.0"
        ~doc:"Execute compiled MFSAs against an input stream")
     Term.(
-      const run $ anml_path $ input_path $ threads $ list_events $ stats
-      $ rules $ metrics $ deadline $ retries $ admission
+      const run $ paths $ Engine_cli.load_term () $ threads $ list_events
+      $ stats $ rules $ metrics $ deadline $ retries $ admission
       $ Engine_cli.tuning_term () $ Engine_cli.term ())
 
 let () = Engine_cli.main cmd

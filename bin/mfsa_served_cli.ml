@@ -20,20 +20,6 @@ let setup_logs quiet =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if quiet then Logs.Error else Logs.Info))
 
-let read_rules_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line ->
-            let line = String.trim line in
-            go (if line = "" || line.[0] = '#' then acc else line :: acc)
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
-
 (* Atomic write: the pollers racing us (cram test, ci soak gate) must
    never observe a half-written port number. *)
 let write_file path contents =
@@ -45,15 +31,35 @@ let write_file path contents =
 
 (* ------------------------------------------------------------ run *)
 
-let run_daemon rules_file rules () engine domains host port port_file pid_file
-    queue admission retries backoff read_deadline max_frame deadline quiet =
+let run_daemon rules_file rules load () engine domains host port port_file
+    pid_file queue admission retries backoff read_deadline max_frame deadline
+    quiet =
   setup_logs quiet;
   match Engine_cli.resolve ~prog:"mfsa-served" engine with
   | Error code -> code
   | Ok engine -> (
-      let rules =
-        (match rules_file with Some p -> read_rules_file p | None -> []) @ rules
+      (* The initial ruleset: a compiled artifact (--load), or rules
+         from --rules/-r compiled through the pipeline. *)
+      let source =
+        match (load, rules_file, rules) with
+        | Some _, Some _, _ | Some _, _, _ :: _ ->
+            Error "pass --load or --rules/-r, not both"
+        | Some path, None, [] -> Ok (Engine_cli.Source.Artifact_file path)
+        | None, rules_file, rules -> (
+            match
+              match rules_file with
+              | Some p ->
+                  Array.to_list (Engine_cli.Source.read_rules_file p) @ rules
+              | None -> rules
+            with
+            | all -> Ok (Engine_cli.Source.Rules (Array.of_list all))
+            | exception Engine_cli.Source.Error msg -> Error msg)
       in
+      match source with
+      | Error msg ->
+          Printf.eprintf "mfsa-served: %s\n" msg;
+          1
+      | Ok source ->
       let admission =
         match admission with
         | "block" -> Serve.Block
@@ -80,7 +86,11 @@ let run_daemon rules_file rules () engine domains host port port_file pid_file
           batch_deadline = deadline;
         }
       in
-      match Served.create ~config (Array.of_list rules) with
+      match
+        Result.join
+          (Engine_cli.catch_source (fun () ->
+               Served.create_source ~config source))
+      with
       | Error msg ->
           Printf.eprintf "%s\n" msg;
           1
@@ -224,6 +234,7 @@ let run_cmd =
       & info [ "r"; "rule" ] ~docv:"RE"
           ~doc:"Additional initial rule (repeatable, after $(b,--rules).)")
   in
+  let load = Engine_cli.load_term () in
   let domains =
     Arg.(
       value & opt int 2
@@ -300,8 +311,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run the serving daemon until SIGINT/SIGTERM or a \
                           remote SHUTDOWN drains it")
     Term.(
-      const run_daemon $ rules_file $ rules $ Engine_cli.tuning_term ()
-      $ Engine_cli.term () $ domains
+      const run_daemon $ rules_file $ rules $ load
+      $ Engine_cli.tuning_term () $ Engine_cli.term () $ domains
       $ host $ port $ port_file "written to" $ pid_file $ queue $ admission
       $ retries $ backoff $ read_deadline $ max_frame $ deadline $ quiet)
 

@@ -807,7 +807,7 @@ let engine_measurements ?engines cfg =
         | [ z ] -> z
         | _ -> assert false
       in
-      let reference = Registry.compile_exn "imfant" z in
+      let reference = Registry.compile_automaton_exn "imfant" z in
       let per_ref = Engine_sig.count_per_fsa reference stream in
       let t_ref =
         time_runs cfg.reps (fun () -> ignore (Engine_sig.count reference stream))
@@ -818,7 +818,7 @@ let engine_measurements ?engines cfg =
             if name = "imfant" then
               (name, t_ref, per_ref, Engine_sig.stats reference, true)
             else begin
-              let inst = Registry.compile_exn name z in
+              let inst = Registry.compile_automaton_exn name z in
               let per = Engine_sig.count_per_fsa inst stream in
               let agree = per = per_ref in
               Engine_sig.reset_stats inst;

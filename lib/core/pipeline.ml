@@ -211,3 +211,9 @@ let compile_exn ?strategy ?m patterns =
   match compile ?strategy ?m patterns with
   | Ok c -> c
   | Error e -> raise (Compile_error e)
+
+(* Install the rule-compilation half of {!Mfsa_engine.Source}'s hook
+   pair: any executable linked against this library can hand
+   [Source.Rules]/[Rules_file] to [Registry.compile] and get the full
+   pipeline, [Compile_error] propagation included. *)
+let () = Mfsa_engine.Source.set_rule_compiler (fun patterns -> (compile_exn patterns).mfsas)

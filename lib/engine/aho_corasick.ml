@@ -119,3 +119,75 @@ let count_per_pattern t input =
   let counts = Array.make (!max_id + 1) 0 in
   scan t input ~on_match:(fun id _ -> counts.(id) <- counts.(id) + 1);
   counts
+
+(* ----------------------------------------------- Table round trip *)
+
+type tables = {
+  ac_states : int;
+  ac_next : int array;
+  ac_out_off : int array;
+  ac_out_ids : int array;
+}
+
+let export t =
+  let n_out = Array.fold_left (fun a l -> a + List.length l) 0 t.outputs in
+  let out_off = Array.make (t.n_states + 1) 0 in
+  let out_ids = Array.make n_out 0 in
+  let w = ref 0 in
+  Array.iteri
+    (fun q l ->
+      out_off.(q) <- !w;
+      List.iter
+        (fun id ->
+          out_ids.(!w) <- id;
+          incr w)
+        l)
+    t.outputs;
+  out_off.(t.n_states) <- !w;
+  { ac_states = t.n_states; ac_next = Array.copy t.next; ac_out_off = out_off;
+    ac_out_ids = out_ids }
+
+let import ?(copy = true) tb =
+  let n = tb.ac_states in
+  let fail msg = Error ("Aho-Corasick tables: " ^ msg) in
+  if n < 1 then fail "no states"
+  else if Array.length tb.ac_next <> n * 256 then
+    fail "transition table size mismatch"
+  else if
+    (* Manual loop, not [Array.exists]: this table is by far the
+       largest thing an artifact load validates, and the closure call
+       per element triples the cost of the scan. *)
+    let bad = ref false in
+    for i = 0 to Array.length tb.ac_next - 1 do
+      let q = Array.unsafe_get tb.ac_next i in
+      if q < 0 || q >= n then bad := true
+    done;
+    !bad
+  then fail "transition target out of range"
+  else if Array.length tb.ac_out_off <> n + 1 then
+    fail "output offset table size mismatch"
+  else if tb.ac_out_off.(0) <> 0 || tb.ac_out_off.(n) <> Array.length tb.ac_out_ids
+  then fail "output offsets do not cover the id table"
+  else begin
+    let monotone = ref true in
+    for q = 0 to n - 1 do
+      if tb.ac_out_off.(q) > tb.ac_out_off.(q + 1) then monotone := false
+    done;
+    if not !monotone then fail "output offsets not monotone"
+    else if Array.exists (fun id -> id < 0) tb.ac_out_ids then
+      fail "negative pattern id"
+    else begin
+      let outputs =
+        Array.init n (fun q ->
+            List.init
+              (tb.ac_out_off.(q + 1) - tb.ac_out_off.(q))
+              (fun i -> tb.ac_out_ids.(tb.ac_out_off.(q) + i)))
+      in
+      Ok
+        {
+          n_states = n;
+          next = (if copy then Array.copy tb.ac_next else tb.ac_next);
+          outputs;
+        }
+    end
+  end

@@ -47,3 +47,29 @@ val scan_from : t -> state:int -> string -> on_match:(int -> int -> unit) -> int
 
 val scan : t -> string -> on_match:(int -> int -> unit) -> unit
 (** One-shot scan from {!start_state}; [on_match id e] as above. *)
+
+(** {2 Table round trip}
+
+    The automaton as plain arrays, for the binary artifact layer: the
+    flattened transition table plus the output lists in CSR form
+    (state [q]'s pattern ids are
+    [ac_out_ids.(ac_out_off.(q)) .. ac_out_ids.(ac_out_off.(q+1)-1)],
+    in list order). [import (export t)] reproduces [t] exactly. *)
+
+type tables = {
+  ac_states : int;
+  ac_next : int array;  (** [ac_states * 256] entries. *)
+  ac_out_off : int array;  (** [ac_states + 1] entries, monotone. *)
+  ac_out_ids : int array;
+}
+
+val export : t -> tables
+
+val import : ?copy:bool -> tables -> (t, string) result
+(** Validates shape and bounds (state targets in range, offsets
+    monotone and covering the id table) — the artifact reader's
+    defence against a corrupt or hand-edited file. [copy] (default
+    [true]) duplicates the transition array; pass [~copy:false] only
+    when ownership of [tables] transfers to the automaton (the
+    artifact loader's freshly parsed arrays), sparing a multi-megabyte
+    copy on large literal sets. *)

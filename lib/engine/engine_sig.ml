@@ -7,6 +7,7 @@ module type S = sig
   type compiled
 
   val compile : Mfsa_model.Mfsa.t -> compiled
+  val of_tables : (Tables.t -> compiled) option
   val mfsa : compiled -> Mfsa_model.Mfsa.t
   val run : compiled -> string -> match_event list
   val count : compiled -> string -> int

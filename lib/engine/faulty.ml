@@ -133,6 +133,12 @@ let make ~name:full_name cfg (module E : Engine_sig.S) : (module Engine_sig.S) =
       mutable poisoned : bool;  (* sticky until a fresh compile (or reset) *)
     }
 
+    (* Never loads artifacts: fault injection exists to exercise the
+       compile-from-source recovery paths, and a wrapper silently
+       passing tables through would mask capability errors of the
+       wrapped engine. *)
+    let of_tables = None
+
     let compile z =
       {
         inner = E.compile z;

@@ -180,7 +180,12 @@ let of_imfant ?(cache_size = 4096) im =
       z;
       k;
       class_of = Imfant.class_of im;
-      stride2 = (Tuning.get ()).Tuning.stride >= 2 && k <= stride2_max_classes;
+      (* The wrapped engine recorded the tuning in force when it was
+         compiled (or the one stored in the tables it was adopted
+         from); reading it there — not the current global — keeps
+         artifact-loaded engines faithful to their snapshot. *)
+      stride2 =
+        (Imfant.tuning im).Tuning.stride >= 2 && k <= stride2_max_classes;
       prefilter = Imfant.prefilter im;
       cache_size;
       any_end_anchor = Array.exists Fun.id z.Mfsa.anchored_end;
@@ -218,6 +223,10 @@ let of_imfant ?(cache_size = 4096) im =
   t
 
 let compile ?cache_size z = of_imfant ?cache_size (Imfant.compile z)
+
+(* The pair-class stride tables and the configuration cache are
+   populated on demand, so adoption inherits them lazily for free. *)
+let of_tables ?cache_size tb = of_imfant ?cache_size (Imfant.of_tables tb)
 
 let mfsa t = t.z
 

@@ -71,7 +71,15 @@ val compile : ?cache_size:int -> Mfsa_model.Mfsa.t -> t
     @raise Invalid_argument if [cache_size < 1]. *)
 
 val of_imfant : ?cache_size:int -> Imfant.t -> t
-(** Wrap an already compiled iMFAnt engine, sharing its tables. *)
+(** Wrap an already compiled iMFAnt engine, sharing its tables. The
+    wrapped engine's recorded {!Imfant.tuning} (not the current global
+    tuning) decides whether 2-byte striding is enabled. *)
+
+val of_tables : ?cache_size:int -> Tables.t -> t
+(** [of_imfant] over {!Imfant.of_tables}: adopt a persisted table
+    bundle in O(size). The lazily built structures — the configuration
+    cache and the pair-class stride tables — start empty, exactly as
+    after {!compile}. *)
 
 val mfsa : t -> Mfsa_model.Mfsa.t
 

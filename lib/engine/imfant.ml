@@ -5,6 +5,10 @@ module Vec = Mfsa_util.Vec
 
 type t = {
   z : Mfsa.t;
+  tuning : Tuning.t;
+      (* The knob snapshot baked in at compile (or adoption) time —
+         recorded so derived engines and artifacts inherit it instead
+         of re-reading the global. *)
   k : int;  (* byte-class count; tables below are class-indexed *)
   class_of : bytes;
       (* 256-entry byte -> class map ({!Mfsa.classes}, or the identity
@@ -45,6 +49,58 @@ type match_event = Engine_sig.match_event = { fsa : int; end_pos : int }
 
 type stats = { positions : int; avg_active : float; max_active : int }
 
+(* CSR by (source state, class): counting sort of the same entries
+   trans_by_cls holds, keyed by row(t)*k+cls instead of cls. *)
+let make_csr (z : Mfsa.t) k class_of =
+  lazy
+    (let nt = Mfsa.n_transitions z in
+     let n_cells = z.Mfsa.n_states * k in
+     let csr_off = Array.make (n_cells + 1) 0 in
+     let stamp = Array.make k (-1) in
+     let each_cell f =
+       for t = 0 to nt - 1 do
+         let base = z.Mfsa.row.(t) * k in
+         Charclass.iter
+           (fun c ->
+             let cl = Char.code (Bytes.get class_of (Char.code c)) in
+             if stamp.(cl) <> t then begin
+               stamp.(cl) <- t;
+               f t (base + cl)
+             end)
+           z.Mfsa.idx.(t)
+       done;
+       Array.fill stamp 0 k (-1)
+     in
+     each_cell (fun _ cell -> csr_off.(cell + 1) <- csr_off.(cell + 1) + 1);
+     for cell = 0 to n_cells - 1 do
+       csr_off.(cell + 1) <- csr_off.(cell + 1) + csr_off.(cell)
+     done;
+     let csr_tr = Array.make csr_off.(n_cells) 0 in
+     let cursor = Array.copy csr_off in
+     each_cell (fun t cell ->
+         csr_tr.(cursor.(cell)) <- t;
+         cursor.(cell) <- cursor.(cell) + 1);
+     (csr_off, csr_tr))
+
+(* The anchored-only activation table (position 0 at non-candidate
+   offsets) and the end-anchor mask are O(states + fsas) bitset work —
+   cheap enough to derive on both the compile and the table-adoption
+   paths. *)
+let derive_anchor_tables (z : Mfsa.t) =
+  let anchored_end_mask = Bitset.create z.Mfsa.n_fsas in
+  Array.iteri
+    (fun j anchored -> if anchored then Bitset.add anchored_end_mask j)
+    z.Mfsa.anchored_end;
+  let init_anch =
+    Array.init z.Mfsa.n_states (fun q -> Bitset.copy z.Mfsa.init_sets.(q))
+  in
+  Array.iteri
+    (fun j anchored ->
+      if not anchored then Bitset.remove init_anch.(z.Mfsa.init_of.(j)) j)
+    z.Mfsa.anchored_start;
+  let init_none = Array.make z.Mfsa.n_states (Bitset.create z.Mfsa.n_fsas) in
+  (anchored_end_mask, init_anch, init_none)
+
 let compile (z : Mfsa.t) =
   let tuning = Tuning.get () in
   let cls =
@@ -52,7 +108,6 @@ let compile (z : Mfsa.t) =
   in
   let k = cls.Mfsa.n_classes in
   let class_of = cls.Mfsa.class_of_byte in
-  let nt = Mfsa.n_transitions z in
   (* A transition's enabling class is a union of byte classes, so one
      stamp per (transition, class) pair dedupes the per-byte walk. *)
   let by_cls = Array.init k (fun _ -> Vec.create ()) in
@@ -68,65 +123,24 @@ let compile (z : Mfsa.t) =
           end)
         cc)
     z.Mfsa.idx;
-  (* CSR by (source state, class): counting sort of the same entries
-     trans_by_cls holds, keyed by row(t)*k+cls instead of cls. *)
-  let csr =
-    lazy
-      (let n_cells = z.Mfsa.n_states * k in
-       let csr_off = Array.make (n_cells + 1) 0 in
-       let stamp = Array.make k (-1) in
-       let each_cell f =
-         for t = 0 to nt - 1 do
-           let base = z.Mfsa.row.(t) * k in
-           Charclass.iter
-             (fun c ->
-               let cl = Char.code (Bytes.get class_of (Char.code c)) in
-               if stamp.(cl) <> t then begin
-                 stamp.(cl) <- t;
-                 f t (base + cl)
-               end)
-             z.Mfsa.idx.(t)
-         done;
-         Array.fill stamp 0 k (-1)
-       in
-       each_cell (fun _ cell -> csr_off.(cell + 1) <- csr_off.(cell + 1) + 1);
-       for cell = 0 to n_cells - 1 do
-         csr_off.(cell + 1) <- csr_off.(cell + 1) + csr_off.(cell)
-       done;
-       let csr_tr = Array.make csr_off.(n_cells) 0 in
-       let cursor = Array.copy csr_off in
-       each_cell (fun t cell ->
-           csr_tr.(cursor.(cell)) <- t;
-           cursor.(cell) <- cursor.(cell) + 1);
-       (csr_off, csr_tr))
-  in
-  let anchored_end_mask = Bitset.create z.Mfsa.n_fsas in
-  Array.iteri
-    (fun j anchored -> if anchored then Bitset.add anchored_end_mask j)
-    z.Mfsa.anchored_end;
   (* Per-state initial sets, split by anchoring: at position 0 every
      FSA may start; afterwards only the unanchored ones (and with a
      prefilter, only at candidate positions). *)
   let init_unanch =
     Array.init z.Mfsa.n_states (fun q -> Bitset.copy z.Mfsa.init_sets.(q))
   in
-  let init_anch =
-    Array.init z.Mfsa.n_states (fun q -> Bitset.copy z.Mfsa.init_sets.(q))
-  in
   Array.iteri
     (fun j anchored ->
-      if anchored then Bitset.remove init_unanch.(z.Mfsa.init_of.(j)) j
-      else Bitset.remove init_anch.(z.Mfsa.init_of.(j)) j)
+      if anchored then Bitset.remove init_unanch.(z.Mfsa.init_of.(j)) j)
     z.Mfsa.anchored_start;
-  let init_none =
-    Array.make z.Mfsa.n_states (Bitset.create z.Mfsa.n_fsas)
-  in
+  let anchored_end_mask, init_anch, init_none = derive_anchor_tables z in
   {
     z;
+    tuning;
     k;
     class_of;
     trans_by_cls = Array.map Vec.to_array by_cls;
-    csr;
+    csr = make_csr z k class_of;
     prefilter = (if tuning.Tuning.prefilter then Prefilter.analyze z else None);
     anchored_end_mask;
     any_end_anchor = not (Bitset.is_empty anchored_end_mask);
@@ -137,7 +151,44 @@ let compile (z : Mfsa.t) =
     skipped_bytes = 0;
   }
 
+let of_tables (tb : Tables.t) =
+  let z = tb.Tables.z in
+  let anchored_end_mask, init_anch, init_none = derive_anchor_tables z in
+  {
+    z;
+    tuning = tb.Tables.tuning;
+    k = tb.Tables.n_classes;
+    class_of = tb.Tables.class_of;
+    trans_by_cls = tb.Tables.trans_by_cls;
+    csr =
+      (match tb.Tables.csr with
+      | Some csr -> Lazy.from_val csr
+      | None -> make_csr z tb.Tables.n_classes tb.Tables.class_of);
+    prefilter = tb.Tables.prefilter;
+    anchored_end_mask;
+    any_end_anchor = not (Bitset.is_empty anchored_end_mask);
+    init_all = z.Mfsa.init_sets;
+    init_unanch = tb.Tables.init_unanch;
+    init_anch;
+    init_none;
+    skipped_bytes = 0;
+  }
+
+let export_tables t =
+  {
+    Tables.z = t.z;
+    tuning = t.tuning;
+    n_classes = t.k;
+    class_of = t.class_of;
+    trans_by_cls = t.trans_by_cls;
+    csr = Some (Lazy.force t.csr);
+    init_unanch = t.init_unanch;
+    prefilter = t.prefilter;
+  }
+
 let mfsa t = t.z
+
+let tuning t = t.tuning
 
 let csr t = Lazy.force t.csr
 

@@ -42,8 +42,27 @@ type stats = {
 
 val compile : Mfsa_model.Mfsa.t -> t
 
+val of_tables : Tables.t -> t
+(** Adopt a pre-derived table bundle (an artifact load, or another
+    engine's export) in O(size of the tables): nothing is re-derived
+    except the O(states) anchored-position split, and the CSR index
+    stays lazy when the bundle omits it. The bundle's recorded
+    {!Tables.t.tuning} is baked in — the current global tuning is not
+    consulted. The bundle's arrays are shared, not copied: they must
+    not be mutated afterwards. *)
+
+val export_tables : t -> Tables.t
+(** The complete compiled state minus mutable scratch, for the
+    artifact layer. Forces the lazy CSR index (artifacts exist to make
+    loads cheap, so the expensive derivations are all materialised).
+    [of_tables (export_tables t)] behaves exactly like [t]. *)
+
 val mfsa : t -> Mfsa_model.Mfsa.t
 (** The underlying automaton. *)
+
+val tuning : t -> Tuning.t
+(** The hot-loop tuning snapshotted when this engine was compiled (or
+    recorded in the tables it was adopted from). *)
 
 val run : t -> string -> match_event list
 (** All matches, ordered by end position (ties by FSA id). *)

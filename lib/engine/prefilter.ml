@@ -222,6 +222,33 @@ let sorted_dedup v =
     Array.sub a 0 !w
   end
 
+type tables = {
+  pf_ac : Aho_corasick.tables;
+  pf_lens : int array;
+  pf_maxlen : int;
+}
+
+let export t =
+  { pf_ac = Aho_corasick.export t.ac; pf_lens = Array.copy t.lens;
+    pf_maxlen = t.maxlen }
+
+let import ?(copy = true) tb =
+  match Aho_corasick.import ~copy tb.pf_ac with
+  | Error _ as e -> e
+  | Ok ac ->
+      if Array.exists (fun l -> l < 1) tb.pf_lens then
+        Error "Prefilter tables: literal length < 1"
+      else if tb.pf_maxlen < Array.fold_left max 1 tb.pf_lens then
+        Error "Prefilter tables: maxlen below a literal's length"
+      else
+        Ok
+          {
+            ac;
+            lens = (if copy then Array.copy tb.pf_lens else tb.pf_lens);
+            maxlen = tb.pf_maxlen;
+            n_literals = Array.length tb.pf_lens;
+          }
+
 let scan_chunk t ~state chunk =
   let v = Vec.create () in
   let state' =

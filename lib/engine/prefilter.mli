@@ -53,6 +53,27 @@ val max_len : t -> int
 val n_literals : t -> int
 val ac_states : t -> int
 
+(** {2 Table round trip}
+
+    The compiled filter as plain arrays for the binary artifact layer
+    — the Aho–Corasick tables plus per-literal lengths. A loaded
+    filter behaves exactly like the one {!analyze} built: the literal
+    {e strings} are not stored, only the automaton that scans for
+    them. *)
+
+type tables = {
+  pf_ac : Aho_corasick.tables;
+  pf_lens : int array;  (** Length of literal [id] (ends → starts). *)
+  pf_maxlen : int;
+}
+
+val export : t -> tables
+
+val import : ?copy:bool -> tables -> (t, string) result
+(** Validates via {!Aho_corasick.import} plus the length invariants.
+    [copy] as in {!Aho_corasick.import}: [~copy:false] adopts the
+    caller's arrays instead of duplicating them. *)
+
 (** {2 Per-rule analyses} (exposed for the [ac] engine and tests) *)
 
 val prefix_set : Mfsa_frontend.Ast.t -> string list option

@@ -19,6 +19,7 @@ module type Base = sig
   type compiled
 
   val compile : Mfsa.t -> compiled
+  val of_tables : (Tables.t -> compiled) option
   val mfsa : compiled -> Mfsa.t
   val run : compiled -> string -> match_event list
   val count : compiled -> string -> int
@@ -92,6 +93,12 @@ module Imfant_engine : Engine_sig.S = struct
   let compile z =
     { im = Imfant.compile z; bytes = 0; runs = 0; avg_active = 0.; max_active = 0 }
 
+  let of_tables =
+    Some
+      (fun tb ->
+        { im = Imfant.of_tables tb; bytes = 0; runs = 0; avg_active = 0.;
+          max_active = 0 })
+
   let mfsa c = Imfant.mfsa c.im
 
   let run c input =
@@ -164,6 +171,8 @@ module Hybrid_engine : Engine_sig.S = struct
   type compiled = Hybrid.t
 
   let compile z = Hybrid.compile z
+
+  let of_tables = Some (fun tb -> Hybrid.of_tables tb)
 
   let mfsa = Hybrid.mfsa
 
@@ -244,6 +253,10 @@ module Infant_base = struct
   let compile z =
     { z; engines = Array.init z.Mfsa.n_fsas (fun j -> Infant.compile (Mfsa.project z j)) }
 
+  (* The per-rule baselines derive per-projection tables an artifact
+     does not carry — no table loader. *)
+  let of_tables = None
+
   let mfsa c = c.z
 
   let run c input =
@@ -296,6 +309,8 @@ module Dfa_base = struct
 
   let compile z =
     { z; engines = Array.init z.Mfsa.n_fsas (fun j -> Dfa_engine.compile (Mfsa.project z j)) }
+
+  let of_tables = None
 
   let mfsa c = c.z
 
@@ -355,6 +370,8 @@ module Decomposed_base = struct
 
   let compile z =
     { z; d = Decomposed.compile (Array.init z.Mfsa.n_fsas (Mfsa.project z)) }
+
+  let of_tables = None
 
   let mfsa c = c.z
 
@@ -450,6 +467,10 @@ module Ac_engine : Engine_sig.S = struct
       owner = Array.map snd lits;
       lens = Array.map (fun (s, _) -> String.length s) lits;
     }
+
+  (* The stored table bundle has no per-rule literal ownership and the
+     rules may not be literal sets anyway. *)
+  let of_tables = None
 
   let mfsa c = c.z
 
@@ -654,13 +675,76 @@ let help () =
      (seed=, fail_every=, poison_every=, delay_every=, delay_ms=, \
      fail=, poison=, delay=)\n"
 
-let compile name z =
+let compile_automaton name z =
   match resolve name with
   | Error msg -> Error msg
   | Ok (module E : Engine_sig.S) ->
       Ok (Engine_sig.pack (module E) (E.compile z))
 
-let compile_exn name z =
-  match compile name z with
+let compile_automaton_exn name z =
+  match compile_automaton name z with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Registry.compile_exn: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* The unified compile surface                                         *)
+(* ------------------------------------------------------------------ *)
+
+let can_load_tables name =
+  match resolve name with
+  | Error _ -> false
+  | Ok (module E : Engine_sig.S) -> E.of_tables <> None
+
+let table_capable_names () = List.filter can_load_tables (names ())
+
+(* The capability error is a user error (they picked an engine and an
+   artifact that don't go together), so it gets the same clean
+   one-line treatment as an unknown engine name. *)
+let no_table_loader name =
+  Printf.sprintf
+    "engine %S cannot load a compiled artifact (engines with a table \
+     loader: %s); recompile from rules instead"
+    name
+    (String.concat ", " (table_capable_names ()))
+
+let compile_tables name tb =
+  match resolve name with
+  | Error msg -> Error msg
+  | Ok (module E : Engine_sig.S) -> (
+      match E.of_tables with
+      | None -> Error (no_table_loader name)
+      | Some load -> Ok (Engine_sig.pack (module E) (load tb)))
+
+let compile_tables_exn name tb =
+  match compile_tables name tb with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Registry.compile_exn: " ^ msg)
+
+let compile name source =
+  match resolve name with
+  | Error msg -> Error msg
+  | Ok (module E : Engine_sig.S) -> (
+      (* Check the artifact capability before paying for the load: a
+         syntactically artifact-shaped source with an incapable engine
+         is refused without touching the file. *)
+      match source with
+      | (Source.Artifact_file _ | Source.Artifact_bytes _)
+        when E.of_tables = None ->
+          Error (no_table_loader name)
+      | _ -> (
+          match Source.resolve source with
+          | Source.Compiled_automata zs ->
+              Ok (List.map (fun z -> Engine_sig.pack (module E) (E.compile z)) zs)
+          | Source.Compiled_tables ts -> (
+              match E.of_tables with
+              | None -> Error (no_table_loader name)
+              | Some load ->
+                  Ok
+                    (List.map
+                       (fun tb -> Engine_sig.pack (module E) (load tb))
+                       ts))))
+
+let compile_exn name source =
+  match compile name source with
   | Ok t -> t
   | Error msg -> invalid_arg ("Registry.compile_exn: " ^ msg)

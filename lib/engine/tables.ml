@@ -1,0 +1,17 @@
+(* The engine-ready table bundle: everything an artifact stores beyond
+   the automaton itself, and everything a table-capable engine needs
+   to come up without re-running its compile-time derivations. *)
+
+module Mfsa = Mfsa_model.Mfsa
+module Bitset = Mfsa_util.Bitset
+
+type t = {
+  z : Mfsa.t;
+  tuning : Tuning.t;
+  n_classes : int;
+  class_of : bytes;
+  trans_by_cls : int array array;
+  csr : (int array * int array) option;
+  init_unanch : Bitset.t array;
+  prefilter : Prefilter.t option;
+}

@@ -1,0 +1,33 @@
+(** Engine-ready tables, bundled for persistence.
+
+    A value of this type is the complete compiled state of the
+    transition-centric engine ({!Imfant}) minus its mutable scratch:
+    the automaton, the hot-loop tuning that was in force when the
+    tables were derived, the byte-class alphabet, the class-indexed
+    transition tables, the (state, class) CSR index, the activation
+    (init) table for unanchored positions, and the literal prefilter.
+    {!Imfant.export_tables} produces one; {!Imfant.of_tables} and
+    {!Hybrid.of_tables} adopt one in O(size of the tables) — no
+    re-derivation, which is what makes artifact loading cheap.
+
+    Everything here is treated as read-only by the engines that adopt
+    it; the arrays may be shared between engine instances (the serving
+    layer compiles one replica per domain from one shared bundle). *)
+
+type t = {
+  z : Mfsa_model.Mfsa.t;
+  tuning : Tuning.t;
+      (** The knobs snapshotted when the tables were derived — adopted
+          engines bake these in, not the current global tuning. *)
+  n_classes : int;
+  class_of : bytes;  (** 256-entry byte → class map. *)
+  trans_by_cls : int array array;
+      (** Per class, the transition indices its bytes enable. *)
+  csr : (int array * int array) option;
+      (** [(off, tr)] row-indexed by (state, class) — see
+          {!Imfant.csr}. [None] means "derive lazily on demand". *)
+  init_unanch : Mfsa_util.Bitset.t array;
+      (** Per-state initial FSA sets at positions > 0 (start-anchored
+          FSAs removed) — the activation table of {!Imfant.init_tables}. *)
+  prefilter : Prefilter.t option;
+}

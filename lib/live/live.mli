@@ -80,6 +80,27 @@ val of_rules :
     to {!create} followed by {!add_rule} for each rule, in one
     generation. *)
 
+val of_source :
+  ?strategy:Mfsa_model.Merge.strategy ->
+  ?gc_threshold:float ->
+  ?engine:string ->
+  Mfsa_engine.Source.t ->
+  (t, Mfsa_core.Pipeline.error) result
+(** {!of_rules} from a unified {!Mfsa_engine.Source}. Rules sources
+    are {!of_rules} exactly. An automaton or binary-artifact source is
+    {e adopted}: merged FSA [j] becomes rule id [j] (its pattern is
+    the automaton's stored provenance), the builder reconstitutes
+    around the merged structure, and — for artifacts — the first
+    generation's engine comes up directly from the persisted tables,
+    so a hot-standby process resumes serving in O(artifact size).
+    Later updates refresh through the normal compile path. The source
+    must yield exactly one automaton (merge with [m = 0]).
+
+    @raise Invalid_argument when the source yields zero or several
+    automata, or when [engine] cannot load tables and the source is an
+    artifact. Artifact/IO failures propagate as their typed
+    exceptions. *)
+
 val add_rule : t -> string -> (int, Mfsa_core.Pipeline.error) result
 (** Compile the rule (front-end + single-FSA middle-end) and merge it
     into the automaton incrementally. Returns the rule's stable id and

@@ -77,7 +77,12 @@ type stats = {
 
 type t = {
   engine_name : string;
-  z : Mfsa_model.Mfsa.t;  (* supervision recompiles replicas from this *)
+  spawn : unit -> Engine_sig.t;
+      (* Fresh replica factory: what [create]d the initial replicas,
+         and what supervision respawns poisoned ones from. Closes over
+         an automaton (compile path) or a persisted table bundle
+         (artifact path) — both immutable, so calling it from any
+         worker domain is safe. *)
   n_domains : int;
   admission : admission;
   retries : int;  (* extra attempts per job on transient/poison faults *)
@@ -127,7 +132,7 @@ type t = {
 (* ------------------------------------------------------- Workers *)
 
 let recompile_replica t i =
-  let fresh = Registry.compile_exn t.engine_name t.z in
+  let fresh = t.spawn () in
   Mutex.lock t.m;
   t.replicas.(i) <- fresh;
   Mutex.unlock t.m;
@@ -220,9 +225,8 @@ let default_transient = function Faulty.Transient_fault _ -> true | _ -> false
 
 let default_poison = function Faulty.Replica_poisoned _ -> true | _ -> false
 
-let create ?(engine = "imfant") ?domains ?queue_capacity ?(admission = Block)
-    ?(retries = 0) ?(backoff = 0.001) ?(is_transient = default_transient)
-    ?(is_poison = default_poison) z =
+let create_spawn ~engine ~domains ~queue_capacity ~admission ~retries ~backoff
+    ~is_transient ~is_poison spawn =
   let n_domains =
     match domains with Some d -> d | None -> Pool.available_parallelism ()
   in
@@ -236,9 +240,7 @@ let create ?(engine = "imfant") ?domains ?queue_capacity ?(admission = Block)
   if backoff < 0. then invalid_arg "Serve.create: backoff must be >= 0";
   (* One replica per domain, compiled up front on the calling domain;
      each is handed to exactly one worker and never shared. *)
-  let replicas =
-    Array.init n_domains (fun _ -> Registry.compile_exn engine z)
-  in
+  let replicas = Array.init n_domains (fun _ -> spawn ()) in
   let reg = Obs.create () in
   let batch_h =
     Obs.histogram ~registry:reg
@@ -274,7 +276,7 @@ let create ?(engine = "imfant") ?domains ?queue_capacity ?(admission = Block)
   let t =
     {
       engine_name = engine;
-      z;
+      spawn;
       n_domains;
       admission;
       retries;
@@ -311,6 +313,49 @@ let create ?(engine = "imfant") ?domains ?queue_capacity ?(admission = Block)
   in
   t.workers <- Array.init n_domains (fun i -> Domain.spawn (worker t i));
   t
+
+let create ?(engine = "imfant") ?domains ?queue_capacity ?(admission = Block)
+    ?(retries = 0) ?(backoff = 0.001) ?(is_transient = default_transient)
+    ?(is_poison = default_poison) z =
+  create_spawn ~engine ~domains ~queue_capacity ~admission ~retries ~backoff
+    ~is_transient ~is_poison (fun () ->
+      Registry.compile_automaton_exn engine z)
+
+(* Replicas adopted from a persisted table bundle: the bundle is
+   immutable, so sharing it read-only across worker domains is safe —
+   only the per-replica scratch (created by of_tables) is private.
+   Capability is checked here, on the calling domain, not inside a
+   worker mid-respawn. *)
+let create_tables ?(engine = "imfant") ?domains ?queue_capacity
+    ?(admission = Block) ?(retries = 0) ?(backoff = 0.001)
+    ?(is_transient = default_transient) ?(is_poison = default_poison) tb =
+  ignore (Registry.compile_tables_exn engine tb : Engine_sig.t);
+  create_spawn ~engine ~domains ~queue_capacity ~admission ~retries ~backoff
+    ~is_transient ~is_poison (fun () -> Registry.compile_tables_exn engine tb)
+
+(* The unified-source entry: a rules/automata source compiles one
+   replica per spawn; an artifact source loads its table bundle once
+   and every spawn adopts it through the engine's of_tables
+   capability. *)
+let create_source ?(engine = "imfant") ?domains ?queue_capacity
+    ?(admission = Block) ?(retries = 0) ?(backoff = 0.001)
+    ?(is_transient = default_transient) ?(is_poison = default_poison) source =
+  let one what = function
+    | [ x ] -> x
+    | l ->
+        invalid_arg
+          (Printf.sprintf
+             "Serve.create_source: source yields %d %s; serving wants exactly \
+              one (merge with m=0, or serve each separately)"
+             (List.length l) what)
+  in
+  match Mfsa_engine.Source.resolve source with
+  | Mfsa_engine.Source.Compiled_automata zs ->
+      create ~engine ?domains ?queue_capacity ~admission ~retries ~backoff
+        ~is_transient ~is_poison (one "automata" zs)
+  | Mfsa_engine.Source.Compiled_tables tbs ->
+      create_tables ~engine ?domains ?queue_capacity ~admission ~retries
+        ~backoff ~is_transient ~is_poison (one "table bundles" tbs)
 
 let engine t = t.engine_name
 

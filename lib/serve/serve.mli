@@ -142,6 +142,53 @@ val create :
     @raise Invalid_argument on an unknown engine name, [domains < 1],
     [queue_capacity < 1], [retries < 0] or [backoff < 0]. *)
 
+val create_tables :
+  ?engine:string ->
+  ?domains:int ->
+  ?queue_capacity:int ->
+  ?admission:admission ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?is_transient:(exn -> bool) ->
+  ?is_poison:(exn -> bool) ->
+  Mfsa_engine.Tables.t ->
+  t
+(** {!create} from a persisted table bundle (one element of an
+    artifact load): every replica — initial and respawned — adopts the
+    shared read-only bundle through the engine's
+    {!Mfsa_engine.Engine_sig.S.of_tables} capability in O(1), so a
+    service comes up (and supervises poisoned replicas) without ever
+    re-running the compile pipeline. Per-replica mutable scratch stays
+    private; sharing the bundle across domains is safe.
+
+    @raise Invalid_argument additionally when the engine has no table
+    loader (the message lists the capable engines). *)
+
+val create_source :
+  ?engine:string ->
+  ?domains:int ->
+  ?queue_capacity:int ->
+  ?admission:admission ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?is_transient:(exn -> bool) ->
+  ?is_poison:(exn -> bool) ->
+  Mfsa_engine.Source.t ->
+  t
+(** {!create} from a unified {!Mfsa_engine.Source}: rules compile
+    through the pipeline; a binary artifact loads once and every
+    replica (initial and respawned) adopts the shared read-only table
+    bundle through the engine's
+    {!Mfsa_engine.Engine_sig.S.of_tables} capability — per-replica
+    mutable scratch stays private, so the sharing is safe. The source
+    must yield exactly one automaton.
+
+    @raise Invalid_argument additionally when the source yields zero
+    or several automata, or when the engine cannot load artifacts and
+    the source is one. Source-level failures propagate as their typed
+    exceptions ({!Mfsa_core.Pipeline.Compile_error}, the artifact
+    library's error, [Source.Error]). *)
+
 val engine : t -> string
 
 val domains : t -> int

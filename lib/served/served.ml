@@ -140,17 +140,8 @@ let validate cfg =
   else if cfg.backoff < 0. then Some "backoff must be >= 0"
   else None
 
-let create ?(config = default_config) rules =
-  match validate config with
-  | Some msg -> Result.Error ("mfsa-served: " ^ msg)
-  | None -> (
-      match Live.of_rules ~engine:config.engine rules with
-      | Result.Error e ->
-          Result.Error
-            (Printf.sprintf "cannot compile initial ruleset: %s"
-               (Pipeline.error_to_string e))
-      | Ok live -> (
-          match
+let create_live config live =
+  match
             let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
             try
               Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -204,7 +195,34 @@ let create ?(config = default_config) rules =
                       "mfsa_served_protocol_errors_total";
                 }
               in
-              Ok t))
+              Ok t
+
+(* Both constructors funnel through Live + [create_live]: [create]
+   compiles an initial ruleset, [create_source] accepts the unified
+   source (rules, automata, or a persisted artifact the live layer
+   adopts without recompiling). *)
+let create ?(config = default_config) rules =
+  match validate config with
+  | Some msg -> Result.Error ("mfsa-served: " ^ msg)
+  | None -> (
+      match Live.of_rules ~engine:config.engine rules with
+      | Result.Error e ->
+          Result.Error
+            (Printf.sprintf "cannot compile initial ruleset: %s"
+               (Pipeline.error_to_string e))
+      | Ok live -> create_live config live)
+
+let create_source ?(config = default_config) source =
+  match validate config with
+  | Some msg -> Result.Error ("mfsa-served: " ^ msg)
+  | None -> (
+      match Live.of_source ~engine:config.engine source with
+      | Result.Error e ->
+          Result.Error
+            (Printf.sprintf "cannot compile initial ruleset: %s"
+               (Pipeline.error_to_string e))
+      | Ok live -> create_live config live
+      | exception Invalid_argument msg -> Result.Error msg)
 
 let port t = t.bound_port
 

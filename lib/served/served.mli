@@ -71,6 +71,17 @@ val create : ?config:config -> string array -> (t, string) result
     unknown engine, a malformed rule, invalid knobs, or a bind
     failure. *)
 
+val create_source :
+  ?config:config -> Mfsa_engine.Source.t -> (t, string) result
+(** {!create} from a unified {!Mfsa_engine.Source}: a rules source is
+    exactly [create]; a binary-artifact source is adopted through
+    {!Mfsa_live.Live.of_source}, so the daemon's first generation
+    comes up in O(artifact size) without recompiling — the fast
+    cold-start path. [Error] additionally covers an engine without a
+    table loader handed an artifact, and a source yielding more than
+    one automaton; artifact/IO failures propagate as their typed
+    exceptions. *)
+
 val port : t -> int
 (** The bound TCP port (the actual one when [config.port] was 0). *)
 

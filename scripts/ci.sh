@@ -151,6 +151,41 @@ if [ "$prom_n" -ne "$expected" ]; then
 fi
 echo "metrics exposition OK ($prom_n sample lines, $json_n series)"
 
+echo "== artifact persistence (persist gate) =="
+# Compile → save → reload per dataset: every table-capable engine's
+# match counts from the reloaded tables must equal the ones from the
+# fresh compile (the experiment marks mismatches DIVERGED and exits
+# non-zero), and reloading must never be slower than recompiling.
+out=$(MFSA_SCALE="${MFSA_SCALE:-0.1}" MFSA_STREAM_KB="${MFSA_STREAM_KB:-32}" \
+  dune exec bench/main.exe -- persist)
+printf '%s\n' "$out"
+if printf '%s' "$out" | grep -q DIVERGED; then
+  echo "ci: a reloaded artifact's match counts diverged from the compile" >&2
+  exit 1
+fi
+test -s BENCH_persist.json
+awk -F'"load_speedup": ' '
+  /"load_speedup"/ {
+    split($2, a, ","); if (a[1] + 0 < 1.0) {
+      print "ci: artifact load slower than compile (speedup " a[1] ")"; bad = 1
+    }
+    rows++
+  }
+  END { if (rows == 0) { print "ci: BENCH_persist.json has no rows"; bad = 1 }
+        exit bad }' BENCH_persist.json
+# Fresh-process reload: an artifact written by one process must give a
+# separately started matcher byte-identical per-rule counts.
+match=_build/default/bin/mfsa_match.exe
+_build/default/bin/mfsa_compile.exe --emit "$tmp/ci.mfsa" "$tmp/rules.txt"
+"$match" --rules "$tmp/rules.txt" "$tmp/stream.bin" | grep '^rule' > "$tmp/counts.compile"
+"$match" --load "$tmp/ci.mfsa" "$tmp/stream.bin" | grep '^rule' > "$tmp/counts.reload"
+if ! cmp -s "$tmp/counts.compile" "$tmp/counts.reload"; then
+  echo "ci: fresh-process artifact reload changed per-rule counts" >&2
+  diff "$tmp/counts.compile" "$tmp/counts.reload" >&2 || true
+  exit 1
+fi
+echo "persist gate OK (reload = compile, load_speedup >= 1 on all rows)"
+
 echo "== served soak (daemon + loadgen, fault-injected) =="
 # The networked daemon under sustained open-loop load with a seeded
 # fault schedule: for MFSA_SOAK_S seconds, four clients drive SUBMIT

@@ -259,6 +259,76 @@ the ablation-strategy artefact):
   $ mfsa-compile rules.txt --strategy prefix -v -o /dev/null 2>&1 | grep "^states:"
   states:       29 -> 19 (34.48% compression)
 
+Compiled binary artifacts: --emit persists the merged automata plus
+every engine-ready table; --load (or just naming the .mfsa file — the
+magic is sniffed) brings an engine up in O(size) with no pipeline run,
+and the results are indistinguishable from compiling the rules:
+
+  $ mfsa-compile rules.txt --emit ruleset.mfsa
+  $ mfsa-match --load ruleset.mfsa stream.bin | grep -v "^total:"
+  rule 0.0  hello world                              1 matches
+  rule 0.1  hello there                              1 matches
+  rule 0.2  he(l|n)p                                 2 matches
+  $ mfsa-match ruleset.mfsa stream.bin | grep -v "^total:"
+  rule 0.0  hello world                              1 matches
+  rule 0.1  hello there                              1 matches
+  rule 0.2  he(l|n)p                                 2 matches
+  $ mfsa-match --load ruleset.mfsa stream.bin -e hybrid --list | grep "^match" | sort
+  match mfsa=0 rule=0 pattern=hello world end=30
+  match mfsa=0 rule=1 pattern=hello there end=15
+  match mfsa=0 rule=2 pattern=he(l|n)p end=47
+  match mfsa=0 rule=2 pattern=he(l|n)p end=55
+
+mfsa-inspect reads the artifact header without reconstructing the
+tables — version, tuning snapshot, per-automaton shape and the section
+directory:
+
+  $ mfsa-inspect ruleset.mfsa
+  artifact: version 1, 12446 bytes, 1 MFSA(s)
+  tuning: classes=true prefilter=true stride=2
+  mfsa 0: 3 rules, 20 states, 12 byte classes, prefilter
+  section META     4 bytes
+  section AUTO[0]  350 bytes
+  section CLS[0]   308 bytes
+  section TBC[0]   136 bytes
+  section CSR[0]   1056 bytes
+  section INI[0]   28 bytes
+  section PFX[0]   10376 bytes
+
+Artifacts feed the live layer too (the loaded rules seed generation 0):
+
+  $ printf 'match say hello there and help\nrules\n' | mfsa-live --load ruleset.mfsa
+  match rule=1 pattern=hello there end=15
+  match rule=2 pattern=he(l|n)p end=24
+  2 matches (gen 0)
+  rule 0  hello world
+  rule 1  hello there
+  rule 2  he(l|n)p
+
+Engines without a table loader refuse an artifact up front, with the
+capable engines listed:
+
+  $ mfsa-match --load ruleset.mfsa stream.bin -e decomposed
+  mfsa-match: engine "decomposed" cannot load a compiled artifact (engines with a table loader: hybrid, imfant); recompile from rules instead
+  [1]
+
+Damage of any kind surfaces as a one-line typed error, never a crash —
+a flipped payload bit, a truncated file, a version from the future:
+
+  $ printf 'x' | dd of=ruleset.mfsa bs=1 seek=$(($(wc -c < ruleset.mfsa) - 1)) conv=notrunc status=none
+  $ mfsa-match --load ruleset.mfsa stream.bin
+  mfsa-match: checksum mismatch in section PFX[0]
+  [1]
+  $ mfsa-compile rules.txt --emit ruleset.mfsa
+  $ head -c 100 ruleset.mfsa > short.mfsa
+  $ mfsa-match --load short.mfsa stream.bin
+  mfsa-match: truncated artifact (section directory)
+  [1]
+  $ printf '\011' | dd of=ruleset.mfsa bs=1 seek=8 conv=notrunc status=none
+  $ mfsa-inspect ruleset.mfsa
+  mfsa-inspect: ruleset.mfsa: unsupported artifact version 9 (this build reads version 1)
+  [1]
+
 Live ruleset updates: incremental adds, retirement and a streaming
 session pinned to the generation it opened on.
 

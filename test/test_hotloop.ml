@@ -128,7 +128,7 @@ let engines_equal ?(msg = "") z input =
   in
   List.iter
     (fun name ->
-      let opt = sort_ev (Engine_sig.run (Registry.compile_exn name z) input) in
+      let opt = sort_ev (Engine_sig.run (Registry.compile_automaton_exn name z) input) in
       check (Alcotest.list event)
         (Printf.sprintf "%s optimised = baseline %s" name msg)
         base opt)
@@ -166,7 +166,7 @@ let prop_optimised_equals_baseline =
       List.for_all
         (fun name ->
           let opt =
-            sort_ev (Engine_sig.run (Registry.compile_exn name z) input)
+            sort_ev (Engine_sig.run (Registry.compile_automaton_exn name z) input)
           in
           if base = opt then true
           else
@@ -310,7 +310,7 @@ let test_skip_counter_moves () =
 
 let test_ac_literal_ruleset () =
   let z = mfsa_of [ "foo"; "ba(r|z)" ] in
-  let eng = Registry.compile_exn "ac" z in
+  let eng = Registry.compile_automaton_exn "ac" z in
   let got = Engine_sig.run eng "xfoobarbaz" in
   check (Alcotest.list event) "events"
     [
@@ -325,14 +325,14 @@ let test_ac_literal_ruleset () =
     (Array.to_list (Engine_sig.count_per_fsa eng "xfoobarbaz"))
 
 let test_ac_rejects_nonliteral () =
-  match Registry.compile "ac" (mfsa_of [ "foo"; "a+b" ]) with
+  match Registry.compile_automaton "ac" (mfsa_of [ "foo"; "a+b" ]) with
   | Ok _ -> Alcotest.fail "ac accepted an infinite rule"
   | Error _ -> ()
   | exception Invalid_argument _ -> ()
 
 let test_ac_anchors_and_sessions () =
   let z = mfsa_of [ "^ab"; "cd$"; "ab" ] in
-  let eng = Registry.compile_exn "ac" z in
+  let eng = Registry.compile_automaton_exn "ac" z in
   check (Alcotest.list event) "anchors honoured"
     [
       { Engine_sig.fsa = 0; end_pos = 2 };

@@ -297,7 +297,7 @@ let prop_reset_stats_reproducible =
       let z = Merge.merge fsas in
       List.for_all
         (fun name ->
-          let eng = Registry.compile_exn name z in
+          let eng = Registry.compile_automaton_exn name z in
           ignore (Engine_sig.run eng input);
           let fresh = Engine_sig.stats eng in
           Engine_sig.reset_stats eng;

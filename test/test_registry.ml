@@ -8,6 +8,7 @@ module Merge = Mfsa_model.Merge
 module Im = Mfsa_engine.Imfant
 module Engine_sig = Mfsa_engine.Engine_sig
 module Registry = Mfsa_engine.Registry
+module Tables = Mfsa_engine.Tables
 module Gen = QCheck2.Gen
 
 let check = Alcotest.check
@@ -64,7 +65,7 @@ let test_unknown () =
   | exception Invalid_argument msg ->
       check Alcotest.bool "message names the engine" true (contains msg "warp")
   | _ -> Alcotest.fail "find_exn accepted an unknown name");
-  (match Registry.compile "warp" (merge_rules [ "a" ]) with
+  (match Registry.compile_automaton "warp" (merge_rules [ "a" ]) with
   | Error msg ->
       check Alcotest.string "shared message" (Registry.unknown_message "warp")
         msg
@@ -85,6 +86,7 @@ module Null_engine : Engine_sig.S = struct
   type compiled = Mfsa.t
 
   let compile z = z
+  let of_tables = Some (fun (tb : Tables.t) -> tb.Tables.z)
   let mfsa z = z
   let run _ _ = []
   let count _ _ = 0
@@ -114,7 +116,7 @@ end
 let test_register_custom () =
   Registry.register (module Null_engine);
   let z = merge_rules [ "ab"; "a" ] in
-  let eng = Registry.compile_exn "test-null" z in
+  let eng = Registry.compile_automaton_exn "test-null" z in
   check Alcotest.string "packed name" "test-null" (Engine_sig.name eng);
   check Alcotest.int "no matches" 0 (Engine_sig.count eng "abab");
   let s = Engine_sig.session eng in
@@ -155,7 +157,7 @@ let test_faulty_malformed () =
   let z = merge_rules [ "a" ] in
   List.iter
     (fun (spec, fragment) ->
-      match Registry.compile spec z with
+      match Registry.compile_automaton spec z with
       | Ok _ -> Alcotest.failf "malformed spec %S accepted" spec
       | Error msg ->
           if not (contains msg fragment) then
@@ -174,7 +176,7 @@ let test_faulty_malformed () =
 let test_faulty_deterministic_schedule () =
   let z = merge_rules [ "ab" ] in
   let run_schedule () =
-    let eng = Registry.compile_exn "faulty{seed=9,fail_every=3}:imfant" z in
+    let eng = Registry.compile_automaton_exn "faulty{seed=9,fail_every=3}:imfant" z in
     List.init 12 (fun _ ->
         match Engine_sig.run eng "xabx" with
         | _ -> `Ok
@@ -185,8 +187,8 @@ let test_faulty_deterministic_schedule () =
     (List.length (List.filter (( = ) `Fault) first));
   check Alcotest.bool "same seed, same schedule" true (first = run_schedule ());
   (* Successful attempts behave exactly like the inner engine. *)
-  let eng = Registry.compile_exn "faulty{seed=9,fail_every=2}:imfant" z in
-  let reference = events (Engine_sig.run (Registry.compile_exn "imfant" z) "xabx") in
+  let eng = Registry.compile_automaton_exn "faulty{seed=9,fail_every=2}:imfant" z in
+  let reference = events (Engine_sig.run (Registry.compile_automaton_exn "imfant" z) "xabx") in
   check
     Alcotest.(list (pair int int))
     "clean attempt = inner engine" reference
@@ -194,7 +196,7 @@ let test_faulty_deterministic_schedule () =
 
 let test_faulty_poison_sticky () =
   let z = merge_rules [ "ab" ] in
-  let eng = Registry.compile_exn "faulty{fail_every=0,poison_every=2}:imfant" z in
+  let eng = Registry.compile_automaton_exn "faulty{fail_every=0,poison_every=2}:imfant" z in
   ignore (Engine_sig.run eng "xabx");
   (match Engine_sig.run eng "xabx" with
   | _ -> Alcotest.fail "attempt 2 should poison"
@@ -237,10 +239,10 @@ let inputs =
 
 let test_all_engines_agree () =
   let z = merge_rules rules in
-  let reference = Registry.compile_exn "imfant" z in
+  let reference = Registry.compile_automaton_exn "imfant" z in
   List.iter
     (fun name ->
-      let eng = Registry.compile_exn name z in
+      let eng = Registry.compile_automaton_exn name z in
       check Alcotest.string "packed name" name (Engine_sig.name eng);
       List.iter
         (fun input ->
@@ -267,7 +269,7 @@ let test_stats_nonempty () =
   let z = merge_rules rules in
   List.iter
     (fun name ->
-      let eng = Registry.compile_exn name z in
+      let eng = Registry.compile_automaton_exn name z in
       ignore (Engine_sig.run eng "say hello world 42");
       let stats = Engine_sig.stats eng in
       if stats = [] then Alcotest.failf "%s reports no stats" name;
@@ -305,7 +307,7 @@ let test_streaming_equivalence () =
   let anchored_end = z.Mfsa.anchored_end in
   List.iter
     (fun name ->
-      let eng = Registry.compile_exn name z in
+      let eng = Registry.compile_automaton_exn name z in
       List.iter
         (fun input ->
           let expected = events (Engine_sig.run eng input) in
@@ -369,11 +371,11 @@ let prop_engines_agree =
       let fsas = Array.of_list (List.map fsa_of_rule rules) in
       let z = Merge.merge fsas in
       let reference =
-        events (Engine_sig.run (Registry.compile_exn "imfant" z) input)
+        events (Engine_sig.run (Registry.compile_automaton_exn "imfant" z) input)
       in
       List.for_all
         (fun name ->
-          events (Engine_sig.run (Registry.compile_exn name z) input)
+          events (Engine_sig.run (Registry.compile_automaton_exn name z) input)
           = reference)
         builtins)
 
