@@ -745,6 +745,77 @@ let write_engines_json rows =
   close_out oc;
   Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
 
+(* BENCH_planner.json: one object with the planner comparison and the
+   eviction-policy churn ablation side by side — the machine-readable
+   form of `bench planner`, committed at the repo root and checked by
+   the CI planner gate. *)
+let write_planner_json feats prows crows =
+  let module Planner = Mfsa_engine.Planner in
+  let path = "BENCH_planner.json" in
+  let oc = open_out path in
+  let opt = function None -> "null" | Some s -> Printf.sprintf "%S" s in
+  output_string oc "{\n  \"features\": [\n";
+  let flast = List.length feats - 1 in
+  List.iteri
+    (fun i (abbr, f, choice) ->
+      Printf.fprintf oc
+        "    {\"dataset\": %S, \"states\": %d, \"fsas\": %d, \
+         \"transitions\": %d, \"classes\": %d, \"density\": %.6f, \
+         \"literal_share\": %.6f, \"prefilter\": %b, \"plan\": %S}%s\n"
+        abbr f.Planner.f_states f.Planner.f_fsas f.Planner.f_transitions
+        f.Planner.f_classes f.Planner.f_density f.Planner.f_literal_share
+        f.Planner.f_prefilter choice
+        (if i = flast then "" else ","))
+    feats;
+  output_string oc "  ],\n  \"planner\": [\n";
+  let plast = List.length prows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"dataset\": %S, \"engine\": %S, \"planned\": %s, \
+         \"active\": %s, \"time_s\": %.6f, \"mb_per_s\": %.3f, \
+         \"vs_best\": %.4f, \"matches\": %d, \"agree\": %b}%s\n"
+        r.E.pl_dataset r.E.pl_engine (opt r.E.pl_planned) (opt r.E.pl_active)
+        r.E.pl_time r.E.pl_mbps r.E.pl_vs_best r.E.pl_matches r.E.pl_agree
+        (if i = plast then "" else ","))
+    prows;
+  output_string oc "  ],\n  \"churn\": [\n";
+  let clast = List.length crows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"dataset\": %S, \"policy\": %S, \"cache_rows\": %d, \
+         \"time_s\": %.6f, \"mb_per_s\": %.3f, \"hit_rate\": %.6f, \
+         \"flushes\": %d, \"evictions\": %d, \"grows\": %d, \
+         \"capacity\": %d, \"resident\": %d, \"matches\": %d, \
+         \"agree\": %b}%s\n"
+        r.E.cr_dataset r.E.cr_policy r.E.cr_cache_rows r.E.cr_time
+        r.E.cr_mbps r.E.cr_hit_rate r.E.cr_flushes r.E.cr_evictions
+        r.E.cr_grows r.E.cr_capacity r.E.cr_resident r.E.cr_matches
+        r.E.cr_agree
+        (if i = clast then "" else ","))
+    crows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d planner rows, %d churn rows)\n" path
+    (List.length prows) (List.length crows)
+
+(* `bench planner`: the adaptive-planner gate. Prints the auto-vs-
+   concrete comparison and the clock-vs-flush churn ablation, writes
+   BENCH_planner.json, and exits 1 if any row's match counts diverge
+   from the iMFAnt reference. *)
+let planner_bench cfg =
+  let feats = E.planner_features cfg in
+  let prows = E.planner_rows cfg in
+  let crows = E.churn_rows cfg in
+  print_string (E.planner_report cfg feats prows crows);
+  print_newline ();
+  write_planner_json feats prows crows;
+  if
+    List.exists (fun r -> not r.E.pl_agree) prows
+    || List.exists (fun r -> not r.E.cr_agree) crows
+  then exit 1
+
 let json_float_array a =
   "["
   ^ String.concat ", "
@@ -966,6 +1037,7 @@ let () =
       write_hotloop_json rows
   | [ "serve-check" ] -> serve_check ~engine ()
   | [ "persist" ] -> persist_bench (E.default ())
+  | [ "planner" ] -> planner_bench (E.default ())
   | "loadgen" :: rest -> loadgen ~engine rest
   | [] ->
       let cfg = E.default () in
@@ -991,7 +1063,8 @@ let () =
               print_newline ()
           | None ->
               Printf.eprintf
-                "unknown artefact %S (expected bechamel, json, serve-check, %s)\n"
+                "unknown artefact %S (expected bechamel, json, serve-check, \
+                 planner, %s)\n"
                 name
                 (String.concat ", " (List.map fst experiments));
               exit 1)

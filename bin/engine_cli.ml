@@ -48,11 +48,38 @@ let tuning_term () =
              back to plain byte-at-a-time stepping. Engines other than \
              hybrid always step one byte.")
   in
-  let apply no_prefilter stride =
-    let cur = Tuning.get () in
-    Tuning.set { cur with Tuning.prefilter = not no_prefilter; stride }
+  let cache_size =
+    (* Validated at parse time so a bad value is a usage error (exit
+       124 with the cmdliner message), not a compile-time raise. *)
+    let rows_conv =
+      Arg.conv
+        ( (fun s ->
+            match int_of_string_opt s with
+            | Some n when n >= 1 -> Ok n
+            | Some _ -> Error (`Msg "cache size must be at least 1")
+            | None -> Error (`Msg (Printf.sprintf "invalid cache size %S" s))),
+          Format.pp_print_int )
+    in
+    Arg.(
+      value
+      & opt rows_conv Tuning.default.Tuning.cache_size
+      & info [ "cache-size" ] ~docv:"ROWS"
+          ~doc:
+            (Printf.sprintf
+               "Base capacity of the hybrid engine's configuration cache, in \
+                rows (default %d). The cache sizes itself adaptively between \
+                1x and 8x this base from the observed hit rate. Snapshotted \
+                at compile time, so artifacts emitted with $(b,--emit) \
+                record it. Engines other than hybrid (and $(b,auto) when it \
+                plans hybrid) ignore it."
+               Tuning.default.Tuning.cache_size))
   in
-  Term.(const apply $ no_prefilter $ stride)
+  let apply no_prefilter stride cache_size =
+    let cur = Tuning.get () in
+    Tuning.set
+      { cur with Tuning.prefilter = not no_prefilter; stride; cache_size }
+  in
+  Term.(const apply $ no_prefilter $ stride $ cache_size)
 
 (* [resolve ~prog name] validates [name] against the registry.
    [Ok name] is resolvable (registered, or a well-formed faulty{..}:

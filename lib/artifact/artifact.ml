@@ -42,7 +42,12 @@ module Imfant = Mfsa_engine.Imfant
 module Prefilter = Mfsa_engine.Prefilter
 module Aho_corasick = Mfsa_engine.Aho_corasick
 
-let version = 1
+(* Version 2 appended a u32 [cache_size] to META; everything else is
+   unchanged, so version-1 artifacts still load (the reader defaults
+   the missing field). *)
+let version = 2
+
+let min_version = 1
 
 type error =
   | Bad_magic
@@ -56,8 +61,8 @@ let error_to_string = function
   | Bad_magic -> "not an MFSA artifact (bad magic)"
   | Bad_version v ->
       Printf.sprintf
-        "unsupported artifact version %d (this build reads version %d)" v
-        version
+        "unsupported artifact version %d (this build reads versions %d-%d)" v
+        min_version version
   | Truncated what -> Printf.sprintf "truncated artifact (%s)" what
   | Checksum what -> Printf.sprintf "checksum mismatch in %s" what
   | Malformed what -> Printf.sprintf "malformed artifact: %s" what
@@ -178,6 +183,8 @@ let meta_payload (tuning : Tuning.t) =
   add_u8 b (if tuning.Tuning.prefilter then 1 else 0);
   add_u8 b tuning.Tuning.stride;
   add_u8 b 0;
+  (* Version 2: the hybrid cache's base capacity. *)
+  add_u32 b tuning.Tuning.cache_size;
   Buffer.contents b
 
 let auto_payload (z : Mfsa.t) =
@@ -435,7 +442,14 @@ let parse_meta cur =
   let _reserved = u8 cur in
   if classes > 1 || prefilter > 1 || stride < 1 || stride > 2 then
     fail (Malformed "META: tuning flags out of range");
-  { Tuning.classes = classes = 1; prefilter = prefilter = 1; stride }
+  (* Version-1 artifacts stop here; version 2 appended the hybrid
+     cache's base capacity. Absent means the old default. *)
+  let cache_size =
+    if cur.limit - cur.pos >= 4 then u32 cur
+    else Tuning.default.Tuning.cache_size
+  in
+  if cache_size < 1 then fail (Malformed "META: cache_size out of range");
+  { Tuning.classes = classes = 1; prefilter = prefilter = 1; stride; cache_size }
 
 let parse_auto cur =
   let n_states = u32 cur in
@@ -576,7 +590,7 @@ let parse_directory s =
   if len < 20 then fail (Truncated "header");
   let hdr = cursor ~sec:"header" s magic_len (len - magic_len) in
   let v = u32 hdr in
-  if v <> version then fail (Bad_version v);
+  if v < min_version || v > version then fail (Bad_version v);
   let n_mfsas = u32 hdr in
   let n_sections = u32 hdr in
   if n_mfsas < 1 then fail (Malformed "header: no automata");
@@ -593,7 +607,7 @@ let parse_directory s =
           fail (Truncated ("section " ^ String.trim tag));
         { tag; mfsa_index; offset; length; crc })
   in
-  (n_mfsas, sections)
+  (v, n_mfsas, sections)
 
 let section_name sec =
   let tag =
@@ -607,7 +621,7 @@ let section_name sec =
 
 
 let of_string s =
-  let n_mfsas, sections = parse_directory s in
+  let _v, n_mfsas, sections = parse_directory s in
   List.iter
     (fun sec ->
       if crc32 s ~pos:sec.offset ~len:sec.length <> sec.crc then
@@ -711,7 +725,7 @@ type info = {
 }
 
 let describe_string s =
-  let n_mfsas, sections = parse_directory s in
+  let read_version, n_mfsas, sections = parse_directory s in
   (* Header metadata only: the per-automaton counts live in the first
      few fields of AUTO/CLS, so inspection reads a handful of bytes
      per section — after checking their checksums, since the counts
@@ -747,7 +761,7 @@ let describe_string s =
     prefiltered.(i) <- find tag_pfx i <> None
   done;
   {
-    in_version = version;
+    in_version = read_version;
     in_bytes = String.length s;
     in_mfsas = n_mfsas;
     in_rules = rules;

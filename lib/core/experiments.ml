@@ -256,6 +256,19 @@ let time_runs reps f =
   done;
   !total /. float_of_int (max 1 reps)
 
+(* Best-of-N: the minimum over the reps. Robust against GC and
+   scheduler jitter, which matters when two engines within a few
+   percent of each other are being ranked (the planner gate). *)
+let best_of_runs reps f =
+  let best = ref infinity in
+  for _ = 1 to max 1 reps do
+    let t0 = now () in
+    f ();
+    let t = now () -. t0 in
+    if t < !best then best := t
+  done;
+  !best
+
 (* Per-automaton single-thread execution times for a given merging
    factor; M = 1 uses the iNFAnt baseline engine on the plain FSAs,
    matching the paper's single-FSA configuration. *)
@@ -796,8 +809,19 @@ let engine_list = function
    compiled on it and timed on the same stream. iMFAnt is the
    agreement reference (always measured, listed only when requested).
    Each engine is warmed by the agreement check — for the hybrid that
-   first pass populates the configuration cache — then its counters
-   are reset so the reported stats are the steady-state ones. *)
+   first pass populates the configuration cache — then only its
+   *counters* are reset ({!Engine_sig.reset_counters}, which keeps
+   the caches warm, unlike [reset_stats] which would flush them and
+   charge the rebuild to the first timed rep). After timing, the
+   counters are reset once more and one extra untimed pass supplies
+   the reported stats, so the snapshot — in particular the hybrid's
+   cache hit rate — reflects exactly one steady-state pass rather
+   than an average smeared across warm-up and [reps] repetitions. *)
+let steady_stats inst stream =
+  Engine_sig.reset_counters inst;
+  ignore (Engine_sig.count inst stream);
+  Engine_sig.stats inst
+
 let engine_measurements ?engines cfg =
   let engines = engine_list engines in
   List.map
@@ -809,24 +833,25 @@ let engine_measurements ?engines cfg =
       in
       let reference = Registry.compile_automaton_exn "imfant" z in
       let per_ref = Engine_sig.count_per_fsa reference stream in
+      Engine_sig.reset_counters reference;
       let t_ref =
         time_runs cfg.reps (fun () -> ignore (Engine_sig.count reference stream))
       in
+      let stats_ref = steady_stats reference stream in
       let rows =
         List.map
           (fun name ->
-            if name = "imfant" then
-              (name, t_ref, per_ref, Engine_sig.stats reference, true)
+            if name = "imfant" then (name, t_ref, per_ref, stats_ref, true)
             else begin
               let inst = Registry.compile_automaton_exn name z in
               let per = Engine_sig.count_per_fsa inst stream in
               let agree = per = per_ref in
-              Engine_sig.reset_stats inst;
+              Engine_sig.reset_counters inst;
               let t =
                 time_runs cfg.reps (fun () ->
                     ignore (Engine_sig.count inst stream))
               in
-              (name, t, per, Engine_sig.stats inst, agree)
+              (name, t, per, steady_stats inst stream, agree)
             end)
           engines
       in
@@ -930,13 +955,20 @@ type hotloop_row = {
 }
 
 let hotloop_configs =
-  let base = { Mfsa_engine.Tuning.classes = false; prefilter = false; stride = 1 } in
+  let base =
+    {
+      Mfsa_engine.Tuning.default with
+      Mfsa_engine.Tuning.classes = false;
+      prefilter = false;
+      stride = 1;
+    }
+  in
   [
     ("base", base);
     ("classes", { base with Mfsa_engine.Tuning.classes = true });
     ("prefilter", { base with Mfsa_engine.Tuning.prefilter = true });
     ("stride2", { base with Mfsa_engine.Tuning.stride = 2 });
-    ("all", { Mfsa_engine.Tuning.classes = true; prefilter = true; stride = 2 });
+    ("all", { base with Mfsa_engine.Tuning.classes = true; prefilter = true; stride = 2 });
   ]
 
 let hotloop_rows cfg =
@@ -1055,6 +1087,326 @@ let hotloop_report cfg rows =
   Buffer.contents buf
 
 let hotloop cfg = hotloop_report cfg (hotloop_rows cfg)
+
+(* --------------------------------------------- Planner and churn *)
+
+(* Two artefacts behind BENCH_planner.json and the CI planner gate:
+
+   - the planner comparison: the [auto] meta-engine against each of
+     the concrete engines it plans between (imfant, hybrid, dfa) on
+     every dataset at M = all — auto must agree with the iMFAnt
+     reference everywhere and land within 10% of the best concrete
+     engine's throughput;
+
+   - the churn ablation: the hybrid engine under a deliberately tiny
+     configuration cache, incremental clock eviction against the old
+     flush-on-full policy, with iMFAnt as the cache-less floor. On
+     the churn-heavy dataset (DS9) the flush policy collapses —
+     every overflow throws the whole table away mid-stream — while
+     clock eviction keeps the resident working set and the adaptive
+     band grows the capacity; on cache-friendly datasets (BRO, PEN)
+     the two policies coincide because the cache never fills. *)
+
+type planner_row = {
+  pl_dataset : string;
+  pl_engine : string;  (* "auto" or a concrete engine *)
+  pl_planned : string option;  (* auto rows: the static plan *)
+  pl_active : string option;  (* auto rows: engine active after the run *)
+  pl_time : float;
+  pl_mbps : float;
+  pl_matches : int;
+  pl_agree : bool;
+  pl_vs_best : float;  (* best concrete time / this row's time *)
+}
+
+type churn_row = {
+  cr_dataset : string;
+  cr_policy : string;  (* "clock" | "flush" | "imfant" *)
+  cr_cache_rows : int;  (* configured base capacity; 0 for imfant *)
+  cr_time : float;
+  cr_mbps : float;
+  cr_hit_rate : float;  (* steady-state; 0 for imfant *)
+  cr_flushes : int;
+  cr_evictions : int;
+  cr_grows : int;
+  cr_capacity : int;  (* adaptive capacity after the steady pass *)
+  cr_resident : int;  (* configurations resident after the steady pass *)
+  cr_matches : int;
+  cr_agree : bool;
+}
+
+let planner_engines = [ "imfant"; "hybrid"; "dfa"; "auto" ]
+
+(* The static feature vector the planner sees per dataset, with its
+   decision — what the thresholds in {!Mfsa_engine.Planner} were
+   fitted against, kept in the report (and BENCH_planner.json) so a
+   drifting dataset generator shows up as a feature change, not just
+   as an unexplained plan flip. *)
+let planner_features cfg =
+  let module Planner = Mfsa_engine.Planner in
+  List.map
+    (fun { ds; fsas; _ } ->
+      let z =
+        match Merge.merge_groups ~m:0 fsas with
+        | [ z ] -> z
+        | _ -> assert false
+      in
+      let f = Planner.features_of_mfsa z in
+      (ds.Datasets.abbr, f, Planner.choose f))
+    (contexts cfg)
+
+let planner_rows cfg =
+  List.concat_map
+    (fun { ds; fsas; stream } ->
+      let z =
+        match Merge.merge_groups ~m:0 fsas with
+        | [ z ] -> z
+        | _ -> assert false
+      in
+      let size = String.length stream in
+      let mbps t = float_of_int size /. 1e6 /. t in
+      let per_ref =
+        Engine_sig.count_per_fsa
+          (Registry.compile_automaton_exn "imfant" z)
+          stream
+      in
+      let measured =
+        List.map
+          (fun name ->
+            let inst = Registry.compile_automaton_exn name z in
+            let per = Engine_sig.count_per_fsa inst stream in
+            Engine_sig.reset_counters inst;
+            let t =
+              best_of_runs cfg.reps (fun () ->
+                  ignore (Engine_sig.count inst stream))
+            in
+            (name, inst, t, per))
+          planner_engines
+      in
+      let best =
+        List.fold_left
+          (fun acc (name, _, t, _) -> if name = "auto" then acc else min acc t)
+          infinity measured
+      in
+      List.map
+        (fun (name, inst, t, per) ->
+          let planned, active =
+            if name <> "auto" then (None, None)
+            else
+              match
+                Mfsa_obs.Snapshot.find (Engine_sig.stats inst)
+                  "mfsa_engine_planner_choice"
+              with
+              | Some s ->
+                  ( List.assoc_opt "planned" s.Mfsa_obs.Snapshot.labels,
+                    List.assoc_opt "active" s.Mfsa_obs.Snapshot.labels )
+              | None -> (None, None)
+          in
+          {
+            pl_dataset = ds.Datasets.abbr;
+            pl_engine = name;
+            pl_planned = planned;
+            pl_active = active;
+            pl_time = t;
+            pl_mbps = mbps t;
+            pl_matches = Array.fold_left ( + ) 0 per;
+            pl_agree = per = per_ref;
+            pl_vs_best = best /. t;
+          })
+        measured)
+    (contexts cfg)
+
+(* Small enough that a churning configuration space overflows it at
+   bench scale, large enough that the cache-friendly datasets never
+   notice the bound. *)
+let churn_cache_rows = 4096
+
+let churn_rows cfg =
+  let module Hybrid = Mfsa_engine.Hybrid in
+  List.concat_map
+    (fun { ds; fsas; stream } ->
+      let z =
+        match Merge.merge_groups ~m:0 fsas with
+        | [ z ] -> z
+        | _ -> assert false
+      in
+      let size = String.length stream in
+      let mbps t = float_of_int size /. 1e6 /. t in
+      let im = Imfant.compile z in
+      let per_ref = Imfant.count_per_fsa im stream in
+      let t_im =
+        best_of_runs cfg.reps (fun () -> ignore (Imfant.count im stream))
+      in
+      let im_row =
+        {
+          cr_dataset = ds.Datasets.abbr;
+          cr_policy = "imfant";
+          cr_cache_rows = 0;
+          cr_time = t_im;
+          cr_mbps = mbps t_im;
+          cr_hit_rate = 0.;
+          cr_flushes = 0;
+          cr_evictions = 0;
+          cr_grows = 0;
+          cr_capacity = 0;
+          cr_resident = 0;
+          cr_matches = Array.fold_left ( + ) 0 per_ref;
+          cr_agree = true;
+        }
+      in
+      let policy_row (pname, cache_size, eviction) =
+        let hy = Hybrid.of_imfant ~cache_size ~eviction im in
+        let per = Hybrid.count_per_fsa hy stream in
+        (* Cold-start adaptation counters: the warm-up pass is where a
+           clock cache grows toward the working set (and a flush cache
+           drops its table), so flushes/evictions/grows are read here,
+           before the counter reset — a warm steady pass on a
+           well-sized cache legitimately shows none. *)
+        let warm = Hybrid.stats hy in
+        Hybrid.reset_stats hy;
+        let t =
+          best_of_runs cfg.reps (fun () -> ignore (Hybrid.count hy stream))
+        in
+        (* Steady-state rate gauges: one more pass on the warm cache
+           with freshly zeroed counters, so the hit rate is not
+           smeared across the reps. *)
+        Hybrid.reset_stats hy;
+        ignore (Hybrid.count hy stream);
+        let st = Hybrid.stats hy in
+        {
+          cr_dataset = ds.Datasets.abbr;
+          cr_policy = pname;
+          cr_cache_rows = cache_size;
+          cr_time = t;
+          cr_mbps = mbps t;
+          cr_hit_rate =
+            (if st.Hybrid.steps = 0 then 0.
+             else float_of_int st.Hybrid.hits /. float_of_int st.Hybrid.steps);
+          cr_flushes = warm.Hybrid.flushes + st.Hybrid.flushes;
+          cr_evictions = warm.Hybrid.evictions + st.Hybrid.evictions;
+          cr_grows = warm.Hybrid.grows + st.Hybrid.grows;
+          cr_capacity = st.Hybrid.capacity;
+          cr_resident = st.Hybrid.resident_configs;
+          cr_matches = Array.fold_left ( + ) 0 per;
+          cr_agree = per = per_ref;
+        }
+      in
+      im_row
+      :: List.map policy_row
+           [
+             ("clock", churn_cache_rows, Hybrid.Clock);
+             ("flush", churn_cache_rows, Hybrid.Flush);
+             ("unbounded", 1 lsl 20, Hybrid.Clock);
+           ])
+    (contexts cfg)
+
+let planner_report cfg feats prows crows =
+  let module Planner = Mfsa_engine.Planner in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (header "Planner features: what the static decision sees, per dataset");
+  Buffer.add_string buf
+    (Report.table
+       ~header:
+         [ "Dataset"; "States"; "FSAs"; "Transitions"; "Classes"; "Density";
+           "Literal share"; "Prefilter"; "Plan" ]
+       (List.map
+          (fun (abbr, f, choice) ->
+            [
+              abbr;
+              string_of_int f.Planner.f_states;
+              string_of_int f.Planner.f_fsas;
+              string_of_int f.Planner.f_transitions;
+              string_of_int f.Planner.f_classes;
+              Printf.sprintf "%.4f" f.Planner.f_density;
+              Printf.sprintf "%.3f" f.Planner.f_literal_share;
+              string_of_bool f.Planner.f_prefilter;
+              choice;
+            ])
+          feats));
+  Buffer.add_string buf
+    (header
+       (Printf.sprintf
+          "Engine planner: auto vs concrete engines, M = all (%d KiB stream, \
+           %d reps)"
+          cfg.stream_kb cfg.reps));
+  Buffer.add_string buf
+    (Report.table
+       ~header:
+         [ "Dataset"; "Engine"; "Planned"; "Active"; "MB/s"; "vs best";
+           "Matches"; "Agreement" ]
+       (List.map
+          (fun r ->
+            [
+              r.pl_dataset; r.pl_engine;
+              Option.value ~default:"-" r.pl_planned;
+              Option.value ~default:"-" r.pl_active;
+              Printf.sprintf "%.1f" r.pl_mbps;
+              Printf.sprintf "%.2fx" r.pl_vs_best;
+              string_of_int r.pl_matches;
+              (if r.pl_agree then "ok" else "DIVERGED");
+            ])
+          prows));
+  let auto_ratios =
+    List.filter_map
+      (fun r -> if r.pl_engine = "auto" then Some r.pl_vs_best else None)
+      prows
+  in
+  if auto_ratios <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "Geomean auto vs best concrete engine: %.2fx (min %.2fx)\n"
+         (Report.geomean auto_ratios)
+         (List.fold_left min infinity auto_ratios));
+  Buffer.add_string buf
+    (header
+       (Printf.sprintf
+          "Churn ablation: hybrid at the default %d-row cache, clock vs \
+           flush eviction"
+          churn_cache_rows));
+  Buffer.add_string buf
+    (Report.table
+       ~header:
+         [ "Dataset"; "Policy"; "MB/s"; "Hit rate"; "Flushes"; "Evictions";
+           "Grows"; "Capacity"; "Resident"; "Agreement" ]
+       (List.map
+          (fun r ->
+            [
+              r.cr_dataset; r.cr_policy;
+              Printf.sprintf "%.1f" r.cr_mbps;
+              (if r.cr_policy = "imfant" then "-"
+               else Printf.sprintf "%.4f" r.cr_hit_rate);
+              string_of_int r.cr_flushes;
+              string_of_int r.cr_evictions;
+              string_of_int r.cr_grows;
+              string_of_int r.cr_capacity;
+              string_of_int r.cr_resident;
+              (if r.cr_agree then "ok" else "DIVERGED");
+            ])
+          crows));
+  List.iter
+    (fun ds_abbr ->
+      let find p =
+        List.find_opt
+          (fun r -> r.cr_dataset = ds_abbr && r.cr_policy = p)
+          crows
+      in
+      match (find "clock", find "flush", find "imfant") with
+      | Some c, Some f, Some i ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "churn %s: clock %.2fx over flush, %.2fx over imfant \
+                (evictions %d, flushes %d)\n"
+               ds_abbr
+               (f.cr_time /. c.cr_time)
+               (i.cr_time /. c.cr_time)
+               c.cr_evictions c.cr_flushes)
+      | _ -> ())
+    (List.sort_uniq compare (List.map (fun r -> r.cr_dataset) crows));
+  Buffer.contents buf
+
+let planner cfg =
+  planner_report cfg (planner_features cfg) (planner_rows cfg) (churn_rows cfg)
 
 (* ------------------------------------------------------ Complexity *)
 

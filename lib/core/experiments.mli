@@ -162,6 +162,102 @@ val hotloop : config -> string
     the per-engine geomean speedup of the all-on configuration over
     all-off. *)
 
+type planner_row = {
+  pl_dataset : string;  (** Dataset abbreviation. *)
+  pl_engine : string;
+      (** ["auto"] or one of the concrete engines it plans between
+          (["imfant"], ["hybrid"], ["dfa"]). *)
+  pl_planned : string option;
+      (** Auto rows: the engine the static features selected. [None]
+          on concrete rows. *)
+  pl_active : string option;
+      (** Auto rows: the engine active after the run — differs from
+          [pl_planned] when the churn monitor demoted a hybrid plan
+          mid-stream. *)
+  pl_time : float;  (** Seconds per pass over the stream. *)
+  pl_mbps : float;  (** Stream megabytes per second. *)
+  pl_matches : int;  (** Total match events on the stream. *)
+  pl_agree : bool;
+      (** Per-FSA match counts identical to the iMFAnt reference. *)
+  pl_vs_best : float;
+      (** Best concrete engine's time divided by this row's — 1.0 is
+          the per-dataset winner; the acceptance bar holds auto's rows
+          at >= 0.9 (within 10% of the best concrete engine). *)
+}
+
+type churn_row = {
+  cr_dataset : string;  (** Dataset abbreviation. *)
+  cr_policy : string;
+      (** ["clock"] (incremental second-chance eviction), ["flush"]
+          (the pre-eviction drop-everything policy), ["unbounded"]
+          (a cache large enough never to fill — the working-set
+          reference), or ["imfant"] (the cache-less floor). *)
+  cr_cache_rows : int;
+      (** Configured base cache capacity in rows (0 for imfant). *)
+  cr_time : float;  (** Seconds per pass over the stream. *)
+  cr_mbps : float;  (** Stream megabytes per second. *)
+  cr_hit_rate : float;
+      (** Steady-state memo hit rate of one warm pass (0 for
+          imfant). *)
+  cr_flushes : int;
+      (** Whole-table drops, cumulative over the cold warm-up pass
+          plus one steady pass — the warm-up is where a flush cache
+          drops its table. *)
+  cr_evictions : int;
+      (** Single-row evictions, cumulative over warm-up plus one
+          steady pass — under clock eviction a well-sized cache
+          evicts while growing toward the working set, then stops. *)
+  cr_grows : int;
+      (** Adaptive capacity doublings, cumulative over warm-up plus
+          one steady pass. *)
+  cr_capacity : int;  (** Adaptive capacity after the steady pass. *)
+  cr_resident : int;
+      (** Configurations resident after the steady pass — under
+          ["unbounded"], the ruleset's working-set size on this
+          stream. *)
+  cr_matches : int;  (** Total match events on the stream. *)
+  cr_agree : bool;  (** Per-FSA counts identical to iMFAnt's. *)
+}
+
+val planner_features :
+  config -> (string * Mfsa_engine.Planner.features * string) list
+(** Per dataset at M = all: the static feature vector
+    {!Mfsa_engine.Planner.features_of_mfsa} extracts and the engine
+    {!Mfsa_engine.Planner.choose} picks from it — the data the
+    planner thresholds were fitted against, exported as the
+    ["features"] array of [BENCH_planner.json]. *)
+
+val planner_rows : config -> planner_row list
+(** The [auto] meta-engine against each concrete engine it plans
+    between, per dataset at M = all — machine-readable half of
+    {!planner}, exported as the ["planner"] array of
+    [BENCH_planner.json]. *)
+
+val churn_rows : config -> churn_row list
+(** The eviction-policy ablation: the hybrid engine at the default
+    configuration-cache size ([4096] rows), clock versus flush
+    eviction, with an unbounded-cache reference (the working-set
+    size) and iMFAnt as the cache-less floor — the ["churn"] array of
+    [BENCH_planner.json]. On rulesets whose working set overflows the
+    base cache (DS9, TCP, RG1) flush-on-full collapses mid-stream
+    while clock eviction grows the capacity under eviction pressure
+    and keeps the working set resident; on cache-friendly ones (BRO,
+    PEN) the cache never fills and the policies coincide. *)
+
+val planner_report :
+  config ->
+  (string * Mfsa_engine.Planner.features * string) list ->
+  planner_row list ->
+  churn_row list ->
+  string
+(** Render precomputed planner features, comparison and churn rows
+    (tables plus the geomean/min auto-vs-best and per-dataset
+    clock-vs-flush summary lines the CI gate greps). *)
+
+val planner : config -> string
+(** [planner_report] over {!planner_features}, {!planner_rows} and
+    {!churn_rows}. *)
+
 val complexity : config -> string
 (** Empirical validation of the merging cost model (paper §III-A,
     Eq. 3): wall-clock time of Algorithm 1 over growing prefixes of

@@ -14,6 +14,7 @@ module type S = sig
   val count_per_fsa : compiled -> string -> int array
   val stats : compiled -> Mfsa_obs.Snapshot.t
   val reset_stats : compiled -> unit
+  val reset_counters : compiled -> unit
 
   type session
 
@@ -49,6 +50,8 @@ let count_per_fsa (Packed ((module E), c)) input = E.count_per_fsa c input
 let stats (Packed ((module E), c)) = E.stats c
 
 let reset_stats (Packed ((module E), c)) = E.reset_stats c
+
+let reset_counters (Packed ((module E), c)) = E.reset_counters c
 
 let session (Packed ((module E), c)) = Session ((module E), E.session c)
 

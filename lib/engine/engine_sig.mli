@@ -98,6 +98,15 @@ module type S = sig
       property the test suite checks. A no-op for engines without
       mutable instrumentation. *)
 
+  val reset_counters : compiled -> unit
+  (** Zero the cumulative counters {e only}, leaving warm state (the
+      hybrid's configuration cache, lazily built stride tables, the
+      adaptive capacity) in place. This is the measurement-window
+      reset: the benchmark harness calls it between repetitions so
+      each rep's snapshot reflects steady-state behaviour, not the
+      warm-up of earlier reps. For engines whose metrics expose no
+      warm state it coincides with {!reset_stats}. *)
+
   (** {2 Streaming}
 
       Feeding chunks [c1, …, cn] then {!finish} produces exactly
@@ -150,6 +159,7 @@ val count : t -> string -> int
 val count_per_fsa : t -> string -> int array
 val stats : t -> Mfsa_obs.Snapshot.t
 val reset_stats : t -> unit
+val reset_counters : t -> unit
 
 val session : t -> session
 val feed : session -> string -> match_event list

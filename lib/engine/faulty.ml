@@ -224,6 +224,11 @@ let make ~name:full_name cfg (module E : Engine_sig.S) : (module Engine_sig.S) =
       c.poisoned <- false;
       E.reset_stats c.inner
 
+    (* The fault schedule is position-dependent state, not a warm
+       cache: a counters-only reset still replays it, so both resets
+       coincide here. *)
+    let reset_counters = reset_stats
+
     (* Streaming sessions delegate without injection: faults model
        per-request serving failures, and a mid-stream fault would
        desynchronise the session position from the stream. *)

@@ -3,6 +3,8 @@ module Bitset = Mfsa_util.Bitset
 
 type match_event = Engine_sig.match_event = { fsa : int; end_pos : int }
 
+type eviction = Clock | Flush
+
 type stats = {
   steps : int;
   hits : int;
@@ -11,6 +13,11 @@ type stats = {
   configs_interned : int;
   resident_configs : int;
   flushes : int;
+  evictions : int;
+  capacity : int;
+  grows : int;
+  shrinks : int;
+  demotions : int;
   cache_bytes : int;
   skipped_bytes : int;
 }
@@ -52,15 +59,21 @@ module Tbl = Hashtbl.Make (Key)
 
 (* One memo row per interned configuration, indexed by byte class: the
    successor id and the FSAs matching on the edge, per class. -1 = not
-   computed yet. The pair tables ([next2]/[mid2]/[end2], k*k cells)
-   memoise two classes at once for the 2-stride loop; they are
-   allocated lazily on a row's first pair step, within a global cell
-   budget — rows past the budget simply take two single steps. *)
+   computed yet. Successor ids can go stale — clock eviction reuses
+   slots in place — so every memoised id is paired with the mint stamp
+   the target slot carried when the entry was written ([next_stamp] /
+   [next2_stamp]); an entry is live iff the stored stamp still equals
+   the slot's current stamp. The pair tables ([next2]/[mid2]/[end2],
+   k*k cells) memoise two classes at once for the 2-stride loop; they
+   are allocated lazily on a row's first pair step, within a global
+   cell budget — rows past the budget simply take two single steps. *)
 type row = {
   cfg : config;
   next : int array;
+  next_stamp : int array;
   edge_matches : int array array;
   mutable next2 : int array;
+  mutable next2_stamp : int array;
   mutable mid2 : int array array;
   mutable end2 : int array array;
 }
@@ -69,8 +82,10 @@ let mk_row k cfg =
   {
     cfg;
     next = Array.make k (-1);
+    next_stamp = Array.make k (-1);
     edge_matches = Array.make k [||];
     next2 = [||];
+    next2_stamp = [||];
     mid2 = [||];
     end2 = [||];
   }
@@ -80,16 +95,42 @@ let mk_row k cfg =
    reached mid-stream). Both are empty as (state, set) maps but step
    differently, so they get distinct permanent ids; only the dead one
    is registered in the intern table. [seed] rebuilds both after a
-   flush, so these two ids are the only ones stable across flushes. *)
+   flush; the clock hand never visits slots below 2, so these two ids
+   are the only ones stable across both flushes and evictions. *)
 let start_id = 0
 
 let dead_id = 1
+
+(* Sentinel a session's [cur] takes while the engine is demoted: the
+   memo cache is bypassed, so there is no row id — the session's
+   explicit configuration is the whole handle. *)
+let bypass_live = -2
 
 (* Pair tables only make sense on small class alphabets (k*k cells per
    row), and their total footprint is capped engine-wide. *)
 let stride2_max_classes = 64
 
 let pair_cell_budget = 1 lsl 19
+
+(* Adaptive sizing bands: every [resize_window] steps the engine looks
+   at the window's eviction pressure and hit rate. Sustained eviction
+   pressure — at least one eviction per [grow_pressure] steps, i.e.
+   the working set keeps displacing itself — doubles the live
+   capacity up to [max_grow_factor] times the configured base
+   regardless of the hit rate (a cache flooding at 0.9 still wastes
+   most of its time re-interning; only the hit rate *after* growth
+   tells whether growing helped, and [demote] catches the case where
+   it never does). A hot cache (high rate, no evictions) halves the
+   capacity back toward the base, but only when at most half of it is
+   occupied, so shrinking is pure bookkeeping and never evicts a
+   resident working set. *)
+let resize_window = 4096
+
+let grow_pressure = 64
+
+let shrink_above_rate = 0.95
+
+let max_grow_factor = 8
 
 type t = {
   im : Imfant.t;
@@ -98,7 +139,8 @@ type t = {
   class_of : bytes;
   stride2 : bool;
   prefilter : Prefilter.t option;
-  cache_size : int;
+  base_cache : int;  (* configured capacity; [cap] floats around it *)
+  policy : eviction;
   any_end_anchor : bool;
   init_all : Bitset.t array;
   init_unanch : Bitset.t array;
@@ -111,7 +153,21 @@ type t = {
   csr_tr : int array;
   tbl : int Tbl.t;
   mutable rows : row array;
+  mutable stamps : int array;
+      (* Per-slot mint stamp; -1 marks a freed slot. The mint counter
+         is monotone across flushes, so stamp equality identifies one
+         specific minted row, ever. *)
+  mutable refs : Bytes.t;  (* clock reference bits, '\001' = referenced *)
   mutable n_rows : int;
+  mutable free : int list;  (* slots freed by a shrink, reused first *)
+  mutable n_free : int;
+  mutable hand : int;  (* clock hand, sweeps slots [2, n_rows) *)
+  mutable cap : int;  (* live capacity in rows, adaptive under Clock *)
+  mutable mint : int;
+  mutable bypass : bool;
+      (* Demoted: the memo cache is out of the loop and every step is
+         an NFA fallback from the explicit configuration — plain
+         iMFAnt semantics with session state preserved. *)
   mutable last_edge : int array;
       (* Matches of the edge the latest [step] traversed. *)
   mutable last_mid : int array;
@@ -129,7 +185,8 @@ type t = {
   mutable epoch : int;
       (* Bumped by every flush. Row ids > dead_id minted before the
          current epoch index a dropped rows array; sessions compare
-         epochs to know when to re-intern their configuration. *)
+         epochs (then per-slot stamps) to know when to re-intern their
+         configuration. *)
   mutable gen : int;
   (* Counters. *)
   mutable steps : int;
@@ -138,17 +195,35 @@ type t = {
   mutable p_hits : int;
   mutable interned : int;
   mutable flushes : int;
+  mutable evictions_c : int;
+  mutable grows_c : int;
+  mutable shrinks_c : int;
+  mutable demotions_c : int;
   mutable skipped : int;
+  (* Resize-window marks: counter values at the window's start. *)
+  mutable win_steps0 : int;
+  mutable win_hits0 : int;
+  mutable win_ev0 : int;
 }
 
 let add_row t cfg ~register =
   if t.n_rows = Array.length t.rows then begin
-    let bigger = Array.make (2 * Array.length t.rows) t.rows.(0) in
+    let n = Array.length t.rows in
+    let bigger = Array.make (2 * n) t.rows.(0) in
     Array.blit t.rows 0 bigger 0 t.n_rows;
-    t.rows <- bigger
+    t.rows <- bigger;
+    let stamps = Array.make (2 * n) (-1) in
+    Array.blit t.stamps 0 stamps 0 t.n_rows;
+    t.stamps <- stamps;
+    let refs = Bytes.make (2 * n) '\000' in
+    Bytes.blit t.refs 0 refs 0 t.n_rows;
+    t.refs <- refs
   end;
   let id = t.n_rows in
   t.rows.(id) <- mk_row t.k cfg;
+  t.mint <- t.mint + 1;
+  t.stamps.(id) <- t.mint;
+  Bytes.set t.refs id '\001';
   t.n_rows <- id + 1;
   if register then Tbl.replace t.tbl cfg id;
   id
@@ -160,7 +235,15 @@ let seed t =
   ignore (add_row t empty_cfg ~register:true)
 (* dead *)
 
-let of_imfant ?(cache_size = 4096) im =
+let of_imfant ?cache_size ?(eviction = Clock) im =
+  (* The wrapped engine recorded the tuning in force when it was
+     compiled (or the one stored in the tables it was adopted from);
+     reading it there — not the current global — keeps artifact-loaded
+     engines faithful to their snapshot. *)
+  let tuning = Imfant.tuning im in
+  let cache_size =
+    match cache_size with Some c -> c | None -> tuning.Tuning.cache_size
+  in
   if cache_size < 1 then invalid_arg "Hybrid.of_imfant: cache_size < 1";
   let z = Imfant.mfsa im in
   let init_all, init_unanch = Imfant.init_tables im in
@@ -180,14 +263,10 @@ let of_imfant ?(cache_size = 4096) im =
       z;
       k;
       class_of = Imfant.class_of im;
-      (* The wrapped engine recorded the tuning in force when it was
-         compiled (or the one stored in the tables it was adopted
-         from); reading it there — not the current global — keeps
-         artifact-loaded engines faithful to their snapshot. *)
-      stride2 =
-        (Imfant.tuning im).Tuning.stride >= 2 && k <= stride2_max_classes;
+      stride2 = tuning.Tuning.stride >= 2 && k <= stride2_max_classes;
       prefilter = Imfant.prefilter im;
-      cache_size;
+      base_cache = cache_size;
+      policy = eviction;
       any_end_anchor = Array.exists Fun.id z.Mfsa.anchored_end;
       init_all;
       init_unanch;
@@ -197,7 +276,15 @@ let of_imfant ?(cache_size = 4096) im =
       csr_tr;
       tbl = Tbl.create 256;
       rows = Array.make 16 (mk_row k empty_cfg);
+      stamps = Array.make 16 (-1);
+      refs = Bytes.make 16 '\000';
       n_rows = 0;
+      free = [];
+      n_free = 0;
+      hand = 2;
+      cap = cache_size;
+      mint = 0;
+      bypass = false;
       last_edge = [||];
       last_mid = [||];
       pair_cells = 0;
@@ -216,17 +303,26 @@ let of_imfant ?(cache_size = 4096) im =
       p_hits = 0;
       interned = 0;
       flushes = 0;
+      evictions_c = 0;
+      grows_c = 0;
+      shrinks_c = 0;
+      demotions_c = 0;
       skipped = 0;
+      win_steps0 = 0;
+      win_hits0 = 0;
+      win_ev0 = 0;
     }
   in
   seed t;
   t
 
-let compile ?cache_size z = of_imfant ?cache_size (Imfant.compile z)
+let compile ?cache_size ?eviction z =
+  of_imfant ?cache_size ?eviction (Imfant.compile z)
 
 (* The pair-class stride tables and the configuration cache are
    populated on demand, so adoption inherits them lazily for free. *)
-let of_tables ?cache_size tb = of_imfant ?cache_size (Imfant.of_tables tb)
+let of_tables ?cache_size ?eviction tb =
+  of_imfant ?cache_size ?eviction (Imfant.of_tables tb)
 
 let mfsa t = t.z
 
@@ -235,20 +331,140 @@ let imfant t = t.im
 let flush t =
   Tbl.reset t.tbl;
   t.rows <- Array.make 16 (mk_row t.k empty_cfg);
+  t.stamps <- Array.make 16 (-1);
+  t.refs <- Bytes.make 16 '\000';
+  t.free <- [];
+  t.n_free <- 0;
+  t.hand <- 2;
   t.pair_cells <- 0;
+  t.cap <- t.base_cache;
   seed t;
   t.epoch <- t.epoch + 1;
   t.flushes <- t.flushes + 1
 
-let intern t cfg =
+(* ------------------------------------------------- Clock eviction *)
+
+(* Second chance over slots [2, n_rows): a swept row loses its
+   reference bit, a row found without one is the victim. Freed slots
+   (negative stamp) are invisible to the hand. After two full cycles
+   of clearing, the next live row is picked unconditionally — the
+   sweep is bounded even when every row is hot. *)
+let clock_pick t =
+  let rec sweep budget =
+    if t.hand < 2 || t.hand >= t.n_rows then t.hand <- 2;
+    let v = t.hand in
+    t.hand <- t.hand + 1;
+    if t.stamps.(v) < 0 then sweep budget
+    else if budget <= 0 || Bytes.get t.refs v = '\000' then v
+    else begin
+      Bytes.set t.refs v '\000';
+      sweep (budget - 1)
+    end
+  in
+  sweep (2 * (t.n_rows - 2))
+
+(* Forget the row living in slot [v]: unregister its configuration
+   and return its pair cells to the budget. The slot is then either
+   reused in place ([install]) or parked on the free list. *)
+let evict t v =
+  let r = t.rows.(v) in
+  Tbl.remove t.tbl r.cfg;
+  if Array.length r.next2 > 0 then t.pair_cells <- t.pair_cells - (t.k * t.k);
+  t.evictions_c <- t.evictions_c + 1
+
+let install t v cfg =
+  t.rows.(v) <- mk_row t.k cfg;
+  t.mint <- t.mint + 1;
+  t.stamps.(v) <- t.mint;
+  Bytes.set t.refs v '\001';
+  Tbl.replace t.tbl cfg v;
+  v
+
+let free_slot t v =
+  evict t v;
+  t.rows.(v) <- mk_row t.k empty_cfg;
+  t.stamps.(v) <- -1;
+  Bytes.set t.refs v '\000';
+  t.free <- v :: t.free;
+  t.n_free <- t.n_free + 1
+
+let live_rows t = t.n_rows - 2 - t.n_free
+
+let rec shrink_to_cap t =
+  if live_rows t > t.cap then begin
+    free_slot t (clock_pick t);
+    shrink_to_cap t
+  end
+
+(* Close a resize window if one has elapsed. Only called on the miss
+   path — a workload that never misses never needs more capacity, and
+   any real shrink opportunity still shows up through the occasional
+   miss. Growth keys on eviction pressure alone: a working set
+   marginally over capacity floods the clock at a deceptively high
+   hit rate (every pass re-interns the same overflow), so waiting for
+   the rate to drop would leave the cache stuck churning. Shrinking
+   additionally requires the live rows to fit in half the capacity —
+   then halving frees nothing and a resident working set is never
+   evicted by its own cache. *)
+let maybe_resize t =
+  let w = t.steps - t.win_steps0 in
+  if w >= resize_window then begin
+    let rate = float_of_int (t.hits - t.win_hits0) /. float_of_int w in
+    let evs = t.evictions_c - t.win_ev0 in
+    let max_cap = max_grow_factor * t.base_cache in
+    if evs * grow_pressure >= w && t.cap < max_cap then begin
+      t.cap <- min max_cap (2 * t.cap);
+      t.grows_c <- t.grows_c + 1
+    end
+    else if
+      rate > shrink_above_rate && evs = 0 && t.cap > t.base_cache
+      && live_rows t <= t.cap / 2
+    then begin
+      t.cap <- max t.base_cache (t.cap / 2);
+      t.shrinks_c <- t.shrinks_c + 1;
+      shrink_to_cap t
+    end;
+    t.win_steps0 <- t.steps;
+    t.win_hits0 <- t.hits;
+    t.win_ev0 <- t.evictions_c
+  end
+
+(* Find-or-create the row for [cfg]. Under [Clock] a full cache evicts
+   exactly one victim and reuses its slot in place — every other row,
+   and every session, survives. Under [Flush] a full cache drops the
+   whole table (the pre-eviction behaviour, kept for the equivalence
+   property and the ablation benches). The returned id is always
+   valid in the rows array the call leaves behind. *)
+let intern_id t cfg =
   match Tbl.find_opt t.tbl cfg with
-  | Some id -> (id, false)
-  | None ->
-      let full = t.n_rows - 2 >= t.cache_size in
-      if full then flush t;
-      let id = add_row t cfg ~register:true in
+  | Some id ->
+      Bytes.set t.refs id '\001';
+      id
+  | None -> (
       t.interned <- t.interned + 1;
-      (id, full)
+      match t.policy with
+      | Flush ->
+          if t.n_rows - 2 >= t.cap then flush t;
+          add_row t cfg ~register:true
+      | Clock ->
+          maybe_resize t;
+          (* The capacity bounds *live* rows, not allocated slots:
+             reusing a freed slot still adds a resident row, so it
+             goes through the same gate as growing the arrays —
+             otherwise free-list refills after a shrink would let the
+             occupancy silently climb past [cap] again. *)
+          if live_rows t < t.cap then (
+            match t.free with
+            | v :: rest ->
+                t.free <- rest;
+                t.n_free <- t.n_free - 1;
+                install t v cfg
+            | [] -> add_row t cfg ~register:true)
+          else begin
+            let v = clock_pick t in
+            evict t v;
+            install t v cfg
+          end)
 
 (* The NFA step from one explicit configuration: Equations 4–6 over
    the active states' (and initial states') outgoing arcs for class
@@ -318,23 +534,33 @@ let fallback t cfg c ~at_start =
 
 (* Consume one class from configuration [cur]: memo lookup, or NFA
    fallback + intern + memoize. Returns the successor id and leaves
-   the edge's match set in [t.last_edge]. *)
+   the edge's match set in [t.last_edge].
+
+   Staleness discipline: the memo hit requires the stored stamp to
+   still match the successor slot's stamp (eviction reuses slots in
+   place), and the memo write is skipped when the row we stepped from
+   is no longer the resident of [cur] — either because the intern
+   flushed the whole table (epoch moved; [t.rows.(cur)] may not even
+   be in bounds any more, so the epoch test comes first) or because
+   clock eviction picked this very row as the victim. *)
 let step t cur c =
   t.steps <- t.steps + 1;
   let r = t.rows.(cur) in
   let nxt = r.next.(c) in
-  if nxt >= 0 then begin
+  if nxt >= 0 && r.next_stamp.(c) = t.stamps.(nxt) then begin
     t.hits <- t.hits + 1;
+    Bytes.set t.refs nxt '\001';
     t.last_edge <- r.edge_matches.(c);
     nxt
   end
   else begin
     t.misses <- t.misses + 1;
+    let epoch0 = t.epoch in
     let cfg', ms = fallback t r.cfg c ~at_start:(cur = start_id) in
-    let id, flushed = intern t cfg' in
-    (* On flush [r] belongs to the dropped table: skip the memo. *)
-    if not flushed then begin
+    let id = intern_id t cfg' in
+    if t.epoch = epoch0 && t.rows.(cur) == r then begin
       r.next.(c) <- id;
+      r.next_stamp.(c) <- t.stamps.(id);
       r.edge_matches.(c) <- ms
     end;
     t.last_edge <- ms;
@@ -343,28 +569,32 @@ let step t cur c =
 
 (* Consume two classes at once. On a pair-table hit this is one array
    read instead of two row traversals; on a miss it decomposes into
-   two single steps and memoises the pair — unless a flush happened
-   under our feet (the row then belongs to a dropped table, like in
-   [step]) or the row is past the pair-cell budget. Leaves the first
-   edge's matches in [t.last_mid] and the second's in [t.last_edge]. *)
+   two single steps and memoises the pair — under the same staleness
+   discipline as [step] (stamped successor, write only if the row
+   still owns its slot in the same epoch) and only below the pair-cell
+   budget. Leaves the first edge's matches in [t.last_mid] and the
+   second's in [t.last_edge]. *)
 let step2 t cur c1 c2 =
   let r = t.rows.(cur) in
   let k = t.k in
   if Array.length r.next2 = 0 && t.pair_cells + (k * k) <= pair_cell_budget
   then begin
     r.next2 <- Array.make (k * k) (-1);
+    r.next2_stamp <- Array.make (k * k) (-1);
     r.mid2 <- Array.make (k * k) [||];
     r.end2 <- Array.make (k * k) [||];
     t.pair_cells <- t.pair_cells + (k * k)
   end;
   let idx = (c1 * k) + c2 in
-  if Array.length r.next2 > 0 && r.next2.(idx) >= 0 then begin
+  let fin2 = if Array.length r.next2 > 0 then r.next2.(idx) else -1 in
+  if fin2 >= 0 && r.next2_stamp.(idx) = t.stamps.(fin2) then begin
     t.steps <- t.steps + 2;
     t.hits <- t.hits + 2;
     t.p_hits <- t.p_hits + 1;
+    Bytes.set t.refs fin2 '\001';
     t.last_mid <- r.mid2.(idx);
     t.last_edge <- r.end2.(idx);
-    r.next2.(idx)
+    fin2
   end
   else begin
     let epoch0 = t.epoch in
@@ -372,8 +602,13 @@ let step2 t cur c1 c2 =
     let mids = t.last_edge in
     let fin = step t mid c2 in
     let ends = t.last_edge in
-    if t.epoch = epoch0 && Array.length r.next2 > 0 then begin
+    if
+      t.epoch = epoch0
+      && t.rows.(cur) == r
+      && Array.length r.next2 > 0
+    then begin
       r.next2.(idx) <- fin;
+      r.next2_stamp.(idx) <- t.stamps.(fin);
       r.mid2.(idx) <- mids;
       r.end2.(idx) <- ends
     end;
@@ -382,7 +617,36 @@ let step2 t cur c1 c2 =
     fin
   end
 
-let execute t input ~on_match =
+(* ------------------------------------------------------- Demotion *)
+
+(* Demotion is the planner's escape hatch for sustained churn: stop
+   paying for a cache that cannot hold the working set and step the
+   NFA directly, iMFAnt-style. Streaming sessions carry their
+   configuration explicitly, so they cross both transitions without
+   losing position or pending matches. *)
+let demote t =
+  if not t.bypass then begin
+    t.bypass <- true;
+    t.demotions_c <- t.demotions_c + 1;
+    (* Return the memo's memory; also bumps the epoch, which is what
+       tells outstanding sessions their row ids died. *)
+    flush t
+  end
+
+let promote t = t.bypass <- false
+
+let demoted t = t.bypass
+
+(* One bypass step: explicit configuration in, explicit configuration
+   out. Counted as a miss — there is no cache to hit. *)
+let bypass_step t cfg c ~at_start =
+  t.steps <- t.steps + 1;
+  t.misses <- t.misses + 1;
+  fallback t cfg c ~at_start
+
+(* ------------------------------------------------------ Execution *)
+
+let execute_bypass t input ~on_match =
   let z = t.z in
   let len = String.length input in
   let class_of = t.class_of in
@@ -391,16 +655,13 @@ let execute t input ~on_match =
   in
   let emit ms pos =
     let n = Array.length ms in
-    if n > 0 then
-      if not t.any_end_anchor then
-        for j = 0 to n - 1 do
-          on_match ms.(j) pos
-        done
-      else
-        for j = 0 to n - 1 do
-          let f = ms.(j) in
-          if (not z.Mfsa.anchored_end.(f)) || pos = len then on_match f pos
-        done
+    for j = 0 to n - 1 do
+      let f = ms.(j) in
+      if (not t.any_end_anchor)
+         || (not z.Mfsa.anchored_end.(f))
+         || pos = len
+      then on_match f pos
+    done
   in
   let cands =
     match t.prefilter with Some p -> Prefilter.candidates p input | None -> [||]
@@ -408,13 +669,11 @@ let execute t input ~on_match =
   let use_pf = t.prefilter <> None in
   let nc = Array.length cands in
   let ci = ref 0 in
-  let cur = ref start_id in
+  let cfg = ref empty_cfg in
+  let dead = ref false in
   let i = ref 0 in
   while !i < len do
-    (* The dead configuration only leaves through injection, and with
-       a prefilter injection can only succeed at literal-candidate
-       offsets: everything up to the next candidate is a no-op. *)
-    if use_pf && !cur = dead_id then begin
+    if use_pf && !dead then begin
       while !ci < nc && cands.(!ci) < !i do incr ci done;
       let target = if !ci < nc then cands.(!ci) else len in
       if target > !i then begin
@@ -422,20 +681,75 @@ let execute t input ~on_match =
         i := target
       end
     end;
-    if !i < len then
-      if t.stride2 && !i + 1 < len then begin
-        let c1 = cls !i and c2 = cls (!i + 1) in
-        cur := step2 t !cur c1 c2;
-        emit t.last_mid (!i + 1);
-        emit t.last_edge (!i + 2);
-        i := !i + 2
-      end
-      else begin
-        cur := step t !cur (cls !i);
-        emit t.last_edge (!i + 1);
-        incr i
-      end
+    if !i < len then begin
+      let cfg', ms = bypass_step t !cfg (cls !i) ~at_start:(!i = 0) in
+      cfg := cfg';
+      dead := Array.length cfg'.c_states = 0;
+      emit ms (!i + 1);
+      incr i
+    end
   done
+
+let execute t input ~on_match =
+  if t.bypass then execute_bypass t input ~on_match
+  else begin
+    let z = t.z in
+    let len = String.length input in
+    let class_of = t.class_of in
+    let cls i =
+      Char.code
+        (Bytes.unsafe_get class_of (Char.code (String.unsafe_get input i)))
+    in
+    let emit ms pos =
+      let n = Array.length ms in
+      if n > 0 then
+        if not t.any_end_anchor then
+          for j = 0 to n - 1 do
+            on_match ms.(j) pos
+          done
+        else
+          for j = 0 to n - 1 do
+            let f = ms.(j) in
+            if (not z.Mfsa.anchored_end.(f)) || pos = len then on_match f pos
+          done
+    in
+    let cands =
+      match t.prefilter with
+      | Some p -> Prefilter.candidates p input
+      | None -> [||]
+    in
+    let use_pf = t.prefilter <> None in
+    let nc = Array.length cands in
+    let ci = ref 0 in
+    let cur = ref start_id in
+    let i = ref 0 in
+    while !i < len do
+      (* The dead configuration only leaves through injection, and with
+         a prefilter injection can only succeed at literal-candidate
+         offsets: everything up to the next candidate is a no-op. *)
+      if use_pf && !cur = dead_id then begin
+        while !ci < nc && cands.(!ci) < !i do incr ci done;
+        let target = if !ci < nc then cands.(!ci) else len in
+        if target > !i then begin
+          t.skipped <- t.skipped + (target - !i);
+          i := target
+        end
+      end;
+      if !i < len then
+        if t.stride2 && !i + 1 < len then begin
+          let c1 = cls !i and c2 = cls (!i + 1) in
+          cur := step2 t !cur c1 c2;
+          emit t.last_mid (!i + 1);
+          emit t.last_edge (!i + 2);
+          i := !i + 2
+        end
+        else begin
+          cur := step t !cur (cls !i);
+          emit t.last_edge (!i + 1);
+          incr i
+        end
+    done
+  end
 
 let run t input =
   let acc = ref [] in
@@ -456,6 +770,14 @@ let count_per_fsa t input =
 
 let n_classes t = t.k
 
+let capacity t = t.cap
+
+(* O(1) reads of the hot counters, for online monitors ([stats] walks
+   every resident row to price the cache). *)
+let steps_total t = t.steps
+
+let hits_total t = t.hits
+
 let stats t =
   let word_bytes = 8 in
   let bitset_bytes =
@@ -463,16 +785,19 @@ let stats t =
   in
   let bytes = ref 0 in
   for i = 0 to t.n_rows - 1 do
-    let r = t.rows.(i) in
-    (* next + edge_matches pointer arrays, row and config headers. *)
-    bytes := !bytes + (word_bytes * ((2 * t.k) + 8));
-    Array.iter
-      (fun ms -> bytes := !bytes + (word_bytes * Array.length ms))
-      r.edge_matches;
-    if Array.length r.next2 > 0 then
-      bytes := !bytes + (word_bytes * 3 * t.k * t.k);
-    bytes := !bytes + (word_bytes * Array.length r.cfg.c_states);
-    bytes := !bytes + (bitset_bytes * Array.length r.cfg.c_sets)
+    if t.stamps.(i) >= 0 then begin
+      let r = t.rows.(i) in
+      (* next + stamps + edge_matches pointer arrays, row and config
+         headers. *)
+      bytes := !bytes + (word_bytes * ((3 * t.k) + 8));
+      Array.iter
+        (fun ms -> bytes := !bytes + (word_bytes * Array.length ms))
+        r.edge_matches;
+      if Array.length r.next2 > 0 then
+        bytes := !bytes + (word_bytes * 4 * t.k * t.k);
+      bytes := !bytes + (word_bytes * Array.length r.cfg.c_states);
+      bytes := !bytes + (bitset_bytes * Array.length r.cfg.c_sets)
+    end
   done;
   {
     steps = t.steps;
@@ -480,8 +805,13 @@ let stats t =
     misses = t.misses;
     pair_hits = t.p_hits;
     configs_interned = t.interned;
-    resident_configs = t.n_rows;
+    resident_configs = t.n_rows - t.n_free;
     flushes = t.flushes;
+    evictions = t.evictions_c;
+    capacity = t.cap;
+    grows = t.grows_c;
+    shrinks = t.shrinks_c;
+    demotions = t.demotions_c;
     cache_bytes = !bytes;
     skipped_bytes = t.skipped;
   }
@@ -493,7 +823,14 @@ let reset_stats t =
   t.p_hits <- 0;
   t.interned <- 0;
   t.flushes <- 0;
-  t.skipped <- 0
+  t.evictions_c <- 0;
+  t.grows_c <- 0;
+  t.shrinks_c <- 0;
+  t.demotions_c <- 0;
+  t.skipped <- 0;
+  t.win_steps0 <- 0;
+  t.win_hits0 <- 0;
+  t.win_ev0 <- 0
 
 (* ------------------------------------------------------- Streaming *)
 
@@ -501,12 +838,18 @@ type session = {
   eng : t;
   mutable cur : int;
   mutable cur_cfg : config;
-      (* The configuration [cur] names. Row ids do not survive a
-         flush, so the session keeps the (immutable) configuration
-         itself as the durable handle and re-interns it when the
-         engine's flush epoch has moved. *)
+      (* The configuration [cur] names. Row ids do not survive a flush
+         or an eviction of their slot, so the session keeps the
+         (immutable) configuration itself as the durable handle and
+         re-interns it when the engine has moved on; while the engine
+         is demoted this is the whole handle and [cur] holds
+         [bypass_live]. *)
   mutable epoch : int;
       (* Engine epoch [cur] was minted in. *)
+  mutable stamp : int;
+      (* Mint stamp of [cur]'s slot when the session last left the
+         engine; a differing stamp means the slot was reused (or
+         freed) and [cur_cfg] must be re-interned. *)
   mutable ac_state : int;
       (* Literal-scanner state carried across chunks, so candidate
          detection survives literals straddling chunk boundaries. *)
@@ -522,6 +865,7 @@ let session eng =
     cur = start_id;
     cur_cfg = empty_cfg;
     epoch = eng.epoch;
+    stamp = eng.stamps.(start_id);
     ac_state =
       (match eng.prefilter with
       | Some p -> Prefilter.start_state p
@@ -534,6 +878,7 @@ let reset s =
   s.cur <- start_id;
   s.cur_cfg <- empty_cfg;
   s.epoch <- s.eng.epoch;
+  s.stamp <- s.eng.stamps.(start_id);
   s.ac_state <-
     (match s.eng.prefilter with Some p -> Prefilter.start_state p | None -> 0);
   s.pos <- 0;
@@ -541,35 +886,46 @@ let reset s =
 
 let position s = s.pos
 
-(* Concurrent sessions share one cache: a flush forced by any of them
-   (or by a [run] on the same engine) invalidates every outstanding
-   row id except the seeded start/dead pair. Re-intern the session's
-   configuration before touching [t.rows] again. The intern may
-   itself flush a full cache; the id it returns is always valid in
-   the rows array it leaves behind. *)
+(* Concurrent sessions share one cache: between this session's feeds,
+   any other session (or a [run] on the same engine) may have flushed
+   the table, evicted the row this session points at, or demoted the
+   engine. Re-validate before touching [t.rows]: the epoch test comes
+   first (after a flush [s.cur] may be out of bounds for the fresh
+   stamps array), then the per-slot stamp detects in-place eviction.
+   The re-intern may itself evict or flush; the id it returns is
+   always valid in the rows array it leaves behind. *)
 let revalidate s =
   let t = s.eng in
-  if s.epoch <> t.epoch then begin
-    if s.cur > dead_id then s.cur <- fst (intern t s.cur_cfg);
+  if t.bypass then begin
+    if s.cur > dead_id then s.cur <- bypass_live;
     s.epoch <- t.epoch
   end
+  else begin
+    if s.cur = bypass_live then begin
+      (* Promoted back: configurations of live sessions are nonempty
+         (an empty one would have parked on [dead_id]), so this
+         re-intern lands on a real row. *)
+      s.cur <- intern_id t s.cur_cfg;
+      s.epoch <- t.epoch
+    end
+    else if s.epoch <> t.epoch then begin
+      if s.cur > dead_id then s.cur <- intern_id t s.cur_cfg;
+      s.epoch <- t.epoch
+    end
+    else if s.cur > dead_id && t.stamps.(s.cur) <> s.stamp then
+      s.cur <- intern_id t s.cur_cfg;
+    s.stamp <- t.stamps.(s.cur)
+  end
 
-let feed s chunk =
+let feed_bypass s chunk =
   let t = s.eng in
   let z = t.z in
-  revalidate s;
   let len = String.length chunk in
   let class_of = t.class_of in
   let cls i =
     Char.code (Bytes.unsafe_get class_of (Char.code (String.unsafe_get chunk i)))
   in
   let acc = ref [] in
-  (* Streaming prefilter: scan the chunk (updating the carried
-     scanner state), then skip dead stretches up to the next in-chunk
-     candidate — but never into the final [max_len - 1] bytes, where
-     a literal straddling into the next chunk could still start; the
-     engine keeps injection-at-every-byte semantics, so processing
-     those tail bytes natively is all the straddle case needs. *)
   let use_pf = t.prefilter <> None in
   let cands, limit =
     match t.prefilter with
@@ -594,49 +950,118 @@ let feed s chunk =
       end
     end;
     if !i < len then begin
-      (* Any continuation invalidates matches that were waiting for
-         end-of-stream. *)
       s.pending_end <- [];
-      if t.stride2 && !i + 1 < len then begin
-        let nxt = step2 t s.cur (cls !i) (cls (!i + 1)) in
-        let mids = t.last_mid in
-        for j = 0 to Array.length mids - 1 do
-          let f = mids.(j) in
-          (* An end-anchored match at the pair's first byte is
-             immediately invalidated by its second. *)
-          if not z.Mfsa.anchored_end.(f) then
-            acc := { fsa = f; end_pos = s.pos + 1 } :: !acc
-        done;
-        let ends = t.last_edge in
-        for j = 0 to Array.length ends - 1 do
-          let f = ends.(j) in
-          if z.Mfsa.anchored_end.(f) then s.pending_end <- f :: s.pending_end
-          else acc := { fsa = f; end_pos = s.pos + 2 } :: !acc
-        done;
-        s.cur <- nxt;
-        s.cur_cfg <- t.rows.(nxt).cfg;
-        s.pos <- s.pos + 2;
-        i := !i + 2
-      end
-      else begin
-        let nxt = step t s.cur (cls !i) in
-        let ms = t.last_edge in
-        for j = 0 to Array.length ms - 1 do
-          let f = ms.(j) in
-          if z.Mfsa.anchored_end.(f) then s.pending_end <- f :: s.pending_end
-          else acc := { fsa = f; end_pos = s.pos + 1 } :: !acc
-        done;
-        s.cur <- nxt;
-        s.cur_cfg <- t.rows.(nxt).cfg;
-        s.pos <- s.pos + 1;
-        incr i
-      end
+      let at_start = s.cur = start_id in
+      let cfg =
+        if s.cur = start_id || s.cur = dead_id then empty_cfg else s.cur_cfg
+      in
+      let cfg', ms = bypass_step t cfg (cls !i) ~at_start in
+      for j = 0 to Array.length ms - 1 do
+        let f = ms.(j) in
+        if z.Mfsa.anchored_end.(f) then s.pending_end <- f :: s.pending_end
+        else acc := { fsa = f; end_pos = s.pos + 1 } :: !acc
+      done;
+      s.cur_cfg <- cfg';
+      s.cur <-
+        (if Array.length cfg'.c_states = 0 then dead_id else bypass_live);
+      s.pos <- s.pos + 1;
+      incr i
     end
   done;
-  (* A miss inside this chunk may have flushed; the ids we minted
-     afterwards are current, so resync rather than re-intern. *)
   s.epoch <- t.epoch;
   List.rev !acc
+
+let feed s chunk =
+  let t = s.eng in
+  revalidate s;
+  if t.bypass then feed_bypass s chunk
+  else begin
+    let z = t.z in
+    let len = String.length chunk in
+    let class_of = t.class_of in
+    let cls i =
+      Char.code
+        (Bytes.unsafe_get class_of (Char.code (String.unsafe_get chunk i)))
+    in
+    let acc = ref [] in
+    (* Streaming prefilter: scan the chunk (updating the carried
+       scanner state), then skip dead stretches up to the next in-chunk
+       candidate — but never into the final [max_len - 1] bytes, where
+       a literal straddling into the next chunk could still start; the
+       engine keeps injection-at-every-byte semantics, so processing
+       those tail bytes natively is all the straddle case needs. *)
+    let use_pf = t.prefilter <> None in
+    let cands, limit =
+      match t.prefilter with
+      | None -> ([||], 0)
+      | Some p ->
+          let c, st = Prefilter.scan_chunk p ~state:s.ac_state chunk in
+          s.ac_state <- st;
+          (c, len - (Prefilter.max_len p - 1))
+    in
+    let nc = Array.length cands in
+    let ci = ref 0 in
+    let i = ref 0 in
+    while !i < len do
+      if use_pf && s.cur = dead_id then begin
+        while !ci < nc && cands.(!ci) < !i do incr ci done;
+        let stop = if !ci < nc then min cands.(!ci) limit else limit in
+        if stop > !i then begin
+          t.skipped <- t.skipped + (stop - !i);
+          s.pos <- s.pos + (stop - !i);
+          s.pending_end <- [];
+          i := stop
+        end
+      end;
+      if !i < len then begin
+        (* Any continuation invalidates matches that were waiting for
+           end-of-stream. *)
+        s.pending_end <- [];
+        if t.stride2 && !i + 1 < len then begin
+          let nxt = step2 t s.cur (cls !i) (cls (!i + 1)) in
+          let mids = t.last_mid in
+          for j = 0 to Array.length mids - 1 do
+            let f = mids.(j) in
+            (* An end-anchored match at the pair's first byte is
+               immediately invalidated by its second. *)
+            if not z.Mfsa.anchored_end.(f) then
+              acc := { fsa = f; end_pos = s.pos + 1 } :: !acc
+          done;
+          let ends = t.last_edge in
+          for j = 0 to Array.length ends - 1 do
+            let f = ends.(j) in
+            if z.Mfsa.anchored_end.(f) then
+              s.pending_end <- f :: s.pending_end
+            else acc := { fsa = f; end_pos = s.pos + 2 } :: !acc
+          done;
+          s.cur <- nxt;
+          s.cur_cfg <- t.rows.(nxt).cfg;
+          s.pos <- s.pos + 2;
+          i := !i + 2
+        end
+        else begin
+          let nxt = step t s.cur (cls !i) in
+          let ms = t.last_edge in
+          for j = 0 to Array.length ms - 1 do
+            let f = ms.(j) in
+            if z.Mfsa.anchored_end.(f) then
+              s.pending_end <- f :: s.pending_end
+            else acc := { fsa = f; end_pos = s.pos + 1 } :: !acc
+          done;
+          s.cur <- nxt;
+          s.cur_cfg <- t.rows.(nxt).cfg;
+          s.pos <- s.pos + 1;
+          incr i
+        end
+      end
+    done;
+    (* A miss inside this chunk may have flushed or evicted; the id we
+       hold was minted (or revalidated) afterwards, so resync the
+       epoch and the slot stamp rather than re-intern. *)
+    s.epoch <- t.epoch;
+    s.stamp <- t.stamps.(s.cur);
+    List.rev !acc
+  end
 
 let finish s =
   List.sort Int.compare s.pending_end

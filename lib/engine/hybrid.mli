@@ -18,14 +18,21 @@
     The fallback walks only the {e active} states' outgoing arcs
     through the CSR layout of {!Imfant.csr} — O(active arcs), not
     O(byte-enabled transitions) — so even a cold cache tracks the
-    input's real activity. The cache is bounded: when the number of
-    interned configurations passes the budget, the whole cache is
-    flushed and rebuilt from the current configuration (RE2's
-    eviction policy — cheap, and sidesteps LRU bookkeeping on the
-    hot path). Rulesets whose configuration space churns faster than
-    the cache can hold it degrade to pure NFA simulation plus
-    hashing overhead; {!stats} makes that visible, and {!Imfant} is
-    the right engine there.
+    input's real activity. The cache is bounded, and under the default
+    {!eviction} policy ({!Clock}) a full cache evicts exactly {e one}
+    configuration — second-chance over the memo rows, reusing the
+    victim's slot in place — instead of dropping the whole table; the
+    capacity additionally adapts to observed eviction pressure,
+    growing up to 8x the configured size while the working set keeps
+    displacing itself and shrinking back only when the cache runs hot
+    with at most half its capacity occupied (so a shrink never evicts
+    a resident working set). The pre-eviction behaviour (drop everything and
+    rebuild — RE2's policy) is kept as {!Flush}, for ablation and for
+    the equivalence tests. Rulesets whose configuration space churns
+    faster than even the grown cache can hold degrade to pure NFA
+    simulation plus hashing overhead; {!stats} makes that visible, and
+    {!demote} (the [auto:] planner's escape hatch) turns the engine
+    into exactly that NFA simulation without the hashing.
 
     Matches are reported identically to {!Imfant}: unanchored
     matching, per-FSA [^]/[$] flags honoured, non-empty matches, one
@@ -40,6 +47,18 @@ type t
 
 type match_event = Engine_sig.match_event = { fsa : int; end_pos : int }
 
+type eviction =
+  | Clock
+      (** Incremental second-chance eviction: a full cache picks one
+          victim row (unreferenced since the hand last passed) and
+          reuses its slot. Memoised successor ids are validated with
+          per-slot mint stamps, so a stale pointer into a reused slot
+          reads as a miss, never as a wrong answer. Default. *)
+  | Flush
+      (** Drop the whole table when full and rebuild from the current
+          configuration — the pre-eviction policy, kept for ablations
+          and equivalence tests. *)
+
 type stats = {
   steps : int;  (** Input bytes processed since compile. *)
   hits : int;  (** Steps answered by the memo table alone. *)
@@ -49,12 +68,22 @@ type stats = {
           counts as two steps and two hits). *)
   configs_interned : int;
       (** Configurations interned since compile, cumulative across
-          flushes. *)
+          flushes and evictions. *)
   resident_configs : int;
       (** Configurations currently interned (including the two
           built-ins: the position-0 start configuration and the dead
           configuration). *)
   flushes : int;  (** Times the full cache was dropped. *)
+  evictions : int;
+      (** Individual configurations evicted by the clock (victim
+          selection on a full cache, plus rows freed by a shrink). *)
+  capacity : int;
+      (** Current live capacity in rows. Starts at the configured
+          cache size; the adaptive bands move it between 1x and 8x
+          that base. A gauge, not a counter. *)
+  grows : int;  (** Times the adaptive band doubled the capacity. *)
+  shrinks : int;  (** Times the adaptive band halved the capacity. *)
+  demotions : int;  (** Times {!demote} engaged the NFA bypass. *)
   cache_bytes : int;
       (** Approximate resident cache footprint: memo rows, pair
           tables, interned configurations and per-edge match lists. *)
@@ -63,19 +92,23 @@ type stats = {
           while in the dead configuration. *)
 }
 
-val compile : ?cache_size:int -> Mfsa_model.Mfsa.t -> t
+val compile : ?cache_size:int -> ?eviction:eviction -> Mfsa_model.Mfsa.t -> t
 (** [cache_size] bounds the number of {e dynamically} interned
-    configurations (default 4096); when interning would exceed the
-    bound, the whole cache is flushed and rebuilt from scratch
-    (RE2-style eviction), so correctness never depends on the bound.
+    configurations; it defaults to the {!Tuning.t.cache_size} snapshot
+    the wrapped {!Imfant} engine recorded at compile time (so
+    [--cache-size] and artifact-stored values flow through without
+    every caller threading the parameter). [eviction] selects the
+    full-cache policy (default {!Clock}); correctness never depends on
+    either knob.
     @raise Invalid_argument if [cache_size < 1]. *)
 
-val of_imfant : ?cache_size:int -> Imfant.t -> t
+val of_imfant : ?cache_size:int -> ?eviction:eviction -> Imfant.t -> t
 (** Wrap an already compiled iMFAnt engine, sharing its tables. The
     wrapped engine's recorded {!Imfant.tuning} (not the current global
-    tuning) decides whether 2-byte striding is enabled. *)
+    tuning) decides whether 2-byte striding is enabled and supplies
+    the default cache size. *)
 
-val of_tables : ?cache_size:int -> Tables.t -> t
+val of_tables : ?cache_size:int -> ?eviction:eviction -> Tables.t -> t
 (** [of_imfant] over {!Imfant.of_tables}: adopt a persisted table
     bundle in O(size). The lazily built structures — the configuration
     cache and the pair-class stride tables — start empty, exactly as
@@ -91,20 +124,55 @@ val n_classes : t -> int
     (inherited from the wrapped {!Imfant} engine; 256 when class
     compression was tuned off at compile time). *)
 
+val capacity : t -> int
+(** The current adaptive capacity, in rows (= [stats.capacity]). *)
+
+val steps_total : t -> int
+(** [stats.steps] without the O(resident rows) footprint walk — for
+    per-call online monitors (the [auto] planner's churn detector). *)
+
+val hits_total : t -> int
+(** [stats.hits], same O(1) contract as {!steps_total}. *)
+
 val stats : t -> stats
 (** Cumulative cache counters; {!reset_stats} zeroes them without
     touching the cache. Hit rate is [hits / steps]. *)
 
 val reset_stats : t -> unit
+(** Zero every counter in {!stats} — including the eviction, resize
+    and demotion series and the adaptive band's internal window marks
+    — without touching the cache contents, the current capacity, or
+    the demotion state. *)
 
 val flush : t -> unit
-(** Drop every dynamically interned configuration, as if the cache
-    bound had just been hit: the next step from any configuration
-    takes the NFA fallback path again. Outstanding sessions survive
-    (they re-intern their configuration). Counts as a flush in
-    {!stats}; combined with {!reset_stats} it returns the engine to
-    its freshly-compiled observable state — what the registry
-    adapter's [reset_stats] does. *)
+(** Drop every dynamically interned configuration, return the
+    capacity to its configured base, and bump the epoch: the next
+    step from any configuration takes the NFA fallback path again.
+    Outstanding sessions survive (they re-intern their
+    configuration). Counts as a flush in {!stats}; combined with
+    {!reset_stats} it returns the engine to its freshly-compiled
+    observable state — what the registry adapter's [reset_stats]
+    does. *)
+
+(** {2 Demotion}
+
+    The [auto:] planner's online escape hatch. A demoted engine stops
+    using (and paying for) the memo cache entirely: every step is the
+    NFA fallback from the explicit configuration — operationally
+    iMFAnt with the hybrid's reporting plumbing. Streaming sessions
+    carry their configuration across both transitions, so no session
+    loses its position, activation state or pending end-anchored
+    matches. *)
+
+val demote : t -> unit
+(** Engage the NFA bypass (idempotent). Frees the cache (counts as a
+    flush) and counts a demotion in {!stats}. *)
+
+val promote : t -> unit
+(** Leave the bypass: steps go back through the (empty, to-be-refilled)
+    memo cache. Idempotent. *)
+
+val demoted : t -> bool
 
 val run : t -> string -> match_event list
 (** All matches, ordered by end position (ties by FSA id). Equal to
@@ -121,10 +189,13 @@ val count_per_fsa : t -> string -> int array
     global stream offsets, end-anchored rules report at {!finish}.
     Sessions share their engine's cache — concurrent sessions on one
     engine are fine within a single domain and make the cache warmer
-    for each other. A cache flush forced by one session (or by a
-    [run] on the same engine) does not disturb the others: each
-    session keeps its current configuration and re-interns it after
-    a flush, at the cost of one extra cache insertion. *)
+    for each other. A cache flush or an eviction forced by one
+    session (or by a [run] on the same engine) does not disturb the
+    others: each session keeps its current configuration as the
+    durable handle and re-interns it when its row id went stale (the
+    engine detects both a flushed table, via the epoch, and an
+    individually reused slot, via per-slot mint stamps), at the cost
+    of one extra cache insertion. *)
 
 type session
 

@@ -1,0 +1,116 @@
+module Mfsa = Mfsa_model.Mfsa
+module Parser = Mfsa_frontend.Parser
+module Ast = Mfsa_frontend.Ast
+
+type features = {
+  f_states : int;
+  f_fsas : int;
+  f_transitions : int;
+  f_classes : int;
+  f_density : float;
+  f_literal_share : float;
+  f_prefilter : bool;
+}
+
+(* Thresholds (fitted against BENCH_planner.json's features and
+   per-engine steady-state throughputs on the six bundled datasets —
+   see the planner row of DESIGN.md):
+
+   - The hybrid wins whenever the literal prefilter engages: the memo
+     cache then only sees the hot regions, where configurations
+     repeat heavily, and the adaptive capacity absorbs the resident
+     working set (5–35x over iMFAnt on BRO/DS9/PEN/RG1/TCP). Static
+     automaton size does {e not} predict cacheability — PRO's 86
+     merged states explode into a ~44k-configuration working set
+     while TCP's 119 states stay under 24k and cache fully — so no
+     state bound gates the choice; a ruleset whose configurations
+     churn past even the grown cache is caught online by the
+     [demote] escape hatch instead.
+   - Otherwise the per-rule scanning DFAs win as long as there are
+     few enough rules that scanning the input once per rule stays
+     cheap, and the merged automaton is small enough to determinise
+     per projection (PRO).
+   - Otherwise the merged transition-centric engine is the safe
+     choice: it is never pathological, and [demote] makes the hybrid
+     converge to it anyway. *)
+let dfa_max_fsas = 64
+
+let dfa_max_states = 4096
+
+let choose f =
+  if f.f_prefilter then "hybrid"
+  else if f.f_fsas <= dfa_max_fsas && f.f_states <= dfa_max_states then "dfa"
+  else "imfant"
+
+(* From a persisted table bundle only table-capable engines can come
+   up, so the per-rule DFAs are not an option; everything that would
+   plan ["hybrid"] still does, the rest goes to iMFAnt. *)
+let choose_tables f = if f.f_prefilter then "hybrid" else "imfant"
+
+(* Online escape hatch: a hybrid whose windowed hit rate stays below
+   [demote_below_rate] over [demote_window] steps is churning faster
+   than even the adaptively grown cache can absorb — demote it to
+   pure NFA stepping (operationally iMFAnt; sessions keep their
+   state). *)
+let demote_window = 1 lsl 16
+
+let demote_below_rate = 0.5
+
+let literal_features (z : Mfsa.t) =
+  let n = z.Mfsa.n_fsas in
+  let covered = ref 0 in
+  let unanchored_uncovered = ref 0 in
+  for j = 0 to n - 1 do
+    let has_prefix =
+      match Parser.parse z.Mfsa.patterns.(j) with
+      | Error _ -> false
+      | Ok rule -> Prefilter.prefix_set rule.Ast.ast <> None
+    in
+    if has_prefix then incr covered
+    else if not z.Mfsa.anchored_start.(j) then incr unanchored_uncovered
+  done;
+  let share = if n = 0 then 0. else float_of_int !covered /. float_of_int n in
+  (* The prefilter engages iff every unanchored rule has a usable
+     prefix (anchored-start rules can only match at position 0 and do
+     not gate it) — the same condition {!Prefilter.analyze} checks,
+     without building the scanner. *)
+  (share, !unanchored_uncovered = 0)
+
+let density (z : Mfsa.t) =
+  let nt = Mfsa.n_transitions z in
+  if nt = 0 || z.Mfsa.n_fsas = 0 then 0.
+  else begin
+    let total = ref 0 in
+    Array.iter
+      (fun b -> total := !total + Mfsa_util.Bitset.cardinal b)
+      z.Mfsa.bel;
+    float_of_int !total /. float_of_int (nt * z.Mfsa.n_fsas)
+  end
+
+let features_of_mfsa (z : Mfsa.t) =
+  let share, pf = literal_features z in
+  {
+    f_states = z.Mfsa.n_states;
+    f_fsas = z.Mfsa.n_fsas;
+    f_transitions = Mfsa.n_transitions z;
+    f_classes = (Mfsa.classes z).Mfsa.n_classes;
+    f_density = density z;
+    f_literal_share = share;
+    f_prefilter = pf;
+  }
+
+let features_of_tables (tb : Tables.t) =
+  let z = tb.Tables.z in
+  let share, _ = literal_features z in
+  {
+    f_states = z.Mfsa.n_states;
+    f_fsas = z.Mfsa.n_fsas;
+    f_transitions = Mfsa.n_transitions z;
+    f_classes = tb.Tables.n_classes;
+    f_density = density z;
+    f_literal_share = share;
+    (* The bundle records whether a prefilter was actually built for
+       the tuning it was compiled under — more faithful than
+       re-deriving from the patterns. *)
+    f_prefilter = tb.Tables.prefilter <> None;
+  }

@@ -26,6 +26,7 @@ module type Base = sig
   val count_per_fsa : compiled -> string -> int array
   val stats : compiled -> Mfsa_obs.Snapshot.t
   val reset_stats : compiled -> unit
+  val reset_counters : compiled -> unit
 end
 
 (* Streaming for engines without native cross-chunk state: keep the
@@ -146,6 +147,9 @@ module Imfant_engine : Engine_sig.S = struct
     c.max_active <- 0;
     Imfant.reset_skipped c.im
 
+  (* Nothing behind the counters is warm state: both resets agree. *)
+  let reset_counters = reset_stats
+
   type session = Imfant.session
 
   let session c = Imfant.session c.im
@@ -163,7 +167,10 @@ end
 (* hybrid                                                              *)
 (* ------------------------------------------------------------------ *)
 
-module Hybrid_engine : Engine_sig.S = struct
+(* The compiled type stays transparent: the [auto] planner below
+   reuses this adapter's compile/stats/session plumbing while keeping
+   a typed handle on the engine for its demotion monitor. *)
+module Hybrid_engine : Engine_sig.S with type compiled = Hybrid.t = struct
   let name = "hybrid"
 
   let doc = "lazy-DFA configuration cache over iMFAnt (RE2-style)"
@@ -206,6 +213,21 @@ module Hybrid_engine : Engine_sig.S = struct
         "mfsa_engine_cache_interned_total" s.Hybrid.configs_interned;
       Snapshot.counter_i ~labels ~help:"Full cache flushes"
         "mfsa_engine_cache_flushes_total" s.Hybrid.flushes;
+      Snapshot.counter_i ~labels
+        ~help:"Configurations individually evicted by the clock"
+        "mfsa_engine_cache_evictions_total" s.Hybrid.evictions;
+      Snapshot.gauge_i ~labels
+        ~help:"Current adaptive cache capacity in rows"
+        "mfsa_engine_cache_capacity" s.Hybrid.capacity;
+      Snapshot.counter_i ~labels
+        ~help:"Adaptive capacity doublings under churn"
+        "mfsa_engine_cache_grows_total" s.Hybrid.grows;
+      Snapshot.counter_i ~labels
+        ~help:"Adaptive capacity halvings on a hot cache"
+        "mfsa_engine_cache_shrinks_total" s.Hybrid.shrinks;
+      Snapshot.counter_i ~labels
+        ~help:"Demotions to pure NFA stepping (planner escape hatch)"
+        "mfsa_engine_demotions_total" s.Hybrid.demotions;
       Snapshot.gauge_i ~labels ~help:"Approximate cache footprint"
         "mfsa_engine_cache_bytes" s.Hybrid.cache_bytes;
       Snapshot.counter_i ~labels
@@ -221,10 +243,16 @@ module Hybrid_engine : Engine_sig.S = struct
 
   (* Metric reproducibility (Engine_sig contract): the counters AND
      the cache state they describe go back to the freshly-compiled
-     state, so reset + run replays the cold-cache metric trajectory. *)
+     state — cache dropped, capacity back to base, demotion lifted —
+     so reset + run replays the cold-cache metric trajectory. *)
   let reset_stats c =
+    Hybrid.promote c;
     Hybrid.flush c;
     Hybrid.reset_stats c
+
+  (* The measurement-window reset: counters to zero, cache (and
+     capacity, and demotion state) left warm. *)
+  let reset_counters c = Hybrid.reset_stats c
 
   type session = Hybrid.session
 
@@ -292,6 +320,8 @@ module Infant_base = struct
     ]
 
   let reset_stats _ = ()
+
+  let reset_counters = reset_stats
 end
 
 module Infant_engine = Buffered_session (Infant_base)
@@ -353,6 +383,8 @@ module Dfa_base = struct
     ]
 
   let reset_stats _ = ()
+
+  let reset_counters = reset_stats
 end
 
 module Dfa_engine_engine = Buffered_session (Dfa_base)
@@ -400,6 +432,8 @@ module Decomposed_base = struct
     ]
 
   let reset_stats _ = ()
+
+  let reset_counters = reset_stats
 end
 
 module Decomposed_engine = Buffered_session (Decomposed_base)
@@ -525,6 +559,8 @@ module Ac_engine : Engine_sig.S = struct
 
   let reset_stats _ = ()
 
+  let reset_counters = reset_stats
+
   (* Streaming is native: the scanner state carries across chunks, so
      literals straddling chunk boundaries are found without buffering
      the stream. *)
@@ -593,6 +629,175 @@ module Ac_engine : Engine_sig.S = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* auto — the planner meta-engine                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* [auto] plans a concrete engine per ruleset from the static features
+   {!Planner} computes at compile time, then delegates everything to
+   the planned engine's adapter. When the plan is [hybrid] it keeps a
+   typed handle on the engine and watches the windowed cache hit rate
+   after every batch call and chunk: sustained churn demotes the
+   hybrid to pure NFA stepping ({!Hybrid.demote} — operationally
+   iMFAnt, sessions keep their state). Stats are the inner engine's
+   series relabelled [engine="auto"], plus the planner's own series
+   (what was planned, what is active, and the features that decided). *)
+module Auto_engine : Engine_sig.S = struct
+  let name = "auto"
+
+  let doc =
+    "planner meta-engine: picks imfant/hybrid/dfa per ruleset from static \
+     features; a churning hybrid demotes to iMFAnt mid-stream"
+
+  type compiled = {
+    packed : Engine_sig.t;
+    choice : string;  (* the planned engine's registry name *)
+    feats : Planner.features;
+    hy : Hybrid.t option;  (* the typed handle when the plan was hybrid *)
+    mutable mark_steps : int;  (* monitor-window marks *)
+    mutable mark_hits : int;
+  }
+
+  let wrap feats choice packed hy =
+    { packed; choice; feats; hy; mark_steps = 0; mark_hits = 0 }
+
+  let compile z =
+    let feats = Planner.features_of_mfsa z in
+    match Planner.choose feats with
+    | "hybrid" ->
+        let h = Hybrid_engine.compile z in
+        wrap feats "hybrid" (Engine_sig.pack (module Hybrid_engine) h) (Some h)
+    | "dfa" ->
+        wrap feats "dfa"
+          (Engine_sig.pack
+             (module Dfa_engine_engine)
+             (Dfa_engine_engine.compile z))
+          None
+    | _ ->
+        wrap feats "imfant"
+          (Engine_sig.pack (module Imfant_engine) (Imfant_engine.compile z))
+          None
+
+  let of_tables =
+    Some
+      (fun tb ->
+        let feats = Planner.features_of_tables tb in
+        match Planner.choose_tables feats with
+        | "hybrid" ->
+            let h = Hybrid.of_tables tb in
+            wrap feats "hybrid"
+              (Engine_sig.pack (module Hybrid_engine) h)
+              (Some h)
+        | _ ->
+            let load =
+              match Imfant_engine.of_tables with
+              | Some load -> load
+              | None -> assert false
+            in
+            wrap feats "imfant"
+              (Engine_sig.pack (module Imfant_engine) (load tb))
+              None)
+
+  let mfsa c = Engine_sig.mfsa c.packed
+
+  (* The online escape hatch: close any elapsed monitoring window and
+     demote on sustained churn. O(1) per call — two counter reads. *)
+  let monitor c =
+    match c.hy with
+    | None -> ()
+    | Some h ->
+        if not (Hybrid.demoted h) then begin
+          let steps = Hybrid.steps_total h in
+          let w = steps - c.mark_steps in
+          if w >= Planner.demote_window then begin
+            let hits = Hybrid.hits_total h in
+            let rate = float_of_int (hits - c.mark_hits) /. float_of_int w in
+            if rate < Planner.demote_below_rate then Hybrid.demote h;
+            c.mark_steps <- steps;
+            c.mark_hits <- hits
+          end
+        end
+
+  let run c input =
+    let evs = Engine_sig.run c.packed input in
+    monitor c;
+    evs
+
+  let count c input =
+    let n = Engine_sig.count c.packed input in
+    monitor c;
+    n
+
+  let count_per_fsa c input =
+    let a = Engine_sig.count_per_fsa c.packed input in
+    monitor c;
+    a
+
+  let active c =
+    match c.hy with
+    | Some h when Hybrid.demoted h -> "imfant"
+    | _ -> c.choice
+
+  let stats c =
+    let inner =
+      Snapshot.with_labels
+        [ ("engine", name) ]
+        (Snapshot.without_label "engine" (Engine_sig.stats c.packed))
+    in
+    let labels = [ ("engine", name) ] in
+    Snapshot.merge
+      [
+        inner;
+        [
+          Snapshot.gauge_i
+            ~labels:(labels @ [ ("planned", c.choice); ("active", active c) ])
+            ~help:
+              "Always 1; the labels carry the planner's static choice and \
+               the engine actually running (they differ after a demotion)"
+            "mfsa_engine_planner_choice" 1;
+          Snapshot.gauge ~labels
+            ~help:"Fraction of rules with a usable required literal prefix"
+            "mfsa_engine_planner_literal_share"
+            c.feats.Planner.f_literal_share;
+          Snapshot.gauge ~labels
+            ~help:"Mean |bel(t)| / n_fsas over the merged transitions"
+            "mfsa_engine_planner_activation_density" c.feats.Planner.f_density;
+          Snapshot.gauge_i ~labels
+            ~help:"1 when the Aho\xe2\x80\x93Corasick literal prefilter engages"
+            "mfsa_engine_planner_prefilter"
+            (if c.feats.Planner.f_prefilter then 1 else 0);
+        ];
+      ]
+
+  let reset_stats c =
+    (* The inner reset lifts any demotion (the hybrid adapter
+       promotes), so the fresh-compile trajectory — including the
+       planner series — replays exactly. *)
+    Engine_sig.reset_stats c.packed;
+    c.mark_steps <- 0;
+    c.mark_hits <- 0
+
+  let reset_counters c =
+    Engine_sig.reset_counters c.packed;
+    c.mark_steps <- 0;
+    c.mark_hits <- 0
+
+  type session = { c : compiled; s : Engine_sig.session }
+
+  let session c = { c; s = Engine_sig.session c.packed }
+
+  let feed s chunk =
+    let evs = Engine_sig.feed s.s chunk in
+    monitor s.c;
+    evs
+
+  let finish s = Engine_sig.finish s.s
+
+  let reset s = Engine_sig.reset s.s
+
+  let position s = Engine_sig.position s.s
+end
+
+(* ------------------------------------------------------------------ *)
 (* The table                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -617,6 +822,7 @@ let () =
       (module Infant_engine);
       (module Dfa_engine_engine);
       (module Decomposed_engine);
+      (module Auto_engine);
     ];
   register_restricted (module Ac_engine)
 

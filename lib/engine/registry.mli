@@ -28,6 +28,14 @@
       ({!Prefilter.exact_strings}) and raises [Invalid_argument] on
       anything else, so it appears in {!names}/{!help} but not in
       {!general_names}.
+    - ["auto"] — the {!Planner} meta-engine: picks ["imfant"],
+      ["hybrid"] or ["dfa"] per ruleset from static compile-time
+      features (literal coverage, rule count, merged size), then
+      delegates; when the plan was ["hybrid"] it monitors the
+      windowed cache hit rate online and {!Hybrid.demote}s to pure
+      NFA stepping on sustained churn — sessions keep their state
+      across the demotion. Its stats are the inner engine's series
+      relabelled [engine="auto"] plus [mfsa_engine_planner_*].
 
     The per-rule baselines satisfy the streaming half of the signature
     by re-scanning a buffered copy of the stream (documented in

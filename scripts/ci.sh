@@ -42,6 +42,37 @@ if printf '%s' "$out" | grep -q DIVERGED; then
 fi
 test -s BENCH_hotloop.json
 
+echo "== planner + eviction ablation (planner gate) =="
+# The auto meta-engine must report exactly iMFAnt's matches on every
+# dataset (rows disagreeing are marked DIVERGED and the bench exits
+# non-zero), and the churn ablation must show the cache-collapse fix:
+# on DS9 — the ruleset whose configuration working set overflows the
+# default cache — the clock policy cycles single rows (evictions,
+# never a whole-table flush) and stays at least as fast as the
+# cache-less iMFAnt floor, where flush-on-full used to collapse.
+out=$(MFSA_SCALE="${MFSA_SCALE:-0.1}" MFSA_STREAM_KB="${MFSA_STREAM_KB:-32}" \
+  MFSA_REPS="${MFSA_REPS:-2}" dune exec bench/main.exe -- planner)
+printf '%s\n' "$out"
+if printf '%s' "$out" | grep -q DIVERGED; then
+  echo "ci: the auto planner diverged from a concrete engine" >&2
+  exit 1
+fi
+ds9=$(printf '%s\n' "$out" | grep '^churn DS9:')
+ds9_ev=$(printf '%s' "$ds9" | sed -n 's/.*(evictions \([0-9]*\),.*/\1/p')
+ds9_fl=$(printf '%s' "$ds9" | sed -n 's/.*flushes \([0-9]*\)).*/\1/p')
+ds9_vs=$(printf '%s' "$ds9" | sed -n 's/.* \([0-9.]*\)x over imfant.*/\1/p')
+if [ -z "$ds9_ev" ] || [ "$ds9_ev" -lt 1 ] || [ "$ds9_fl" != 0 ]; then
+  echo "ci: DS9 churn run did not evict incrementally" \
+       "(evictions=$ds9_ev flushes=$ds9_fl)" >&2
+  exit 1
+fi
+if ! awk "BEGIN { exit !($ds9_vs >= 1.0) }"; then
+  echo "ci: DS9 hybrid with eviction fell below iMFAnt (${ds9_vs}x)" >&2
+  exit 1
+fi
+test -s BENCH_planner.json
+echo "planner gate OK (DS9: evictions $ds9_ev, flushes $ds9_fl, ${ds9_vs}x over imfant)"
+
 echo "== serve (smoke) =="
 # A 2-domain Serve pool over the BRO ruleset must reproduce direct
 # sequential execution byte-for-byte; the bench exits non-zero and
@@ -102,6 +133,7 @@ printf 'say hello there or hello world and ask for henp or help' > "$tmp/stream.
 dune exec bin/mfsa_match.exe -- \
   --rules "$tmp/rules.txt" "$tmp/stream.bin" --metrics > "$tmp/metrics.prom"
 test -s "$tmp/metrics.prom"
+check_prom() {
 awk '
   /^# TYPE / {
     if ($3 in type) { print "ci: duplicate TYPE for " $3; bad = 1 }
@@ -123,7 +155,9 @@ awk '
   END {
     if (NR == 0) { print "ci: empty metrics exposition"; bad = 1 }
     exit bad
-  }' "$tmp/metrics.prom"
+  }' "$1"
+}
+check_prom "$tmp/metrics.prom"
 # Compile spans, Serve counters (the fault-tolerance ones included)
 # and engine stats must all be present.
 for series in mfsa_compile_stage_seconds_count mfsa_serve_batches_total \
@@ -133,6 +167,23 @@ for series in mfsa_compile_stage_seconds_count mfsa_serve_batches_total \
               mfsa_engine_prefilter_skipped_bytes_total; do
   grep -q "^$series" "$tmp/metrics.prom" || {
     echo "ci: metrics exposition is missing $series" >&2; exit 1; }
+done
+# A second scrape through the auto meta-engine (which plans the hybrid
+# here — the demo ruleset is literal-covered): the planner gauges and
+# the eviction/adaptive-capacity cache series must all expose, and the
+# body must stay well-formed.
+dune exec bin/mfsa_match.exe -- --engine auto \
+  --rules "$tmp/rules.txt" "$tmp/stream.bin" --metrics > "$tmp/metrics_auto.prom"
+test -s "$tmp/metrics_auto.prom"
+check_prom "$tmp/metrics_auto.prom"
+for series in mfsa_engine_planner_choice mfsa_engine_planner_literal_share \
+              mfsa_engine_planner_activation_density \
+              mfsa_engine_planner_prefilter \
+              mfsa_engine_cache_evictions_total mfsa_engine_cache_capacity \
+              mfsa_engine_cache_grows_total mfsa_engine_cache_shrinks_total \
+              mfsa_engine_demotions_total; do
+  grep -q "^$series" "$tmp/metrics_auto.prom" || {
+    echo "ci: auto-engine exposition is missing $series" >&2; exit 1; }
 done
 # The JSON exporter must agree with the Prometheus one on sample count.
 dune exec bin/mfsa_match.exe -- \

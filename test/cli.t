@@ -108,6 +108,7 @@ the bench driver):
 
   $ mfsa-match ruleset.anml stream.bin -e help
   ac           Aho–Corasick on literal-only rulesets (restricted: every rule must denote a finite literal set)
+  auto         planner meta-engine: picks imfant/hybrid/dfa per ruleset from static features; a churning hybrid demotes to iMFAnt mid-stream
   decomposed   literal pre-filter + FSA confirmation (Hyperscan-style)
   dfa          per-rule scanning DFAs (subset construction + Hopcroft)
   hybrid       lazy-DFA configuration cache over iMFAnt (RE2-style)
@@ -121,13 +122,25 @@ Every engine reports statistics through the common interface (-s):
   mfsa 0 stats: mfsa_engine_active_fsas_avg=N, mfsa_engine_active_fsas_max=N, mfsa_engine_bytes_total=N, mfsa_engine_class_count=N, mfsa_engine_prefilter_skipped_bytes_total=N, mfsa_engine_runs_total=N, mfsa_engine_states=N, mfsa_engine_transitions=N
 
   $ mfsa-match ruleset.anml stream.bin --engine hybrid -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
-  mfsa 0 stats: mfsa_engine_cache_bytes=N, mfsa_engine_cache_flushes_total=N, mfsa_engine_cache_hit_ratio=N, mfsa_engine_cache_hits_total=N, mfsa_engine_cache_interned_total=N, mfsa_engine_cache_misses_total=N, mfsa_engine_cache_pair_hits_total=N, mfsa_engine_cache_resident_configs=N, mfsa_engine_class_count=N, mfsa_engine_prefilter_skipped_bytes_total=N, mfsa_engine_states=N, mfsa_engine_steps_total=N
+  mfsa 0 stats: mfsa_engine_cache_bytes=N, mfsa_engine_cache_capacity=N, mfsa_engine_cache_evictions_total=N, mfsa_engine_cache_flushes_total=N, mfsa_engine_cache_grows_total=N, mfsa_engine_cache_hit_ratio=N, mfsa_engine_cache_hits_total=N, mfsa_engine_cache_interned_total=N, mfsa_engine_cache_misses_total=N, mfsa_engine_cache_pair_hits_total=N, mfsa_engine_cache_resident_configs=N, mfsa_engine_cache_shrinks_total=N, mfsa_engine_class_count=N, mfsa_engine_demotions_total=N, mfsa_engine_prefilter_skipped_bytes_total=N, mfsa_engine_states=N, mfsa_engine_steps_total=N
 
   $ mfsa-match ruleset.anml stream.bin --engine dfa -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
   mfsa 0 stats: mfsa_engine_class_count=N, mfsa_engine_rules=N, mfsa_engine_states=N, mfsa_engine_table_cells=N
 
   $ mfsa-match ruleset.anml stream.bin --engine decomposed -s | grep "stats:" | sed 's/=[0-9.]*/=N/g'
   mfsa 0 stats: mfsa_engine_rules_fallback=N, mfsa_engine_rules_prefiltered=N
+
+The auto meta-engine plans a concrete engine from static ruleset
+features and reports the choice (planned vs active diverge only after
+an online demotion) alongside the planned engine's own series:
+
+  $ mfsa-match ruleset.anml stream.bin --engine auto | grep -v "^total:"
+  rule 0.0  hello world                              1 matches
+  rule 0.1  hello there                              1 matches
+  rule 0.2  he(l|n)p                                 2 matches
+
+  $ mfsa-match ruleset.anml stream.bin --engine auto -s | grep -o "mfsa_engine_planner_choice{[^}]*}"
+  mfsa_engine_planner_choice{active=hybrid,planned=hybrid}
 
 The hot-loop tuning knobs: --no-prefilter disables the Aho–Corasick
 literal prefilter, --stride 1 drops the hybrid engine to plain
@@ -149,6 +162,21 @@ Only strides 1 and 2 exist:
 
   $ mfsa-match ruleset.anml stream.bin --stride 3 2>&1 | head -1
   mfsa-match: option '--stride': invalid value '3', expected either '1' or '2'
+
+--cache-size bounds the hybrid's configuration cache (in rows). A
+2-row cache forces constant eviction without changing any result,
+and the eviction counter proves the cache cycled rather than flushed:
+
+  $ mfsa-match ruleset.anml stream.bin --engine hybrid --cache-size 2 | grep -v "^total:"
+  rule 0.0  hello world                              1 matches
+  rule 0.1  hello there                              1 matches
+  rule 0.2  he(l|n)p                                 2 matches
+
+  $ mfsa-match ruleset.anml stream.bin --engine hybrid --cache-size 2 -s | grep -o "mfsa_engine_cache_flushes_total=[0-9]*"
+  mfsa_engine_cache_flushes_total=0
+
+  $ mfsa-match ruleset.anml stream.bin --engine hybrid --cache-size 0 2>&1 | head -1
+  mfsa-match: option '--cache-size': cache size must be at least 1
 
 The restricted ac engine serves literal-only rulesets with a single
 Aho–Corasick pass, and refuses anything non-literal cleanly:
@@ -230,11 +258,11 @@ Malformed wrapper specs are rejected with the parse error:
 Unknown names get the registry's shared message, everywhere:
 
   $ mfsa-match ruleset.anml stream.bin --engine warp
-  mfsa-match: unknown engine "warp" (registered: ac, decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
+  mfsa-match: unknown engine "warp" (registered: ac, auto, decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
   [1]
 
   $ mfsa-live -e warp < /dev/null
-  mfsa-live: unknown engine "warp" (registered: ac, decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
+  mfsa-live: unknown engine "warp" (registered: ac, auto, decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
   [1]
 
 The COO vectors in the paper's Fig. 2 layout:
@@ -284,10 +312,10 @@ tables — version, tuning snapshot, per-automaton shape and the section
 directory:
 
   $ mfsa-inspect ruleset.mfsa
-  artifact: version 1, 12446 bytes, 1 MFSA(s)
-  tuning: classes=true prefilter=true stride=2
+  artifact: version 2, 12450 bytes, 1 MFSA(s)
+  tuning: classes=true prefilter=true stride=2 cache=4096
   mfsa 0: 3 rules, 20 states, 12 byte classes, prefilter
-  section META     4 bytes
+  section META     8 bytes
   section AUTO[0]  350 bytes
   section CLS[0]   308 bytes
   section TBC[0]   136 bytes
@@ -309,7 +337,7 @@ Engines without a table loader refuse an artifact up front, with the
 capable engines listed:
 
   $ mfsa-match --load ruleset.mfsa stream.bin -e decomposed
-  mfsa-match: engine "decomposed" cannot load a compiled artifact (engines with a table loader: hybrid, imfant); recompile from rules instead
+  mfsa-match: engine "decomposed" cannot load a compiled artifact (engines with a table loader: auto, hybrid, imfant); recompile from rules instead
   [1]
 
 Damage of any kind surfaces as a one-line typed error, never a crash —
@@ -326,7 +354,7 @@ a flipped payload bit, a truncated file, a version from the future:
   [1]
   $ printf '\011' | dd of=ruleset.mfsa bs=1 seek=8 conv=notrunc status=none
   $ mfsa-inspect ruleset.mfsa
-  mfsa-inspect: ruleset.mfsa: unsupported artifact version 9 (this build reads version 1)
+  mfsa-inspect: ruleset.mfsa: unsupported artifact version 9 (this build reads versions 1-2)
   [1]
 
 Live ruleset updates: incremental adds, retirement and a streaming

@@ -26,7 +26,8 @@ let fsa_of src = fsa_of_rule (P.parse_exn src)
 
 let mfsa_of srcs = Merge.merge (Array.of_list (List.map fsa_of srcs))
 
-let baseline = { Tuning.classes = false; prefilter = false; stride = 1 }
+let baseline =
+  { Tuning.default with Tuning.classes = false; prefilter = false; stride = 1 }
 
 let event =
   Alcotest.testable

@@ -1,6 +1,7 @@
 (* Unit and property tests for the lazy-DFA hybrid engine: equivalence
-   with iMFAnt (whole-string and streaming), bounded-cache flushes and
-   the cache instrumentation. *)
+   with iMFAnt (whole-string and streaming), bounded-cache eviction
+   under both policies (incremental clock and legacy flush-on-full)
+   and the cache instrumentation. *)
 
 module P = Mfsa_frontend.Parser
 module Mfsa = Mfsa_model.Mfsa
@@ -99,13 +100,15 @@ let test_rejects_bad_cache_size () =
       ignore (Hy.compile ~cache_size:0 (merge_rules [ "a" ])))
 
 (* A 2-entry cache on a ruleset whose configuration space is much
-   larger: correctness must survive constant flushing. *)
+   larger: correctness must survive constant eviction. Under the
+   default clock policy a full cache displaces single rows and never
+   drops the table. *)
 let test_tiny_cache_still_matches () =
   let z = merge_rules [ "a+b"; "a(b|c)*d"; "[ab]{3}"; "ab$"; "^a" ] in
   let input = "aabacbdabcabdaaabbbacd" in
   let im = Im.compile z in
   let hy = Hy.of_imfant ~cache_size:2 im in
-  (* Several passes: flushes must not corrupt later runs either. *)
+  (* Several passes: evictions must not corrupt later runs either. *)
   for _ = 1 to 3 do
     check
       Alcotest.(list (pair int int))
@@ -114,9 +117,28 @@ let test_tiny_cache_still_matches () =
       (sort (hy_events (Hy.run hy input)))
   done;
   let s = Hy.stats hy in
-  check Alcotest.bool "flushes happened" true (s.Hy.flushes > 0);
+  check Alcotest.bool "evictions happened" true (s.Hy.evictions > 0);
+  check Alcotest.int "clock never flushes" 0 s.Hy.flushes;
   check Alcotest.bool "dynamic configs bounded" true
     (s.Hy.resident_configs <= 2 + 2)
+
+(* The pre-eviction drop-everything policy is kept for ablation: same
+   answers, but through whole-table flushes. *)
+let test_tiny_cache_flush_policy () =
+  let z = merge_rules [ "a+b"; "a(b|c)*d"; "[ab]{3}"; "ab$"; "^a" ] in
+  let input = "aabacbdabcabdaaabbbacd" in
+  let im = Im.compile z in
+  let hy = Hy.of_imfant ~cache_size:2 ~eviction:Hy.Flush im in
+  for _ = 1 to 3 do
+    check
+      Alcotest.(list (pair int int))
+      "flush policy equals imfant"
+      (sort (im_events (Im.run im input)))
+      (sort (hy_events (Hy.run hy input)))
+  done;
+  let s = Hy.stats hy in
+  check Alcotest.bool "flushes happened" true (s.Hy.flushes > 0);
+  check Alcotest.int "flush policy never evicts rows" 0 s.Hy.evictions
 
 let test_stats () =
   let z = merge_rules [ "abc" ] in
@@ -188,11 +210,11 @@ let test_stream_start_anchor_respects_position () =
   check Alcotest.(list (pair int int)) "fresh stream matches again" [ (0, 2) ]
     (hy_events (Hy.feed s "abx"))
 
-(* Concurrent sessions share one cache: a flush forced by either one
-   (or by a whole-string [run] on the same engine) must not leave the
-   other's state dangling on the rebuilt rows array. A 2-entry cache
-   makes flushes constant; the interleaving makes every one of them
-   land between another session's steps. *)
+(* Concurrent sessions share one cache: an eviction forced by either
+   one (or by a whole-string [run] on the same engine) must not leave
+   the other's state dangling on a reused slot. A 2-entry cache makes
+   evictions constant; the interleaving makes every one of them land
+   between another session's steps. *)
 let test_concurrent_sessions_survive_flushes () =
   let z = merge_rules [ "a+b"; "a(b|c)*d"; "[ab]{3}"; "ab$"; "^a" ] in
   let im = Im.compile z in
@@ -221,7 +243,8 @@ let test_concurrent_sessions_survive_flushes () =
     "session 2 survives foreign flushes"
     (sort (im_events (Im.run im in2)))
     (sort ev2);
-  check Alcotest.bool "flushes happened" true ((Hy.stats hy).Hy.flushes > 0)
+  check Alcotest.bool "evictions happened" true
+    ((Hy.stats hy).Hy.evictions > 0)
 
 (* ------------------------------------------------------- Properties *)
 
@@ -248,17 +271,25 @@ let prop_run_equals_imfant =
          let hy = Hy.of_imfant im in
          sort (im_events (Im.run im input)) = sort (hy_events (Hy.run hy input))))
 
-let prop_tiny_cache_equals_imfant =
+(* The eviction policy is invisible in the match semantics: clock
+   eviction on a 2-row cache (every intern past the second displaces
+   a row), flush-on-full on the same cache, and a cache big enough
+   never to fill all produce iMFAnt's events. *)
+let prop_eviction_policies_equal_imfant =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count:100
-       ~name:"hybrid (cache_size=2, constant flushing) = imfant"
+       ~name:"hybrid clock = flush = unbounded = imfant (cache_size=2)"
        ~print:Gen_re.print_ruleset_input
        QCheck2.Gen.(pair (Gen_re.ruleset ()) Gen_re.input)
        (fun (rules, input) ->
          let z = build_ruleset rules in
          let im = Im.compile z in
-         let hy = Hy.of_imfant ~cache_size:2 im in
-         sort (im_events (Im.run im input)) = sort (hy_events (Hy.run hy input))))
+         let reference = sort (im_events (Im.run im input)) in
+         List.for_all
+           (fun (cache_size, eviction) ->
+             let hy = Hy.of_imfant ~cache_size ~eviction im in
+             sort (hy_events (Hy.run hy input)) = reference)
+           [ (2, Hy.Clock); (2, Hy.Flush); (1 lsl 16, Hy.Clock) ]))
 
 let prop_chunked_stream_equals_imfant =
   QCheck_alcotest.to_alcotest
@@ -321,8 +352,10 @@ let () =
         [
           Alcotest.test_case "rejects bad cache size" `Quick
             test_rejects_bad_cache_size;
-          Alcotest.test_case "2-entry cache survives flushes" `Quick
+          Alcotest.test_case "2-entry cache survives evictions" `Quick
             test_tiny_cache_still_matches;
+          Alcotest.test_case "flush policy survives flushes" `Quick
+            test_tiny_cache_flush_policy;
           Alcotest.test_case "stats" `Quick test_stats;
         ] );
       ( "streaming",
@@ -333,13 +366,13 @@ let () =
             test_stream_end_anchored;
           Alcotest.test_case "start anchor and reset" `Quick
             test_stream_start_anchor_respects_position;
-          Alcotest.test_case "concurrent sessions survive flushes" `Quick
+          Alcotest.test_case "concurrent sessions survive evictions" `Quick
             test_concurrent_sessions_survive_flushes;
         ] );
       ( "properties",
         [
           prop_run_equals_imfant;
-          prop_tiny_cache_equals_imfant;
+          prop_eviction_policies_equal_imfant;
           prop_chunked_stream_equals_imfant;
           prop_interleaved_sessions_tiny_cache;
         ] );

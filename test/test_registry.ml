@@ -28,7 +28,7 @@ let events l =
   List.sort compare
     (List.map (fun e -> (e.Engine_sig.fsa, e.Engine_sig.end_pos)) l)
 
-let builtins = [ "imfant"; "hybrid"; "infant"; "dfa"; "decomposed" ]
+let builtins = [ "imfant"; "hybrid"; "infant"; "dfa"; "decomposed"; "auto" ]
 
 let contains haystack needle =
   let len = String.length needle in
@@ -99,6 +99,8 @@ module Null_engine : Engine_sig.S = struct
     ]
 
   let reset_stats _ = ()
+
+  let reset_counters _ = ()
 
   type session = { mutable pos : int }
 

@@ -305,6 +305,8 @@ module Failing_engine : Engine_sig.S = struct
 
   let reset_stats _ = ()
 
+  let reset_counters _ = ()
+
   type session = Im.session
 
   let session = Im.session
