@@ -981,6 +981,146 @@ let persist_bench cfg =
   if List.exists (fun r -> List.exists (fun (_, a) -> not a) r.pr_agree) rows
   then exit 1
 
+(* ------------------------------------------------- SFA scaling *)
+
+type sfa_row = {
+  sf_dataset : string;
+  sf_inner : string;
+  sf_bytes : int;
+  sf_domains : int;
+  sf_seq_mbps : float;
+  sf_span_mbps : float;
+  sf_wall_mbps : float;
+  sf_span_speedup : float;
+  sf_wall_speedup : float;
+  sf_agree : bool;
+}
+
+let write_sfa_json rows =
+  let path = "BENCH_sfa.json" in
+  let oc = open_out path in
+  output_string oc "[\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  {\"dataset\": %S, \"engine\": \"sfa{domains=%d,threshold=1}:%s\", \
+         \"inner\": %S, \"bytes\": %d, \"domains\": %d, \
+         \"seq_mb_per_s\": %.3f, \"span_mb_per_s\": %.3f, \
+         \"wall_mb_per_s\": %.3f, \"span_speedup\": %.3f, \
+         \"wall_speedup\": %.3f, \"agree\": %b}%s\n"
+        r.sf_dataset r.sf_domains r.sf_inner r.sf_inner r.sf_bytes
+        r.sf_domains r.sf_seq_mbps r.sf_span_mbps r.sf_wall_mbps
+        r.sf_span_speedup r.sf_wall_speedup r.sf_agree
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+
+(* `bench sfa`: the intra-input parallelism gate. One multi-MB stream
+   per dataset; the iMFAnt whole-string run is the reference. For 1–4
+   chunk domains, two measurements of the same split:
+
+   - span: the chunk passes run sequentially, each timed, plus the
+     join ([Sfa.run_span]); span time = max chunk time + join time —
+     the critical path a box with that many free cores would see,
+     independent of how many cores this box has.
+   - wall: the real [Sfa.run], chunk passes on spawned domains —
+     honest wall clock, but meaningless as a scaling signal on a
+     single-core container.
+
+   Both paths' event lists must equal the sequential reference exactly
+   (DIVERGED and exit 1 otherwise). Writes BENCH_sfa.json. *)
+let sfa_bench cfg =
+  let inner = "imfant" in
+  let reps = max 1 cfg.E.reps in
+  let best f =
+    let r = ref (f ()) in
+    for _ = 2 to reps do
+      let s = f () in
+      if fst s < fst !r then r := s
+    done;
+    !r
+  in
+  let size = max (256 * 1024) (cfg.E.stream_kb * 1024) in
+  let mbps seconds =
+    if seconds > 0. then float_of_int size /. 1e6 /. seconds else 0.
+  in
+  let rows =
+    List.concat_map
+      (fun ds ->
+        let fsas = Result.get_ok (Pipeline.build_fsas ds.Datasets.rules) in
+        let z = Merge.merge fsas in
+        let stream =
+          Stream_gen.generate ~seed:83 ~payload:ds.Datasets.payload ~size
+            ds.Datasets.rules
+        in
+        let im = Imfant.compile z in
+        let reference =
+          List.sort compare
+            (List.map
+               (fun e -> (e.Imfant.fsa, e.Imfant.end_pos))
+               (Imfant.run im stream))
+        in
+        let t_seq, _ = best (fun () -> time (fun () -> Imfant.run im stream)) in
+        List.map
+          (fun d ->
+            let sf =
+              Mfsa_engine.Sfa.compile
+                { Mfsa_engine.Sfa.domains = d; threshold = 1 }
+                ~inner z
+            in
+            let events l =
+              List.sort compare
+                (List.map
+                   (fun e ->
+                     (e.Mfsa_engine.Sfa.fsa, e.Mfsa_engine.Sfa.end_pos))
+                   l)
+            in
+            let t_wall, wall_events =
+              best (fun () -> time (fun () -> Mfsa_engine.Sfa.run sf stream))
+            in
+            let span_of t =
+              Array.fold_left max 0. t.Mfsa_engine.Sfa.chunk_s
+              +. t.Mfsa_engine.Sfa.join_s
+            in
+            let t_span, span_events =
+              best (fun () ->
+                  let ev, t = Mfsa_engine.Sfa.run_span sf stream in
+                  (span_of t, ev))
+            in
+            let agree =
+              events wall_events = reference && events span_events = reference
+            in
+            let r =
+              {
+                sf_dataset = ds.Datasets.abbr;
+                sf_inner = inner;
+                sf_bytes = size;
+                sf_domains = d;
+                sf_seq_mbps = mbps t_seq;
+                sf_span_mbps = mbps t_span;
+                sf_wall_mbps = mbps t_wall;
+                sf_span_speedup = (if t_span > 0. then t_seq /. t_span else 0.);
+                sf_wall_speedup = (if t_wall > 0. then t_seq /. t_wall else 0.);
+                sf_agree = agree;
+              }
+            in
+            Printf.printf
+              "sfa %s d=%d: seq %.1f MB/s, span %.1f MB/s (%.2fx), wall %.1f \
+               MB/s (%.2fx) %s\n%!"
+              r.sf_dataset d r.sf_seq_mbps r.sf_span_mbps r.sf_span_speedup
+              r.sf_wall_mbps r.sf_wall_speedup
+              (if agree then "AGREE" else "DIVERGED")
+            ;
+            r)
+          [ 1; 2; 3; 4 ])
+      (Datasets.all ~scale:cfg.E.scale ())
+  in
+  write_sfa_json rows;
+  if List.exists (fun r -> not r.sf_agree) rows then exit 1
+
 (* ---------------------------------------------------- Entry point *)
 
 let experiments ~engines ~engine =
@@ -1038,6 +1178,7 @@ let () =
   | [ "serve-check" ] -> serve_check ~engine ()
   | [ "persist" ] -> persist_bench (E.default ())
   | [ "planner" ] -> planner_bench (E.default ())
+  | [ "sfa" ] -> sfa_bench (E.default ())
   | "loadgen" :: rest -> loadgen ~engine rest
   | [] ->
       let cfg = E.default () in
@@ -1064,7 +1205,7 @@ let () =
           | None ->
               Printf.eprintf
                 "unknown artefact %S (expected bechamel, json, serve-check, \
-                 planner, %s)\n"
+                 planner, sfa, persist, %s)\n"
                 name
                 (String.concat ", " (List.map fst experiments));
               exit 1)

@@ -31,10 +31,24 @@ let write_file path contents =
 
 (* ------------------------------------------------------------ run *)
 
-let run_daemon rules_file rules load () engine domains host port port_file
-    pid_file queue admission retries backoff read_deadline max_frame deadline
-    quiet =
+let run_daemon rules_file rules load () engine domains sfa_domains
+    sfa_threshold host port port_file pid_file queue admission retries backoff
+    read_deadline max_frame deadline quiet =
   setup_logs quiet;
+  (* --sfa-domains/--sfa-threshold compose at the engine-name level:
+     the daemon serves `sfa{..}:<engine>`, so oversized SUBMIT inputs
+     split across domains inside one request while everything else
+     (table sharing, replica supervision, metrics) is unchanged. *)
+  let engine =
+    match (sfa_domains, sfa_threshold) with
+    | None, None -> engine
+    | d, t ->
+        Printf.sprintf "sfa{domains=%d,threshold=%d}:%s"
+          (Option.value d ~default:Mfsa_engine.Sfa.default.Mfsa_engine.Sfa.domains)
+          (Option.value t
+             ~default:Mfsa_engine.Sfa.default.Mfsa_engine.Sfa.threshold)
+          engine
+  in
   match Engine_cli.resolve ~prog:"mfsa-served" engine with
   | Error code -> code
   | Ok engine -> (
@@ -240,6 +254,56 @@ let run_cmd =
       value & opt int 2
       & info [ "domains" ] ~docv:"N" ~doc:"Worker domains per generation pool.")
   in
+  let sfa_domains =
+    (* Validated at parse time so a bad value is a one-line usage
+       error, not an Invalid_argument backtrace at compile time. *)
+    let domains_conv =
+      Arg.conv
+        ( (fun s ->
+            match int_of_string_opt s with
+            | Some n when n >= 1 && n <= Mfsa_engine.Sfa.max_domains -> Ok n
+            | Some _ ->
+                Error
+                  (`Msg
+                     (Printf.sprintf "sfa domains must be in [1,%d]"
+                        Mfsa_engine.Sfa.max_domains))
+            | None -> Error (`Msg (Printf.sprintf "invalid domain count %S" s))),
+          Format.pp_print_int )
+    in
+    Arg.(
+      value
+      & opt (some domains_conv) None
+      & info [ "sfa-domains" ] ~docv:"N"
+          ~doc:
+            "Wrap the engine as $(b,sfa{domains=N,..}:<engine>): single \
+             inputs at or above the split threshold are chunked across \
+             $(docv) domains and matched in parallel (imfant and hybrid \
+             only).")
+  in
+  let sfa_threshold =
+    let threshold_conv =
+      Arg.conv
+        ( (fun s ->
+            match int_of_string_opt s with
+            | Some n when n >= 1 -> Ok n
+            | Some _ -> Error (`Msg "sfa threshold must be at least 1 byte")
+            | None ->
+                Error (`Msg (Printf.sprintf "invalid byte count %S" s))),
+          Format.pp_print_int )
+    in
+    Arg.(
+      value
+      & opt (some threshold_conv) None
+      & info [ "sfa-threshold" ] ~docv:"BYTES"
+          ~doc:
+            (Printf.sprintf
+               "Minimum input size, in bytes, before the SFA wrapper splits \
+                an input across domains (default %d); shorter inputs run \
+                sequentially. Implies $(b,--sfa-domains) %d when that flag \
+                is absent."
+               Mfsa_engine.Sfa.default.Mfsa_engine.Sfa.threshold
+               Mfsa_engine.Sfa.default.Mfsa_engine.Sfa.domains))
+  in
   let port =
     Arg.(
       value & opt int 0
@@ -313,6 +377,7 @@ let run_cmd =
     Term.(
       const run_daemon $ rules_file $ rules $ load
       $ Engine_cli.tuning_term () $ Engine_cli.term () $ domains
+      $ sfa_domains $ sfa_threshold
       $ host $ port $ port_file "written to" $ pid_file $ queue $ admission
       $ retries $ backoff $ read_deadline $ max_frame $ deadline $ quiet)
 

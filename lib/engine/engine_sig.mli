@@ -66,6 +66,17 @@ module type S = sig
       {!Registry}-level compilation from an artifact source fails
       with a clean one-line user error instead of a backtrace. *)
 
+  val to_tables : compiled -> Tables.t option
+  (** The inverse capability: the compiled state as a shareable table
+      bundle, [None] for engines whose compiled form is not
+      table-shaped. The bundle is immutable post-export, so one
+      compile can seed many replicas through {!of_tables} in O(size)
+      each — {!Mfsa_serve.Serve} uses exactly this to stop paying one
+      full pipeline run per domain. Table-capable engines should
+      satisfy the round trip: [load (to_tables c)] behaves like
+      [c] freshly compiled. May force lazily-built derivations (the
+      CSR index). *)
+
   val mfsa : compiled -> Mfsa_model.Mfsa.t
   (** The underlying automaton. *)
 
@@ -154,6 +165,7 @@ val pack : (module S with type compiled = 'c and type session = 's) -> 'c -> t
 
 val name : t -> string
 val mfsa : t -> Mfsa_model.Mfsa.t
+val to_tables : t -> Tables.t option
 val run : t -> string -> match_event list
 val count : t -> string -> int
 val count_per_fsa : t -> string -> int array

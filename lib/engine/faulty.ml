@@ -139,6 +139,12 @@ let make ~name:full_name cfg (module E : Engine_sig.S) : (module Engine_sig.S) =
        wrapped engine. *)
     let of_tables = None
 
+    (* Exporting would be harmless, but a wrapper that cannot load
+       tables should not offer them either: Serve keys replica
+       spawning on the pair, and fault tests rely on the
+       compile-from-source path staying exercised. *)
+    let to_tables _ = None
+
     let compile z =
       {
         inner = E.compile z;

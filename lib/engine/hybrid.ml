@@ -751,6 +751,108 @@ let execute t input ~on_match =
     done
   end
 
+(* Chunk-local pass for the SFA decomposition (lib/engine/sfa):
+   [execute] restricted to input.[start..stop-1], starting from the
+   position-0 configuration when the chunk owns global position 0 and
+   from the dead configuration otherwise — exactly the thread set the
+   sequential run would build from injections inside the window.
+   Prefilter candidates come from the window extended by max_len - 1
+   bytes, so a literal straddling the chunk end still injects at its
+   in-chunk start. Returns the carry-out configuration after the last
+   chunk byte as explicit arrays (the interned row's hash-consed
+   bitsets, immutable once built — safe to read from the joining
+   domain). *)
+let run_chunk t input ~start ~stop ~on_match =
+  let z = t.z in
+  let len = String.length input in
+  let class_of = t.class_of in
+  let cls i =
+    Char.code
+      (Bytes.unsafe_get class_of (Char.code (String.unsafe_get input i)))
+  in
+  let emit ms pos =
+    let n = Array.length ms in
+    if n > 0 then
+      if not t.any_end_anchor then
+        for j = 0 to n - 1 do
+          on_match ms.(j) pos
+        done
+      else
+        for j = 0 to n - 1 do
+          let f = ms.(j) in
+          if (not z.Mfsa.anchored_end.(f)) || pos = len then on_match f pos
+        done
+  in
+  let use_pf = t.prefilter <> None in
+  let cands =
+    if use_pf then begin
+      let p = Option.get t.prefilter in
+      let wstop = min len (stop + Prefilter.max_len p - 1) in
+      let wcands =
+        Prefilter.candidates p (String.sub input start (wstop - start))
+      in
+      let acc = ref [] in
+      for j = Array.length wcands - 1 downto 0 do
+        if start + wcands.(j) < stop then acc := (start + wcands.(j)) :: !acc
+      done;
+      Array.of_list !acc
+    end
+    else [||]
+  in
+  let nc = Array.length cands in
+  let ci = ref 0 in
+  let i = ref start in
+  if t.bypass then begin
+    let cfg = ref empty_cfg in
+    let dead = ref (start > 0) in
+    while !i < stop do
+      if use_pf && !dead then begin
+        while !ci < nc && cands.(!ci) < !i do incr ci done;
+        let target = if !ci < nc then cands.(!ci) else stop in
+        if target > !i then begin
+          t.skipped <- t.skipped + (target - !i);
+          i := target
+        end
+      end;
+      if !i < stop then begin
+        let cfg', ms = bypass_step t !cfg (cls !i) ~at_start:(!i = 0) in
+        cfg := cfg';
+        dead := Array.length cfg'.c_states = 0;
+        emit ms (!i + 1);
+        incr i
+      end
+    done;
+    ((!cfg.c_states, !cfg.c_sets) : Imfant.carry)
+  end
+  else begin
+    let cur = ref (if start = 0 then start_id else dead_id) in
+    while !i < stop do
+      if use_pf && !cur = dead_id then begin
+        while !ci < nc && cands.(!ci) < !i do incr ci done;
+        let target = if !ci < nc then cands.(!ci) else stop in
+        if target > !i then begin
+          t.skipped <- t.skipped + (target - !i);
+          i := target
+        end
+      end;
+      if !i < stop then
+        if t.stride2 && !i + 1 < stop then begin
+          let c1 = cls !i and c2 = cls (!i + 1) in
+          cur := step2 t !cur c1 c2;
+          emit t.last_mid (!i + 1);
+          emit t.last_edge (!i + 2);
+          i := !i + 2
+        end
+        else begin
+          cur := step t !cur (cls !i);
+          emit t.last_edge (!i + 1);
+          incr i
+        end
+    done;
+    let cfg = t.rows.(!cur).cfg in
+    ((cfg.c_states, cfg.c_sets) : Imfant.carry)
+  end
+
 let run t input =
   let acc = ref [] in
   execute t input ~on_match:(fun fsa e -> acc := { fsa; end_pos = e } :: !acc);

@@ -182,6 +182,18 @@ val count : t -> string -> int
 
 val count_per_fsa : t -> string -> int array
 
+val run_chunk :
+  t -> string -> start:int -> stop:int -> on_match:(int -> int -> unit) ->
+  Imfant.carry
+(** Chunk-local pass for the SFA decomposition ({!Sfa}): the matches
+    and carry-out configuration produced by threads injected inside
+    [input.[start..stop-1]] only. Starts from the position-0
+    configuration when [start = 0] and from the dead configuration
+    otherwise; end-anchored matches only fire at the global end of
+    input. The returned carry aliases the interned row's hash-consed
+    bitsets — immutable, but the engine itself must still not be
+    shared across domains. *)
+
 (** {2 Streaming}
 
     Same contract as {!Imfant.session}: feeding chunks [c1, …, cn]

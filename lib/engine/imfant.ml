@@ -362,6 +362,238 @@ let count_per_fsa t input =
   in
   counts
 
+(* ------------------------------------------- Chunked entry points *)
+
+(* The SFA decomposition (lib/engine/sfa) rests on the step function
+   distributing over thread-set union: the sequential configuration at
+   a chunk boundary is the union of (a) threads injected inside the
+   chunk — computed here, in parallel, with no knowledge of earlier
+   chunks — and (b) the carried-in boundary configuration stepped with
+   no injection at all (carry_step below). A carry is that explicit
+   configuration: active states ascending, paired with their
+   activation sets, as plain arrays safe to hand across domains. *)
+
+type carry = int array * Bitset.t array
+
+let empty_carry : carry = ([||], [||])
+
+(* Injection-driven local pass over input.[start..stop-1]: identical
+   to [execute] restricted to the window — position 0 (global) still
+   gets the anchored-start injection, candidate offsets come from the
+   prefilter run on the window extended by max_len - 1 bytes so a
+   literal straddling the chunk end still marks its in-chunk start.
+   End-anchored matches only fire at the global end of input, so
+   non-final chunks never report them. Prefilter skips are returned,
+   not accumulated into [t]: chunk passes run concurrently over one
+   shared engine. *)
+let run_chunk t input ~start ~stop ~on_match =
+  let z = t.z in
+  let n = z.Mfsa.n_states and nf = z.Mfsa.n_fsas in
+  let cur_sets = Array.init n (fun _ -> Bitset.create nf) in
+  let next_sets = Array.init n (fun _ -> Bitset.create nf) in
+  let cur_stamp = Array.make n (-1) in
+  let next_stamp = Array.make n (-1) in
+  let scratch = Bitset.create nf in
+  let match_now = Bitset.create nf in
+  let reported = Bitset.create nf in
+  let len = String.length input in
+  let class_of = t.class_of in
+  let cur_sets = ref cur_sets and next_sets = ref next_sets in
+  let cur_stamp = ref cur_stamp and next_stamp = ref next_stamp in
+  let generation = ref 0 in
+  let skipped = ref 0 in
+  let use_pf = t.prefilter <> None in
+  let cands =
+    if use_pf then begin
+      let p = Option.get t.prefilter in
+      let wstop = min len (stop + Prefilter.max_len p - 1) in
+      let wcands =
+        Prefilter.candidates p (String.sub input start (wstop - start))
+      in
+      let out = Vec.create () in
+      Array.iter
+        (fun o -> if start + o < stop then Vec.push out (start + o))
+        wcands;
+      Vec.to_array out
+    end
+    else [||]
+  in
+  let nc = Array.length cands in
+  let ci = ref 0 in
+  let i = ref start in
+  while !i < stop do
+    if use_pf then while !ci < nc && cands.(!ci) < !i do incr ci done;
+    let at_cand = (not use_pf) || (!ci < nc && cands.(!ci) = !i) in
+    let c = Char.code (String.unsafe_get input !i) in
+    let enabled = t.trans_by_cls.(Char.code (Bytes.unsafe_get class_of c)) in
+    let inits =
+      if !i = 0 then (if at_cand then t.init_all else t.init_anch)
+      else if at_cand then t.init_unanch
+      else t.init_none
+    in
+    Bitset.clear reported;
+    let any_next = ref false in
+    for k = 0 to Array.length enabled - 1 do
+      let tr = enabled.(k) in
+      let s = z.Mfsa.row.(tr) in
+      let has_cur = !cur_stamp.(s) = !generation in
+      let init_b = inits.(s) in
+      if has_cur || not (Bitset.is_empty init_b) then begin
+        Bitset.clear scratch;
+        if has_cur then ignore (Bitset.union_into ~dst:scratch !cur_sets.(s));
+        ignore (Bitset.union_into ~dst:scratch init_b);
+        Bitset.inter_into ~dst:scratch z.Mfsa.bel.(tr);
+        if not (Bitset.is_empty scratch) then begin
+          let d = z.Mfsa.col.(tr) in
+          if !next_stamp.(d) <> !generation + 1 then begin
+            !next_stamp.(d) <- !generation + 1;
+            Bitset.clear !next_sets.(d)
+          end;
+          ignore (Bitset.union_into ~dst:!next_sets.(d) scratch);
+          any_next := true;
+          Bitset.clear match_now;
+          ignore (Bitset.union_into ~dst:match_now scratch);
+          Bitset.inter_into ~dst:match_now z.Mfsa.final_sets.(d);
+          if not (Bitset.is_empty match_now) then
+            Bitset.iter
+              (fun j ->
+                if
+                  (not (Bitset.mem reported j))
+                  && ((not z.Mfsa.anchored_end.(j)) || !i + 1 = len)
+                then begin
+                  Bitset.add reported j;
+                  on_match j (!i + 1)
+                end)
+              match_now
+        end
+      end
+    done;
+    let tmp_sets = !cur_sets and tmp_stamp = !cur_stamp in
+    cur_sets := !next_sets;
+    cur_stamp := !next_stamp;
+    next_sets := tmp_sets;
+    next_stamp := tmp_stamp;
+    incr generation;
+    if use_pf && not !any_next then begin
+      let j = if at_cand then !ci + 1 else !ci in
+      let target = if j < nc then max cands.(j) (!i + 1) else stop in
+      if target > !i + 1 then skipped := !skipped + (target - !i - 1);
+      i := target
+    end
+    else incr i
+  done;
+  let states = Vec.create () in
+  for q = 0 to n - 1 do
+    if !cur_stamp.(q) = !generation && not (Bitset.is_empty !cur_sets.(q))
+    then Vec.push states q
+  done;
+  let cs = Vec.to_array states in
+  let sets = Array.map (fun q -> Bitset.copy !cur_sets.(q)) cs in
+  (((cs, sets) : carry), !skipped)
+
+(* Step a carried boundary configuration through input.[start..stop-1]
+   with NO injection — the left-to-right join fix-up. The carried set
+   only shrinks, so the loop exits the moment it dies (typically a few
+   bytes past the boundary); returns the surviving carry and the bytes
+   actually consumed. Allocates its own scratch: it runs once per
+   chunk boundary on the coordinating domain, never per byte of the
+   bulk scan. *)
+let carry_step t ((cs, sets) : carry) input ~start ~stop ~on_match =
+  let z = t.z in
+  let n = z.Mfsa.n_states and nf = z.Mfsa.n_fsas in
+  let csr_off, csr_tr = Lazy.force t.csr in
+  let k = t.k and class_of = t.class_of in
+  let len = String.length input in
+  let scratch = Bitset.create nf in
+  let match_now = Bitset.create nf in
+  let reported = Bitset.create nf in
+  let acc_stamp = Array.make n (-1) in
+  let acc_sets = Array.make n scratch (* placeholder; replaced on touch *) in
+  let cur_s = ref cs and cur_b = ref sets in
+  let i = ref start in
+  while !i < stop && Array.length !cur_s > 0 do
+    let c = Char.code (String.unsafe_get input !i) in
+    let cls = Char.code (Bytes.unsafe_get class_of c) in
+    let gen = !i in
+    Bitset.clear reported;
+    let touched = Vec.create () in
+    let src_s = !cur_s and src_b = !cur_b in
+    for idx = 0 to Array.length src_s - 1 do
+      let q = src_s.(idx) in
+      let b = src_b.(idx) in
+      let base = (q * k) + cls in
+      for p = csr_off.(base) to csr_off.(base + 1) - 1 do
+        let tr = csr_tr.(p) in
+        Bitset.clear scratch;
+        ignore (Bitset.union_into ~dst:scratch b);
+        Bitset.inter_into ~dst:scratch z.Mfsa.bel.(tr);
+        if not (Bitset.is_empty scratch) then begin
+          let d = z.Mfsa.col.(tr) in
+          if acc_stamp.(d) <> gen then begin
+            acc_stamp.(d) <- gen;
+            acc_sets.(d) <- Bitset.copy scratch;
+            Vec.push touched d
+          end
+          else ignore (Bitset.union_into ~dst:acc_sets.(d) scratch);
+          Bitset.clear match_now;
+          ignore (Bitset.union_into ~dst:match_now scratch);
+          Bitset.inter_into ~dst:match_now z.Mfsa.final_sets.(d);
+          if not (Bitset.is_empty match_now) then
+            Bitset.iter
+              (fun j ->
+                if
+                  (not (Bitset.mem reported j))
+                  && ((not z.Mfsa.anchored_end.(j)) || !i + 1 = len)
+                then begin
+                  Bitset.add reported j;
+                  on_match j (!i + 1)
+                end)
+              match_now
+        end
+      done
+    done;
+    let ts = Vec.to_array touched in
+    Array.sort Int.compare ts;
+    cur_s := ts;
+    cur_b := Array.map (fun d -> acc_sets.(d)) ts;
+    incr i
+  done;
+  ((((!cur_s, !cur_b)) : carry), !i - start)
+
+(* Pointwise union of two boundary configurations (local chunk carry ∪
+   stepped carry-in). Never mutates either argument's sets — the local
+   side may alias a hybrid replica's interned rows. *)
+let carry_union ((s1, b1) : carry) ((s2, b2) : carry) : carry =
+  let n1 = Array.length s1 and n2 = Array.length s2 in
+  if n1 = 0 then (s2, b2)
+  else if n2 = 0 then (s1, b1)
+  else begin
+    let states = Vec.create () in
+    let sets = ref [] in
+    let i = ref 0 and j = ref 0 in
+    while !i < n1 || !j < n2 do
+      if !j >= n2 || (!i < n1 && s1.(!i) < s2.(!j)) then begin
+        Vec.push states s1.(!i);
+        sets := b1.(!i) :: !sets;
+        incr i
+      end
+      else if !i >= n1 || s2.(!j) < s1.(!i) then begin
+        Vec.push states s2.(!j);
+        sets := b2.(!j) :: !sets;
+        incr j
+      end
+      else begin
+        let u = Bitset.copy b1.(!i) in
+        ignore (Bitset.union_into ~dst:u b2.(!j));
+        Vec.push states s1.(!i);
+        sets := u :: !sets;
+        incr i;
+        incr j
+      end
+    done;
+    (Vec.to_array states, Array.of_list (List.rev !sets))
+  end
+
 (* ------------------------------------------------------- Streaming *)
 
 (* Sessions use the class-indexed tables but keep processing every

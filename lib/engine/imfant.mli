@@ -77,6 +77,49 @@ val count_per_fsa : t -> string -> int array
 (** Match counts per merged FSA — used by the equivalence tests and
     the per-rule reporting. *)
 
+(** {2 Chunked execution}
+
+    Primitives for the SFA-style intra-input parallelism of
+    {!Sfa}: the per-byte step distributes over thread-set union, so
+    the sequential configuration at a chunk boundary is
+    (threads injected inside the chunk) ∪ (the carried-in boundary
+    configuration stepped with no injection). The first term is
+    computed by {!run_chunk} — embarrassingly parallel across chunks —
+    and the second by {!carry_step} during the left-to-right join. *)
+
+type carry = int array * Mfsa_util.Bitset.t array
+(** An explicit boundary configuration: active states in ascending
+    order paired with their activation sets. Plain arrays with no
+    aliasing into engine scratch — safe to hand across domains. *)
+
+val empty_carry : carry
+
+val run_chunk :
+  t -> string -> start:int -> stop:int -> on_match:(int -> int -> unit) ->
+  carry * int
+(** Injection-driven local pass over [input.[start..stop-1]]:
+    [execute] restricted to the window. Global position 0 (when
+    [start = 0]) keeps the anchored-start injection; prefilter
+    candidates are computed on the window extended by [max_len - 1]
+    bytes so literals straddling the chunk end still inject at their
+    in-chunk start; end-anchored matches only fire at the global end
+    of input. Returns the carry-out configuration after the last
+    chunk byte and the bytes the prefilter skipped. Does not mutate
+    the engine: concurrent calls over one shared [t] are safe. *)
+
+val carry_step :
+  t -> carry -> string -> start:int -> stop:int ->
+  on_match:(int -> int -> unit) -> carry * int
+(** Step a carried boundary configuration through
+    [input.[start..stop-1]] with {e no} injection, reporting the
+    matches the carried threads complete. Early-exits as soon as the
+    carried set dies; returns the surviving carry and the bytes
+    actually consumed. Forces the CSR index. *)
+
+val carry_union : carry -> carry -> carry
+(** Pointwise union of two boundary configurations; arguments are not
+    mutated. *)
+
 (** {2 Streaming}
 
     Deep-packet-inspection engines see traffic in chunks; a session

@@ -20,6 +20,7 @@ module type Base = sig
 
   val compile : Mfsa.t -> compiled
   val of_tables : (Tables.t -> compiled) option
+  val to_tables : compiled -> Tables.t option
   val mfsa : compiled -> Mfsa.t
   val run : compiled -> string -> match_event list
   val count : compiled -> string -> int
@@ -99,6 +100,8 @@ module Imfant_engine : Engine_sig.S = struct
       (fun tb ->
         { im = Imfant.of_tables tb; bytes = 0; runs = 0; avg_active = 0.;
           max_active = 0 })
+
+  let to_tables c = Some (Imfant.export_tables c.im)
 
   let mfsa c = Imfant.mfsa c.im
 
@@ -180,6 +183,8 @@ module Hybrid_engine : Engine_sig.S with type compiled = Hybrid.t = struct
   let compile z = Hybrid.compile z
 
   let of_tables = Some (fun tb -> Hybrid.of_tables tb)
+
+  let to_tables c = Some (Imfant.export_tables (Hybrid.imfant c))
 
   let mfsa = Hybrid.mfsa
 
@@ -285,6 +290,8 @@ module Infant_base = struct
      does not carry — no table loader. *)
   let of_tables = None
 
+  let to_tables _ = None
+
   let mfsa c = c.z
 
   let run c input =
@@ -341,6 +348,8 @@ module Dfa_base = struct
     { z; engines = Array.init z.Mfsa.n_fsas (fun j -> Dfa_engine.compile (Mfsa.project z j)) }
 
   let of_tables = None
+
+  let to_tables _ = None
 
   let mfsa c = c.z
 
@@ -404,6 +413,8 @@ module Decomposed_base = struct
     { z; d = Decomposed.compile (Array.init z.Mfsa.n_fsas (Mfsa.project z)) }
 
   let of_tables = None
+
+  let to_tables _ = None
 
   let mfsa c = c.z
 
@@ -505,6 +516,8 @@ module Ac_engine : Engine_sig.S = struct
   (* The stored table bundle has no per-rule literal ownership and the
      rules may not be literal sets anyway. *)
   let of_tables = None
+
+  let to_tables _ = None
 
   let mfsa c = c.z
 
@@ -697,6 +710,8 @@ module Auto_engine : Engine_sig.S = struct
               (Engine_sig.pack (module Imfant_engine) (load tb))
               None)
 
+  let to_tables c = Engine_sig.to_tables c.packed
+
   let mfsa c = Engine_sig.mfsa c.packed
 
   (* The online escape hatch: close any elapsed monitoring window and
@@ -836,32 +851,53 @@ let general_names () =
 let unknown_message name =
   Printf.sprintf
     "unknown engine %S (registered: %s; any name can be wrapped as \
-     faulty{seed=..,fail_every=..}:<engine> for fault injection)"
+     faulty{seed=..,fail_every=..}:<engine> for fault injection, and \
+     imfant/hybrid as sfa{domains=..,threshold=..}:<engine> for \
+     intra-input parallelism)"
     name
     (String.concat ", " (names ()))
 
 (* Name resolution: exact table entries win; otherwise the name is
-   tried against the [faulty{...}:<inner>] wrapper grammar, recursing
-   on the inner name so wrappers nest. Each resolution of a wrapper
-   spec builds a fresh first-class module closed over its config —
-   stateless until compiled, so this is cheap. *)
+   tried against the wrapper grammars — [faulty{...}:<inner>] recurses
+   on the inner name so wrappers nest; [sfa{...}:<inner>] restricts
+   its inner to the table-shaped engines its chunk primitives exist
+   for. Each resolution of a wrapper spec builds a fresh first-class
+   module closed over its config — stateless until compiled, so this
+   is cheap. *)
+let sfa_inners = [ "imfant"; "hybrid" ]
+
 let rec resolve name =
   match Hashtbl.find_opt table name with
   | Some m -> Ok m
   | None -> (
-      match Faulty.split_spec name with
-      | None -> Error (unknown_message name)
-      | Some (Error msg) ->
-          Error (Printf.sprintf "bad faulty spec %S: %s" name msg)
-      | Some (Ok (cfg, inner)) ->
-          Result.map (Faulty.make ~name cfg) (resolve inner))
+      match Sfa.split_spec name with
+      | Some (Error msg) -> Error (Printf.sprintf "bad sfa spec %S: %s" name msg)
+      | Some (Ok (spec, inner)) ->
+          if List.mem inner sfa_inners then Ok (Sfa.make ~name spec ~inner)
+          else
+            Error
+              (Printf.sprintf
+                 "bad sfa spec %S: inner engine must be one of %s, got %S"
+                 name
+                 (String.concat ", " sfa_inners)
+                 inner)
+      | None -> (
+          match Faulty.split_spec name with
+          | None -> Error (unknown_message name)
+          | Some (Error msg) ->
+              Error (Printf.sprintf "bad faulty spec %S: %s" name msg)
+          | Some (Ok (cfg, inner)) ->
+              Result.map (Faulty.make ~name cfg) (resolve inner)))
 
 let find name = Result.to_option (resolve name)
 
 let rec underlying name =
-  match Faulty.split_spec name with
+  match Sfa.split_spec name with
   | Some (Ok (_, inner)) -> underlying inner
-  | _ -> name
+  | _ -> (
+      match Faulty.split_spec name with
+      | Some (Ok (_, inner)) -> underlying inner
+      | _ -> name)
 
 (* The bare message, not a "Registry.find_exn:"-prefixed one: the
    CLIs print it verbatim after their own program name. *)
@@ -880,6 +916,8 @@ let help () =
   ^ "faulty{..}:<engine>  deterministic fault-injection wrapper \
      (seed=, fail_every=, poison_every=, delay_every=, delay_ms=, \
      fail=, poison=, delay=)\n"
+  ^ "sfa{..}:<engine>     SFA intra-input parallel wrapper over imfant or \
+     hybrid (domains=, threshold= split size in bytes)\n"
 
 let compile_automaton name z =
   match resolve name with

@@ -314,12 +314,25 @@ let create_spawn ~engine ~domains ~queue_capacity ~admission ~retries ~backoff
   t.workers <- Array.init n_domains (fun i -> Domain.spawn (worker t i));
   t
 
+(* One full pipeline run, not one per replica: the first compile's
+   table bundle (immutable post-export) seeds every replica — and
+   every supervision respawn — through the engine's of_tables
+   capability in O(size). Engines without the table round trip (the
+   per-rule baselines, faulty wrappers) keep the compile-per-replica
+   behaviour; for them the capability pair is deliberately absent. *)
 let create ?(engine = "imfant") ?domains ?queue_capacity ?(admission = Block)
     ?(retries = 0) ?(backoff = 0.001) ?(is_transient = default_transient)
     ?(is_poison = default_poison) z =
+  let spawn =
+    let from_source () = Registry.compile_automaton_exn engine z in
+    if not (Registry.can_load_tables engine) then from_source
+    else
+      match Engine_sig.to_tables (from_source ()) with
+      | Some tb -> fun () -> Registry.compile_tables_exn engine tb
+      | None -> from_source
+  in
   create_spawn ~engine ~domains ~queue_capacity ~admission ~retries ~backoff
-    ~is_transient ~is_poison (fun () ->
-      Registry.compile_automaton_exn engine z)
+    ~is_transient ~is_poison spawn
 
 (* Replicas adopted from a persisted table bundle: the bundle is
    immutable, so sharing it read-only across worker domains is safe —

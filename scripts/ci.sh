@@ -73,6 +73,30 @@ fi
 test -s BENCH_planner.json
 echo "planner gate OK (DS9: evictions $ds9_ev, flushes $ds9_fl, ${ds9_vs}x over imfant)"
 
+echo "== sfa intra-input parallelism (sfa gate) =="
+# The SFA wrapper chunks one input across domains and joins the chunk
+# boundaries; both the real parallel path and the span-measured
+# sequential replay must reproduce iMFAnt's events exactly (the bench
+# marks any mismatch DIVERGED and exits non-zero). On the
+# literal-heavy datasets the 2-domain critical-path (span) speedup
+# must not regress below the sequential floor.
+out=$(MFSA_SCALE="${MFSA_SCALE:-0.1}" MFSA_STREAM_KB="${MFSA_STREAM_KB:-32}" \
+  MFSA_REPS="${MFSA_REPS:-2}" dune exec bench/main.exe -- sfa)
+printf '%s\n' "$out"
+if printf '%s' "$out" | grep -q DIVERGED; then
+  echo "ci: the sfa chunk/join path diverged from sequential execution" >&2
+  exit 1
+fi
+test -s BENCH_sfa.json
+for ds in BRO PEN RG1; do
+  sp=$(sed -n 's/.*"dataset": "'"$ds"'".*"domains": 2,.*"span_speedup": \([0-9.]*\).*/\1/p' BENCH_sfa.json)
+  if [ -z "$sp" ] || ! awk "BEGIN { exit !($sp >= 1.0) }"; then
+    echo "ci: sfa 2-domain span speedup on $ds fell below 1.0 (${sp:-missing})" >&2
+    exit 1
+  fi
+done
+echo "sfa gate OK (zero divergence, 2-domain span speedup >= 1 on BRO/PEN/RG1)"
+
 echo "== serve (smoke) =="
 # A 2-domain Serve pool over the BRO ruleset must reproduce direct
 # sequential execution byte-for-byte; the bench exits non-zero and
@@ -184,6 +208,21 @@ for series in mfsa_engine_planner_choice mfsa_engine_planner_literal_share \
               mfsa_engine_demotions_total; do
   grep -q "^$series" "$tmp/metrics_auto.prom" || {
     echo "ci: auto-engine exposition is missing $series" >&2; exit 1; }
+done
+# A third scrape through the sfa{..} wrapper (threshold 1 forces the
+# chunked path even on the demo stream): the split/join series must
+# all expose and the body must stay well-formed.
+dune exec bin/mfsa_match.exe -- --engine 'sfa{domains=2,threshold=1}:imfant' \
+  --rules "$tmp/rules.txt" "$tmp/stream.bin" --metrics > "$tmp/metrics_sfa.prom"
+test -s "$tmp/metrics_sfa.prom"
+check_prom "$tmp/metrics_sfa.prom"
+for series in mfsa_sfa_runs_total mfsa_sfa_seq_runs_total \
+              mfsa_sfa_chunks_total mfsa_sfa_fixup_bytes_total \
+              mfsa_sfa_carry_dead_total mfsa_sfa_carry_live_total \
+              mfsa_sfa_prefilter_skipped_bytes_total mfsa_sfa_domains \
+              mfsa_sfa_threshold_bytes; do
+  grep -q "^$series" "$tmp/metrics_sfa.prom" || {
+    echo "ci: sfa exposition is missing $series" >&2; exit 1; }
 done
 # The JSON exporter must agree with the Prometheus one on sample count.
 dune exec bin/mfsa_match.exe -- \

@@ -115,6 +115,7 @@ the bench driver):
   imfant       transition-centric merged-automaton engine (paper §V, the default)
   infant       per-rule iNFAnt baseline on the FSAs projected out of the MFSA
   faulty{..}:<engine>  deterministic fault-injection wrapper (seed=, fail_every=, poison_every=, delay_every=, delay_ms=, fail=, poison=, delay=)
+  sfa{..}:<engine>     SFA intra-input parallel wrapper over imfant or hybrid (domains=, threshold= split size in bytes)
 
 Every engine reports statistics through the common interface (-s):
 
@@ -255,14 +256,52 @@ Malformed wrapper specs are rejected with the parse error:
   mfsa-match: bad faulty spec "faulty{fail=2.0}:imfant": fail wants a probability in [0,1], got "2.0"
   [1]
 
+The sfa{..} wrapper chunks one oversized input across domains and
+joins the chunk boundaries — match events are byte-identical to the
+wrapped engine (threshold=1 forces the parallel path even on this
+tiny stream; compare with the imfant/hybrid listings above):
+
+  $ mfsa-match ruleset.anml stream.bin -e 'sfa{domains=2,threshold=1}:imfant' --list | grep "^match" | sort
+  match mfsa=0 rule=0 pattern=hello world end=30
+  match mfsa=0 rule=1 pattern=hello there end=15
+  match mfsa=0 rule=2 pattern=he(l|n)p end=47
+  match mfsa=0 rule=2 pattern=he(l|n)p end=55
+
+  $ mfsa-match ruleset.anml stream.bin -e 'sfa{domains=3,threshold=1}:hybrid' --list | grep "^match" | sort
+  match mfsa=0 rule=0 pattern=hello world end=30
+  match mfsa=0 rule=1 pattern=hello there end=15
+  match mfsa=0 rule=2 pattern=he(l|n)p end=47
+  match mfsa=0 rule=2 pattern=he(l|n)p end=55
+
+Its statistics expose the split/join machinery (2 chunk passes for
+one 2-domain run):
+
+  $ mfsa-match ruleset.anml stream.bin -e 'sfa{domains=2,threshold=1}:imfant' -s | grep -o "mfsa_sfa_chunks_total=[0-9]*"
+  mfsa_sfa_chunks_total=2
+
+Malformed sfa specs and non-parallelisable inner engines are rejected
+with one-line errors too:
+
+  $ mfsa-match ruleset.anml stream.bin -e 'sfa{domains=0}:imfant'
+  mfsa-match: bad sfa spec "sfa{domains=0}:imfant": domains wants an integer in [1,64], got "0"
+  [1]
+
+  $ mfsa-match ruleset.anml stream.bin -e 'sfa{threshold=0}:imfant'
+  mfsa-match: bad sfa spec "sfa{threshold=0}:imfant": threshold wants a positive byte count, got "0"
+  [1]
+
+  $ mfsa-match ruleset.anml stream.bin -e 'sfa:dfa'
+  mfsa-match: bad sfa spec "sfa:dfa": inner engine must be one of imfant, hybrid, got "dfa"
+  [1]
+
 Unknown names get the registry's shared message, everywhere:
 
   $ mfsa-match ruleset.anml stream.bin --engine warp
-  mfsa-match: unknown engine "warp" (registered: ac, auto, decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
+  mfsa-match: unknown engine "warp" (registered: ac, auto, decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection, and imfant/hybrid as sfa{domains=..,threshold=..}:<engine> for intra-input parallelism)
   [1]
 
   $ mfsa-live -e warp < /dev/null
-  mfsa-live: unknown engine "warp" (registered: ac, auto, decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection)
+  mfsa-live: unknown engine "warp" (registered: ac, auto, decomposed, dfa, hybrid, imfant, infant; any name can be wrapped as faulty{seed=..,fail_every=..}:<engine> for fault injection, and imfant/hybrid as sfa{domains=..,threshold=..}:<engine> for intra-input parallelism)
   [1]
 
 The COO vectors in the paper's Fig. 2 layout:

@@ -86,3 +86,38 @@ and single-byte stepping serves the same matches:
   server draining
   $ wait $(cat daemon2.pid)
   $ cat daemon2.err
+
+--sfa-domains wraps the daemon's engine as sfa{..}:<engine>, so each
+input at or above --sfa-threshold is chunked across domains inside
+one request; threshold 1 forces the parallel path even for these tiny
+inputs, and the matches are identical:
+
+  $ mfsa-served run --rules rules.txt --sfa-domains 2 --sfa-threshold 1 \
+  >   --port 0 --port-file port3 -q 2>daemon3.err &
+  > echo $! > daemon3.pid
+  $ for i in $(seq 1 100); do [ -s port3 ] && break; sleep 0.1; done
+  $ mfsa-served ctl --port-file port3 submit xxabcxx aXcq
+  input 0: 2 matches
+    rule 0 end 5
+    rule 1 end 5
+  input 1: 2 matches
+    rule 1 end 3
+    rule 2 end 4
+
+The scrape carries the wrapper's split/join series:
+
+  $ mfsa-served ctl --port-file port3 metrics | grep '^mfsa_sfa_domains' | sed 's/{.*}//' | sort -u
+  mfsa_sfa_domains 2
+
+  $ mfsa-served ctl --port-file port3 shutdown
+  server draining
+  $ wait $(cat daemon3.pid)
+  $ cat daemon3.err
+
+Bad values for the sfa flags are one-line usage errors, not crashes:
+
+  $ mfsa-served run --rules rules.txt --sfa-domains 0 2>&1 | head -1
+  mfsa-served: option '--sfa-domains': sfa domains must be in [1,64]
+
+  $ mfsa-served run --rules rules.txt --sfa-threshold 0 2>&1 | head -1
+  mfsa-served: option '--sfa-threshold': sfa threshold must be at least 1 byte

@@ -87,6 +87,7 @@ module Null_engine : Engine_sig.S = struct
 
   let compile z = z
   let of_tables = Some (fun (tb : Tables.t) -> tb.Tables.z)
+  let to_tables _ = None
   let mfsa z = z
   let run _ _ = []
   let count _ _ = 0

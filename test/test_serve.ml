@@ -286,6 +286,7 @@ module Failing_engine : Engine_sig.S = struct
   let compile = Im.compile
   let mfsa = Im.mfsa
   let of_tables = None
+  let to_tables _ = None
 
   let run c input =
     if String.contains input 'X' then raise (Boom input) else Im.run c input
